@@ -1,0 +1,179 @@
+package umine
+
+// The benchmark harness of the reproduction: one benchmark per figure and
+// table of the paper's Section 4, each regenerating the corresponding
+// panel(s) through the experiment registry, plus per-algorithm
+// micro-benchmarks on fixed dense/sparse workloads.
+//
+// Figure benchmarks run the full parameter sweep of their panel per
+// iteration and print the paper-style report under -v for the first
+// iteration. Dataset scale is reduced (see internal/exp base scales);
+// EXPERIMENTS.md records a full run and compares shapes against the paper.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one panel with its report:
+//
+//	go test -bench=BenchmarkFig4Connect -benchtime=1x -v
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"umine/internal/exp"
+)
+
+var benchScale = flag.Float64("umine.benchscale", 0.25, "dataset scale multiplier for figure benchmarks")
+
+// benchExperiment runs one registered experiment per iteration and reports
+// the figure's headline numbers as custom metrics.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := exp.DefaultConfig()
+	cfg.Scale = *benchScale
+	var last *exp.Report
+	for i := 0; i < b.N; i++ {
+		last = e.Run(cfg)
+	}
+	if testing.Verbose() {
+		last.Fprint(os.Stdout)
+	}
+	reportHeadline(b, last)
+}
+
+// reportHeadline turns the report into benchmark metrics: the total
+// measured mining seconds for sweep panels (regressions in any algorithm
+// show up in diffs), or the mean cell value for accuracy tables.
+func reportHeadline(b *testing.B, r *exp.Report) {
+	// Sweep reports carry per-algorithm "<name> s" columns; table10 puts
+	// the time rows in the row labels; accuracy tables have neither and
+	// report their mean cell instead.
+	timeColumns, timeRows := false, false
+	for _, c := range r.Columns {
+		if strings.HasSuffix(c, " s") {
+			timeColumns = true
+		}
+	}
+	for _, l := range r.RowLabels {
+		if strings.HasSuffix(l, " s") {
+			timeRows = true
+		}
+	}
+	total, points := 0.0, 0
+	for i := range r.Cells {
+		for j := range r.Columns {
+			v := r.Cells[i][j]
+			if v != v { // NaN
+				continue
+			}
+			switch {
+			case timeColumns && !strings.HasSuffix(r.Columns[j], " s"):
+			case !timeColumns && timeRows && !strings.HasSuffix(r.RowLabels[i], " s"):
+			default:
+				total += v
+				points++
+			}
+		}
+	}
+	name := "mining-s/op"
+	if !timeColumns && !timeRows && points > 0 {
+		// Accuracy tables: cells are precisions/recalls in [0,1].
+		name = "mean-accuracy"
+		total /= float64(points)
+	}
+	b.ReportMetric(total, name)
+	b.ReportMetric(float64(points), "points")
+}
+
+// --- Figure 4: expected-support-based algorithms (panels a–l) ------------
+
+func BenchmarkFig4Connect(b *testing.B)     { benchExperiment(b, "fig4a") } // panels a, e
+func BenchmarkFig4Accident(b *testing.B)    { benchExperiment(b, "fig4b") } // panels b, f
+func BenchmarkFig4Kosarak(b *testing.B)     { benchExperiment(b, "fig4c") } // panels c, g
+func BenchmarkFig4Gazelle(b *testing.B)     { benchExperiment(b, "fig4d") } // panels d, h
+func BenchmarkFig4Scalability(b *testing.B) { benchExperiment(b, "fig4i") } // panels i, j
+func BenchmarkFig4Zipf(b *testing.B)        { benchExperiment(b, "fig4k") } // panels k, l
+
+// --- Figure 5: exact probabilistic algorithms (panels a–l) ---------------
+
+func BenchmarkFig5AccidentMinSup(b *testing.B) { benchExperiment(b, "fig5a") } // a, b
+func BenchmarkFig5KosarakMinSup(b *testing.B)  { benchExperiment(b, "fig5c") } // c, d
+func BenchmarkFig5AccidentPFT(b *testing.B)    { benchExperiment(b, "fig5e") } // e, f
+func BenchmarkFig5KosarakPFT(b *testing.B)     { benchExperiment(b, "fig5g") } // g, h
+func BenchmarkFig5Scalability(b *testing.B)    { benchExperiment(b, "fig5i") } // i, j
+func BenchmarkFig5Zipf(b *testing.B)           { benchExperiment(b, "fig5k") } // k, l
+
+// --- Figure 6: approximate probabilistic algorithms (panels a–l) ---------
+
+func BenchmarkFig6AccidentMinSup(b *testing.B) { benchExperiment(b, "fig6a") } // a, b
+func BenchmarkFig6KosarakMinSup(b *testing.B)  { benchExperiment(b, "fig6c") } // c, d
+func BenchmarkFig6AccidentPFT(b *testing.B)    { benchExperiment(b, "fig6e") } // e, f
+func BenchmarkFig6KosarakPFT(b *testing.B)     { benchExperiment(b, "fig6g") } // g, h
+func BenchmarkFig6Scalability(b *testing.B)    { benchExperiment(b, "fig6i") } // i, j
+func BenchmarkFig6Zipf(b *testing.B)           { benchExperiment(b, "fig6k") } // k, l
+
+// --- Tables 8–10 ----------------------------------------------------------
+
+func BenchmarkTable8Accuracy(b *testing.B) { benchExperiment(b, "table8") }
+func BenchmarkTable9Accuracy(b *testing.B) { benchExperiment(b, "table9") }
+func BenchmarkTable10Summary(b *testing.B) { benchExperiment(b, "table10") }
+
+// --- Per-algorithm micro-benchmarks ---------------------------------------
+//
+// Each miner runs one complete mining pass per iteration on a fixed
+// workload. The dense workload is Accident-like at its family's default
+// threshold; the sparse one is Kosarak-like. These benches isolate a single
+// algorithm so allocation counts (-benchmem) are attributable.
+
+type benchWorkload struct {
+	name string
+	db   *Database
+	th   Thresholds
+}
+
+func benchWorkloads(b *testing.B) []benchWorkload {
+	dense, err := GenerateProfile("accident", 0.001, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sparse, err := GenerateProfile("kosarak", 0.001, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []benchWorkload{
+		{"dense", dense, Thresholds{MinESup: 0.2, MinSup: 0.2, PFT: 0.9}},
+		{"sparse", sparse, Thresholds{MinESup: 0.005, MinSup: 0.005, PFT: 0.9}},
+	}
+}
+
+func BenchmarkMiner(b *testing.B) {
+	workloads := benchWorkloads(b)
+	for _, name := range Algorithms() {
+		for _, w := range workloads {
+			b.Run(fmt.Sprintf("%s/%s", name, w.name), func(b *testing.B) {
+				m, err := NewMiner(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var results int
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rs, err := m.Mine(w.db, w.th)
+					if err != nil {
+						b.Fatal(err)
+					}
+					results = rs.Len()
+				}
+				b.ReportMetric(float64(results), "itemsets")
+			})
+		}
+	}
+}

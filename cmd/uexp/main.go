@@ -1,0 +1,83 @@
+// Command uexp regenerates the paper's experiments: every panel of Figures
+// 4–6 and Tables 8–10 has an experiment id (aliases resolve paired memory
+// panels to the time panel they share runs with).
+//
+// Examples:
+//
+//	uexp -list
+//	uexp -run fig4a
+//	uexp -run table8 -scale 2
+//	uexp -all -scale 0.5 > experiments.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"umine/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and titles")
+		run     = flag.String("run", "", "run one experiment by id")
+		all     = flag.Bool("all", false, "run every experiment in paper order")
+		scale   = flag.Float64("scale", 1, "multiply each experiment's base dataset scale (laptop default 1)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		budget  = flag.Duration("budget", 20*time.Second, "per-point soft time budget (paper's 1-hour cutoff analogue)")
+		verbose = flag.Bool("v", false, "verbose per-point notes")
+		format  = flag.String("format", "text", "report format: text, csv")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.PointBudget = *budget
+	cfg.Verbose = *verbose
+
+	switch {
+	case *list:
+		for _, e := range exp.All() {
+			id := e.ID
+			for _, a := range e.Aliases {
+				id += "," + a
+			}
+			fmt.Printf("%-14s %s\n", id, e.Title)
+		}
+	case *run != "":
+		e, ok := exp.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "uexp: unknown experiment %q; -list shows ids\n", *run)
+			os.Exit(1)
+		}
+		start := time.Now()
+		emit(e.Run(cfg), *format)
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	case *all:
+		for _, e := range exp.All() {
+			start := time.Now()
+			emit(e.Run(cfg), *format)
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// emit renders one report in the selected format.
+func emit(r *exp.Report, format string) {
+	switch format {
+	case "csv":
+		fmt.Printf("# %s — %s\n", r.ID, r.Title)
+		if err := r.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "uexp:", err)
+			os.Exit(1)
+		}
+	default:
+		r.Fprint(os.Stdout)
+	}
+}

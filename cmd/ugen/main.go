@@ -1,0 +1,117 @@
+// Command ugen generates uncertain transaction databases: the Table 6
+// benchmark look-alikes, the T25I15 Quest synthetic, or an uncertain version
+// of an existing deterministic FIMI file.
+//
+// Examples:
+//
+//	ugen -profile connect -scale 0.02 -out connect.udb
+//	ugen -quest 320000 -assign gauss -mean 0.9 -var 0.1 -out t25.udb
+//	ugen -fimi retail.dat -assign zipf -skew 1.2 -out retail.udb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"umine/internal/dataset"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "benchmark profile: connect, accident, kosarak, gazelle")
+		quest   = flag.Int("quest", 0, "generate T25I15 with this many transactions")
+		fimi    = flag.String("fimi", "", "read a deterministic FIMI file and assign probabilities")
+		scale   = flag.Float64("scale", 0.01, "profile scale relative to the published size")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		assign  = flag.String("assign", "gauss", "probability assigner: gauss, zipf, uniform, const")
+		mean    = flag.Float64("mean", 0.9, "gauss: mean")
+		vr      = flag.Float64("var", 0.1, "gauss: variance")
+		skew    = flag.Float64("skew", 1.0, "zipf: skew")
+		lo      = flag.Float64("lo", 0.1, "uniform: lower bound")
+		hi      = flag.Float64("hi", 1.0, "uniform: upper bound")
+		p       = flag.Float64("p", 1.0, "const: probability")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	det, err := buildDeterministic(*profile, *quest, *fimi, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var a dataset.Assigner
+	switch *assign {
+	case "gauss":
+		a = dataset.GaussianAssigner{Mean: *mean, Variance: *vr}
+	case "zipf":
+		a = dataset.ZipfAssigner{Skew: *skew}
+	case "uniform":
+		a = dataset.UniformAssigner{Lo: *lo, Hi: *hi}
+	case "const":
+		a = dataset.ConstAssigner{P: *p}
+	default:
+		fatal(fmt.Errorf("unknown assigner %q (gauss, zipf, uniform, const)", *assign))
+	}
+	db := dataset.Apply(det, a, rand.New(rand.NewSource(*seed+1)))
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := dataset.WriteUncertain(w, db); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	st := db.Stats()
+	fmt.Fprintf(os.Stderr, "wrote %s: N=%d, items=%d, avg len %.2f, mean prob %.3f\n",
+		st.Name, st.NumTrans, st.NumItems, st.AvgLen, st.MeanProb)
+}
+
+func buildDeterministic(profile string, quest int, fimi string, scale float64, seed int64) (*dataset.Deterministic, error) {
+	set := 0
+	for _, on := range []bool{profile != "", quest > 0, fimi != ""} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("ugen: exactly one of -profile, -quest, -fimi is required")
+	}
+	switch {
+	case profile != "":
+		p, ok := dataset.Profiles[profile]
+		if !ok {
+			names := make([]string, 0, len(dataset.Profiles))
+			for n := range dataset.Profiles {
+				names = append(names, n)
+			}
+			return nil, fmt.Errorf("ugen: unknown profile %q (have %s)", profile, strings.Join(names, ", "))
+		}
+		return p.Generate(scale, seed), nil
+	case quest > 0:
+		return dataset.T25I15(quest).Generate(seed), nil
+	default:
+		f, err := os.Open(fimi)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadFIMI(f, fimi)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ugen:", err)
+	os.Exit(1)
+}

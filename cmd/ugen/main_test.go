@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildDeterministicProfile(t *testing.T) {
+	d, err := buildDeterministic("gazelle", 0, "", 0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Transactions) == 0 {
+		t.Fatal("empty profile output")
+	}
+}
+
+func TestBuildDeterministicQuest(t *testing.T) {
+	d, err := buildDeterministic("", 100, "", 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Transactions) != 100 {
+		t.Fatalf("quest generated %d transactions, want 100", len(d.Transactions))
+	}
+}
+
+func TestBuildDeterministicFIMI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.dat")
+	if err := os.WriteFile(path, []byte("1 2 3\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := buildDeterministic("", 0, path, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Transactions) != 2 {
+		t.Fatalf("FIMI read %d transactions, want 2", len(d.Transactions))
+	}
+}
+
+func TestBuildDeterministicSourceValidation(t *testing.T) {
+	if _, err := buildDeterministic("", 0, "", 0, 0); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := buildDeterministic("gazelle", 10, "", 0.1, 0); err == nil {
+		t.Error("two sources accepted")
+	}
+	if _, err := buildDeterministic("unknown", 0, "", 0.1, 0); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDatabaseFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "udb.txt")
+	if err := os.WriteFile(path, []byte("0:0.8 2:0.9\n0:0.5 1:0.7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := loadDatabase(path, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 2 {
+		t.Fatalf("loaded %d transactions, want 2", db.N())
+	}
+}
+
+func TestLoadDatabaseFromProfile(t *testing.T) {
+	db, err := loadDatabase("", "gazelle", 0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() == 0 {
+		t.Fatal("empty generated database")
+	}
+}
+
+func TestLoadDatabaseValidation(t *testing.T) {
+	if _, err := loadDatabase("", "", 0, 0); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadDatabase("x", "y", 0, 0); err == nil {
+		t.Error("two sources accepted")
+	}
+	if _, err := loadDatabase("", "nonexistent-profile", 0.01, 0); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := loadDatabase("/nonexistent/file", "", 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

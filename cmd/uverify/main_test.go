@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"umine/internal/core"
+)
+
+func TestLoadRandomShape(t *testing.T) {
+	db, err := load("", "25x6", 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 25 || db.NumItems > 6 {
+		t.Fatalf("random db shape N=%d items=%d", db.N(), db.NumItems)
+	}
+}
+
+func TestLoadRandomRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "x", "0x5", "5x0", "-3x4"} {
+		if _, err := load("", bad, 0.5, 1); err == nil {
+			t.Errorf("shape %q accepted", bad)
+		}
+	}
+}
+
+func TestCompareExact(t *testing.T) {
+	want := []core.Result{
+		{Itemset: core.NewItemset(0), ESup: 1.5, FreqProb: 0.8},
+		{Itemset: core.NewItemset(1), ESup: 1.2, FreqProb: 0.75},
+	}
+	rs := &core.ResultSet{Results: append([]core.Result(nil), want...)}
+	if msg := compareExact(rs, want, true); msg != "" {
+		t.Fatalf("identical sets rejected: %s", msg)
+	}
+	short := &core.ResultSet{Results: want[:1]}
+	if compareExact(short, want, false) == "" {
+		t.Error("missing itemset accepted")
+	}
+	wrongESup := &core.ResultSet{Results: []core.Result{
+		{Itemset: core.NewItemset(0), ESup: 1.5 + 1e-3, FreqProb: 0.8},
+		want[1],
+	}}
+	if compareExact(wrongESup, want, false) == "" {
+		t.Error("wrong esup accepted")
+	}
+	wrongProb := &core.ResultSet{Results: []core.Result{
+		{Itemset: core.NewItemset(0), ESup: 1.5, FreqProb: 0.8 + 1e-3},
+		want[1],
+	}}
+	if compareExact(wrongProb, want, true) == "" {
+		t.Error("wrong probability accepted")
+	}
+	if msg := compareExact(wrongProb, want, false); msg != "" {
+		t.Errorf("probability checked with checkProb=false: %s", msg)
+	}
+}

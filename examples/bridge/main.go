@@ -1,0 +1,75 @@
+// Bridge between the two frequentness definitions — the paper's central
+// analytical claim (§1, §3.3, §4.5): because the support of an itemset is
+// Poisson-Binomial, tracking the variance next to the expected support lets
+// expected-support machinery answer probabilistic-frequentness queries on
+// large databases, at expected-support cost.
+//
+// The example demonstrates the three ingredients on a growing database:
+//
+//  1. the frequent probabilities of probabilistic frequent itemsets
+//     saturate at 1 as N grows (the paper's §4.5 "to our surprise" finding);
+//  2. the Normal-approximation miner converges to the exact miner
+//     (precision/recall → 1) as N grows, per the Lyapunov CLT;
+//  3. the approximate miner's cost stays at expected-support level while
+//     the exact miner's grows superlinearly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"umine"
+)
+
+func main() {
+	th := umine.Thresholds{MinSup: 0.02, PFT: 0.9}
+	fmt.Println("Kosarak-like workload, min_sup 0.02, pft 0.9")
+	fmt.Println()
+	fmt.Printf("%8s  %6s  %6s  %9s  %9s  %10s  %12s\n",
+		"N", "P", "R", "exact s", "approx s", "speedup", "Pr≈1 share")
+
+	for _, scale := range []float64{0.0001, 0.0003, 0.001, 0.003} {
+		db, err := umine.GenerateProfile("kosarak", scale, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := umine.Measure("DCB", db, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if exact.Err != nil {
+			log.Fatal(exact.Err)
+		}
+		approx, err := umine.Measure("NDUH-Mine", db, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if approx.Err != nil {
+			log.Fatal(approx.Err)
+		}
+		acc := umine.CompareSets(approx.Results, exact.Results)
+
+		// §4.5 saturation: fraction of exact probabilistic frequent itemsets
+		// whose frequent probability is ≥ 0.999.
+		sat := 0
+		for _, r := range exact.Results.Results {
+			if r.FreqProb >= 0.999 {
+				sat++
+			}
+		}
+		share := 1.0
+		if n := exact.Results.Len(); n > 0 {
+			share = float64(sat) / float64(n)
+		}
+
+		fmt.Printf("%8d  %6.3f  %6.3f  %9.4f  %9.4f  %9.1fx  %11.0f%%\n",
+			db.N(), acc.Precision, acc.Recall,
+			exact.Elapsed.Seconds(), approx.Elapsed.Seconds(),
+			exact.Elapsed.Seconds()/approx.Elapsed.Seconds(), 100*share)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: as N grows, precision/recall approach 1 (CLT), most frequent")
+	fmt.Println("probabilities sit at 1 (§4.5), and the approximate miner answers the")
+	fmt.Println("probabilistic query at expected-support cost — the definitions unify.")
+}

@@ -1,0 +1,102 @@
+// Streaming monitoring: the online counterpart of the batch miners. A
+// sensor deployment pushes uncertain readings continuously; a sliding
+// window maintains the expected supports of the patterns of interest
+// incrementally (no rescans) and periodically re-mines the window to
+// discover patterns that emerged after deployment. A mid-stream regime
+// change shows both mechanisms: the old pattern's windowed frequent
+// probability collapses, and the refresh picks up the new one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"umine"
+)
+
+const (
+	windowSize   = 500
+	refreshEvery = 250
+	numSensors   = 40
+)
+
+func main() {
+	miner, err := umine.NewMiner("UApriori")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := umine.NewWindow(umine.WindowConfig{
+		Size:         windowSize,
+		Thresholds:   umine.Thresholds{MinESup: 0.1, MinSup: 0.1, PFT: 0.9},
+		Semantics:    umine.ExpectedSupport,
+		RefreshEvery: refreshEvery,
+		Miner:        miner,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oldPattern := umine.NewItemset(3, 7)
+	newPattern := umine.NewItemset(20, 21, 22)
+	w.Watch(oldPattern)
+
+	rng := rand.New(rand.NewSource(99))
+	fmt.Println("streaming 3000 readings; regime change at reading 1500")
+	fmt.Printf("%8s  %22s  %22s  %s\n", "reading", "esup{3,7}/window", "esup{20,21,22}/window", "watched")
+	for i := 0; i < 3000; i++ {
+		active := oldPattern
+		if i >= 1500 {
+			active = newPattern
+		}
+		if _, err := w.Push(reading(rng, active)); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%500 == 0 {
+			oldE, oldWatched := w.ESup(oldPattern)
+			newE, newWatched := w.ESup(newPattern)
+			tag := "old pattern frequent"
+			if newWatched {
+				tag = "refresh discovered the new pattern (old dropped)"
+			}
+			fmt.Printf("%8d  %22s  %22s  %s\n", i+1,
+				esupOrDash(oldE, oldWatched), esupOrDash(newE, newWatched), tag)
+		}
+	}
+
+	fmt.Println("\nfrequent itemsets in the final window (min_esup 0.1):")
+	for _, r := range w.Frequent() {
+		if len(r.Itemset) < 2 {
+			continue
+		}
+		fmt.Printf("  %v  esup %.1f of %d\n", r.Itemset, r.ESup, w.N())
+	}
+}
+
+// reading simulates one uncertain transaction: background noise plus the
+// active pattern firing 30% of the time.
+func reading(rng *rand.Rand, active umine.Itemset) []umine.Unit {
+	seen := map[umine.Item]float64{}
+	for s := 0; s < numSensors; s++ {
+		if rng.Float64() < 0.05 {
+			seen[umine.Item(s)] = 0.2 + 0.7*rng.Float64()
+		}
+	}
+	if rng.Float64() < 0.3 {
+		for _, it := range active {
+			seen[it] = 0.85 + 0.1*rng.Float64()
+		}
+	}
+	units := make([]umine.Unit, 0, len(seen))
+	for it, p := range seen {
+		units = append(units, umine.Unit{Item: it, Prob: p})
+	}
+	return units
+}
+
+func esupOrDash(e float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", e)
+}

@@ -1,0 +1,93 @@
+package umine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateRulesFacade(t *testing.T) {
+	db := table1(t)
+	rs, err := Mine("UApriori", db, Thresholds{MinESup: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesOut, err := GenerateRules(rs, RuleConfig{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rulesOut) == 0 {
+		t.Fatal("no rules from the paper database at conf 0.5")
+	}
+	// A ⇒ C should be a strong rule: esup(AC)/esup(A) with
+	// esup(AC) = 0.72 + 0.72 + 0.40 = 1.84 and esup(A) = 2.1.
+	for _, r := range rulesOut {
+		if r.Antecedent.Equal(NewItemset(0)) && r.Consequent.Equal(NewItemset(2)) {
+			if math.Abs(r.Confidence-1.84/2.1) > 1e-9 {
+				t.Errorf("conf(A ⇒ C) = %v, want %v", r.Confidence, 1.84/2.1)
+			}
+			return
+		}
+	}
+	t.Error("rule A ⇒ C not generated")
+}
+
+func TestClosedMaximalTopKFacade(t *testing.T) {
+	db := table1(t)
+	rs, err := Mine("UApriori", db, Thresholds{MinESup: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := FilterClosed(rs)
+	maximal := FilterMaximal(rs)
+	if maximal.Len() > closed.Len() || closed.Len() > rs.Len() {
+		t.Fatalf("size ordering violated: %d ≥ %d ≥ %d expected",
+			rs.Len(), closed.Len(), maximal.Len())
+	}
+	top := TopK(rs, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d", len(top))
+	}
+	// {C} has the highest expected support (2.6).
+	if !top[0].Itemset.Equal(NewItemset(2)) {
+		t.Errorf("top itemset = %v, want {C}", top[0].Itemset)
+	}
+}
+
+func TestSamplingMinerFacade(t *testing.T) {
+	db := table1(t)
+	m := NewSamplingMiner(0.05, 0.05, 1)
+	rs, err := m.Mine(db, Thresholds{MinSup: 0.5, PFT: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact answer: {A} and {C}.
+	if rs.Len() != 2 {
+		t.Errorf("sampling miner found %d itemsets, want 2", rs.Len())
+	}
+	if m.Name() != "MCSampling" {
+		t.Errorf("miner name %q", m.Name())
+	}
+	if m.Semantics() != Probabilistic {
+		t.Errorf("semantics %v", m.Semantics())
+	}
+}
+
+func TestSupportIntervalFacade(t *testing.T) {
+	db := table1(t)
+	lo, hi := SupportInterval(db, NewItemset(0), 0.05)
+	// sup(A) over probabilities (0.8, 0.8, 0.5): mean 2.1, range [0, 3].
+	if lo < 0 || hi > 3 || lo > hi {
+		t.Fatalf("interval [%d, %d] out of range", lo, hi)
+	}
+	if lo > 2 || hi < 2 {
+		t.Errorf("95%% interval [%d, %d] should cover the mean 2.1", lo, hi)
+	}
+	// A certain itemset has a degenerate interval.
+	certain := MustNewDatabase("c", [][]Unit{
+		{{Item: 0, Prob: 1}}, {{Item: 0, Prob: 1}},
+	})
+	lo, hi = SupportInterval(certain, NewItemset(0), 0.05)
+	if lo != 2 || hi != 2 {
+		t.Errorf("certain support interval [%d, %d], want [2, 2]", lo, hi)
+	}
+}

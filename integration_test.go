@@ -1,0 +1,169 @@
+package umine
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFullPipelineIntegration exercises the library end to end the way the
+// README advertises: generate a benchmark profile, persist it in the text
+// format, read it back, mine it under both semantics, derive rules, condense
+// the result, export to JSON and reread — with cross-checks at every stage.
+func TestFullPipelineIntegration(t *testing.T) {
+	dir := t.TempDir()
+
+	// Generate and persist.
+	db, err := GenerateProfile("gazelle", 0.01, 2012)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "gazelle.udb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteUncertain(f, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read back; the round trip must preserve mining behaviour.
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	loaded, err := ReadUncertain(f2, "gazelle.udb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != db.N() {
+		t.Fatalf("round trip changed N: %d → %d", db.N(), loaded.N())
+	}
+
+	// Expected-support mining on original and reloaded data must agree.
+	th := Thresholds{MinESup: 0.01}
+	rs1, err := Mine("UH-Mine", db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := Mine("UH-Mine", loaded, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs1.Len() != rs2.Len() {
+		t.Fatalf("mining diverged after IO round trip: %d vs %d itemsets", rs1.Len(), rs2.Len())
+	}
+	for i := range rs1.Results {
+		if !rs1.Results[i].Itemset.Equal(rs2.Results[i].Itemset) ||
+			math.Abs(rs1.Results[i].ESup-rs2.Results[i].ESup) > 1e-6 {
+			t.Fatalf("result %d diverged after round trip", i)
+		}
+	}
+
+	// Probabilistic mining: exact vs the bridge approximation.
+	pth := Thresholds{MinSup: 0.02, PFT: 0.9}
+	exact, err := Mine("DCB", loaded, pth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Mine("NDUH-Mine", loaded, pth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := CompareSets(approx, exact)
+	if acc.Precision < 0.95 || acc.Recall < 0.95 {
+		t.Fatalf("bridge accuracy too low in the pipeline: P=%.3f R=%.3f", acc.Precision, acc.Recall)
+	}
+
+	// Downstream: rules from the expected-support result.
+	rules, err := GenerateRules(rs1, RuleConfig{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Confidence < 0.5-1e-9 {
+			t.Fatalf("rule below threshold: %v", r)
+		}
+	}
+
+	// Condensed representations nest.
+	closed := FilterClosed(rs1)
+	maximal := FilterMaximal(rs1)
+	if maximal.Len() > closed.Len() || closed.Len() > rs1.Len() {
+		t.Fatalf("condensation sizes wrong: %d / %d / %d", rs1.Len(), closed.Len(), maximal.Len())
+	}
+
+	// Top-k agrees with the full mining result on the head.
+	top, err := MineTopK(loaded, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := TopK(rs1, 5)
+	for i := range top {
+		// MineTopK is threshold-free, so it can surface itemsets the
+		// thresholded run filtered out; but where both answer, esups match.
+		if top[i].Itemset.Equal(full[i].Itemset) &&
+			math.Abs(top[i].ESup-full[i].ESup) > 1e-6 {
+			t.Fatalf("top-k esup mismatch at %d", i)
+		}
+	}
+
+	// Export and reread.
+	var buf bytes.Buffer
+	if err := WriteResultsJSON(&buf, exact); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != exact.Len() || back.Algorithm != exact.Algorithm {
+		t.Fatalf("JSON round trip lost results: %d vs %d", back.Len(), exact.Len())
+	}
+}
+
+// TestAllMinersOnDegenerateDatabases pins the contract on edge inputs:
+// empty databases and all-empty transactions yield empty result sets, never
+// panics or spurious itemsets.
+func TestAllMinersOnDegenerateDatabases(t *testing.T) {
+	empty := MustNewDatabase("empty", nil)
+	blank := MustNewDatabase("blank", [][]Unit{{}, {}, {}})
+	single := MustNewDatabase("single", [][]Unit{{{Item: 0, Prob: 0.4}}})
+
+	for _, name := range Algorithms() {
+		m, err := NewMiner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := Thresholds{MinESup: 0.5}
+		if m.Semantics() == Probabilistic {
+			th = Thresholds{MinSup: 0.5, PFT: 0.7}
+		}
+		for _, db := range []*Database{empty, blank} {
+			rs, err := m.Mine(db, th)
+			if err != nil {
+				t.Errorf("%s on %s: %v", name, db.Name, err)
+				continue
+			}
+			if rs.Len() != 0 {
+				t.Errorf("%s on %s: %d itemsets from nothing", name, db.Name, rs.Len())
+			}
+		}
+		// One transaction, one item at 0.4: frequent at min 0.5 only if the
+		// miner mishandles thresholds (esup 0.4 < 0.5, Pr{sup≥1} = 0.4 < 0.7).
+		rs, err := m.Mine(single, th)
+		if err != nil {
+			t.Errorf("%s on single: %v", name, err)
+			continue
+		}
+		if rs.Len() != 0 {
+			t.Errorf("%s on single: unexpected results %v", name, rs.Results)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package apriori implements the shared breadth-first generate-and-test
+// framework used by five of the paper's eight algorithms: UApriori, the
+// exact probabilistic miners (DP and DC, with and without Chernoff pruning)
+// and the Apriori-family approximate miners (PDUApriori, NDUApriori).
+//
+// The paper's §4.1 insists on "a common implementation framework which
+// provides common data structures and subroutines" so that comparisons
+// measure algorithms, not implementation accidents. This package is that
+// layer: candidate generation with Apriori subset pruning, a prefix-trie
+// counting pass that accumulates expected support and variance (and,
+// optionally, the per-transaction containment probability vector needed by
+// exact miners) in one database scan per level, and the level-wise driver.
+// Each concrete miner differs only in its Decide function — the per-itemset
+// frequentness test whose cost the paper analyses in Tables 4 and 5.
+package apriori
+
+import (
+	"math"
+	"sort"
+
+	"umine/internal/core"
+)
+
+// Candidate is one itemset being evaluated at the current level, with the
+// aggregates accumulated by the counting pass.
+type Candidate struct {
+	Items core.Itemset
+	// ESup is Σ_t Pr(X ⊆ t), Definition 1.
+	ESup float64
+	// Var is Σ_t p_t(1 − p_t), the Poisson-Binomial support variance.
+	Var float64
+	// Probs holds the nonzero containment probabilities p_t, populated only
+	// when Config.CollectProbs is set (exact miners need the full vector).
+	Probs []float64
+}
+
+// Config parameterizes one run of the framework.
+type Config struct {
+	// Decide is the per-itemset frequentness test: given a counted
+	// candidate it returns the result to report and whether the candidate
+	// is frequent (and may therefore seed the next level). Required.
+	Decide func(c *Candidate) (core.Result, bool)
+	// CollectProbs requests the per-transaction probability vectors.
+	CollectProbs bool
+	// ESupPrune, when positive, drops generated candidates whose expected
+	// support upper bound — the minimum ESup over their k−1 subsets — is
+	// below the given absolute threshold. This is the decremental-style
+	// pruning of UApriori [Chui et al. 2007/2008]: valid whenever the
+	// Decide test can never accept an itemset with esup below the
+	// threshold. Zero disables it.
+	ESupPrune float64
+	// Workers shards the counting pass over this many goroutines (0 or 1 =
+	// serial). Per-candidate aggregates are accumulated per shard and
+	// merged in shard order, so probability vectors stay in transaction
+	// order; expected supports may differ from the serial run only by
+	// floating-point summation order (≤ a few ULPs). This is an extension
+	// beyond the paper's single-threaded platform — benchmarks comparing
+	// algorithm families keep it off.
+	Workers int
+}
+
+// Run executes the level-wise mining loop and returns results in canonical
+// order together with the work counters.
+func Run(db *core.Database, cfg Config) ([]core.Result, core.MiningStats) {
+	var stats core.MiningStats
+	var results []core.Result
+
+	// Level 1: every item is a candidate.
+	cands := make([]Candidate, db.NumItems)
+	for i := range cands {
+		cands[i].Items = core.Itemset{core.Item(i)}
+	}
+	stats.CandidatesGenerated += len(cands)
+	count(db, cands, 1, cfg, &stats)
+
+	frequent := decide(cands, cfg, &results)
+	esups := rememberESups(nil, cands)
+
+	for len(frequent) >= 2 {
+		next := generate(frequent, esups, cfg.ESupPrune, &stats)
+		if len(next) == 0 {
+			break
+		}
+		k := len(next[0].Items)
+		count(db, next, k, cfg, &stats)
+		frequent = decide(next, cfg, &results)
+		esups = rememberESups(esups, next)
+	}
+
+	core.SortResults(results)
+	return results, stats
+}
+
+// decide applies cfg.Decide to every counted candidate, appending accepted
+// results and returning the frequent itemsets that seed the next level.
+func decide(cands []Candidate, cfg Config, results *[]core.Result) []core.Itemset {
+	var frequent []core.Itemset
+	for i := range cands {
+		res, keep := cfg.Decide(&cands[i])
+		if keep {
+			*results = append(*results, res)
+			frequent = append(frequent, cands[i].Items)
+		}
+	}
+	return frequent
+}
+
+// rememberESups records candidate expected supports for subset-bound
+// pruning at the next level.
+func rememberESups(m map[string]float64, cands []Candidate) map[string]float64 {
+	if m == nil {
+		m = make(map[string]float64, len(cands))
+	}
+	for i := range cands {
+		m[cands[i].Items.Key()] = cands[i].ESup
+	}
+	return m
+}
+
+// generate joins frequent k-itemsets into k+1 candidates (classic
+// F_k ⋈ F_k prefix join) and applies Apriori subset pruning: every k-subset
+// of a candidate must be frequent. With esupPrune > 0, candidates whose
+// subset-minimum expected support falls below the threshold are dropped too
+// (esup is anti-monotone, so min over subsets upper-bounds the candidate).
+func generate(frequent []core.Itemset, esups map[string]float64, esupPrune float64, stats *core.MiningStats) []Candidate {
+	sort.Slice(frequent, func(i, j int) bool { return frequent[i].Compare(frequent[j]) < 0 })
+	freqSet := make(map[string]bool, len(frequent))
+	for _, f := range frequent {
+		freqSet[f.Key()] = true
+	}
+	var out []Candidate
+	k := len(frequent[0])
+	buf := make(core.Itemset, k+1)
+	for i := 0; i < len(frequent); i++ {
+		a := frequent[i]
+		for j := i + 1; j < len(frequent); j++ {
+			b := frequent[j]
+			if !samePrefix(a, b, k-1) {
+				break // sorted order: no later b shares the prefix either
+			}
+			copy(buf, a)
+			buf[k] = b[k-1]
+			stats.CandidatesGenerated++
+			if !allSubsetsFrequent(buf, freqSet) {
+				stats.CandidatesPruned++
+				continue
+			}
+			if esupPrune > 0 {
+				if ub := minSubsetESup(buf, esups); ub < esupPrune-core.Eps {
+					stats.CandidatesPruned++
+					continue
+				}
+			}
+			out = append(out, Candidate{Items: buf.Clone()})
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b core.Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsFrequent checks every k-subset of the k+1 candidate. The two
+// subsets obtained by dropping one of the last two items are the join
+// parents and need no check.
+func allSubsetsFrequent(cand core.Itemset, freqSet map[string]bool) bool {
+	k := len(cand) - 1
+	sub := make(core.Itemset, k)
+	for drop := 0; drop < k-1; drop++ {
+		idx := 0
+		for i, it := range cand {
+			if i == drop {
+				continue
+			}
+			sub[idx] = it
+			idx++
+		}
+		if !freqSet[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// minSubsetESup returns the minimum recorded expected support over the
+// candidate's immediate subsets (+Inf when none is recorded).
+func minSubsetESup(cand core.Itemset, esups map[string]float64) float64 {
+	minE := math.Inf(1)
+	k := len(cand) - 1
+	sub := make(core.Itemset, k)
+	for drop := 0; drop <= k; drop++ {
+		idx := 0
+		for i, it := range cand {
+			if i == drop {
+				continue
+			}
+			sub[idx] = it
+			idx++
+		}
+		if e, ok := esups[sub.Key()]; ok && e < minE {
+			minE = e
+		}
+	}
+	return minE
+}

@@ -1,0 +1,205 @@
+package apriori
+
+import (
+	"sync"
+	"unsafe"
+
+	"umine/internal/core"
+)
+
+// The counting pass. Candidates of one level are organized into a prefix
+// trie; each transaction is walked against the trie once, accumulating the
+// containment-probability product along every matching path. This is the
+// uncertain analogue of the classical hash-tree subset counting and is
+// shared verbatim by every Apriori-framework miner, as the paper's uniform
+// platform demands.
+
+type trieNode struct {
+	item     core.Item
+	children []*trieNode
+	// leaf indexes into the candidate slice at depth k; −1 otherwise.
+	leaf int
+}
+
+// buildTrie constructs the candidate prefix trie. Candidates must all have
+// the same length and be in canonical itemset order (generate produces
+// them sorted; level 1 is trivially sorted).
+func buildTrie(cands []Candidate) *trieNode {
+	root := &trieNode{leaf: -1}
+	for ci := range cands {
+		n := root
+		for _, it := range cands[ci].Items {
+			var child *trieNode
+			// Candidates arrive sorted, so the child is the last one if it
+			// exists.
+			if len(n.children) > 0 && n.children[len(n.children)-1].item == it {
+				child = n.children[len(n.children)-1]
+			} else {
+				child = &trieNode{item: it, leaf: -1}
+				n.children = append(n.children, child)
+			}
+			n = child
+		}
+		n.leaf = ci
+	}
+	return root
+}
+
+// countLevel performs one database scan, accumulating ESup, Var and
+// (optionally) the probability vector of every candidate.
+func countLevel(db *core.Database, cands []Candidate, k int, collectProbs bool, stats *core.MiningStats) {
+	if len(cands) == 0 {
+		return
+	}
+	trie := buildTrie(cands)
+	stats.DBScans++
+	visit := func(leaf int, p float64) {
+		c := &cands[leaf]
+		c.ESup += p
+		c.Var += p * (1 - p)
+		if collectProbs {
+			c.Probs = append(c.Probs, p)
+		}
+	}
+	for _, tx := range db.Transactions {
+		if len(tx) < k {
+			continue
+		}
+		walkTrie(trie, tx, 0, 1, visit)
+	}
+	stats.TrackPeak(trieBytes(trie) + candidateBytes(cands, collectProbs))
+}
+
+// trieBytes estimates the trie's heap footprint for the memory reports.
+func trieBytes(root *trieNode) int64 {
+	var size int64
+	var visit func(n *trieNode)
+	visit = func(n *trieNode) {
+		size += int64(unsafe.Sizeof(*n)) + int64(len(n.children))*int64(unsafe.Sizeof((*trieNode)(nil)))
+		for _, c := range n.children {
+			visit(c)
+		}
+	}
+	visit(root)
+	return size
+}
+
+func candidateBytes(cands []Candidate, collectProbs bool) int64 {
+	var size int64
+	for i := range cands {
+		size += int64(unsafe.Sizeof(cands[i])) + int64(len(cands[i].Items))*4
+		if collectProbs {
+			size += int64(cap(cands[i].Probs)) * 8
+		}
+	}
+	return size
+}
+
+// count dispatches one counting pass to the serial or sharded
+// implementation according to cfg.Workers.
+func count(db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) {
+	if cfg.Workers <= 1 || len(db.Transactions) < 2*cfg.Workers {
+		countLevel(db, cands, k, cfg.CollectProbs, stats)
+		return
+	}
+	countLevelParallel(db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
+}
+
+// shardAccum holds one worker's per-candidate aggregates.
+type shardAccum struct {
+	esup, varsup []float64
+	probs        [][]float64
+}
+
+// countLevelParallel shards the transaction list over workers goroutines.
+// Every worker walks its shard against the shared trie (read-only during
+// the walk) into its own accumulators; shards are merged in shard order
+// afterwards, so probability vectors remain in global transaction order.
+func countLevelParallel(db *core.Database, cands []Candidate, k int, collectProbs bool, workers int, stats *core.MiningStats) {
+	if len(cands) == 0 {
+		return
+	}
+	trie := buildTrie(cands)
+	stats.DBScans++
+
+	accums := make([]shardAccum, workers)
+	var wg sync.WaitGroup
+	chunk := (len(db.Transactions) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(db.Transactions) {
+			hi = len(db.Transactions)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := &accums[w]
+			acc.esup = make([]float64, len(cands))
+			acc.varsup = make([]float64, len(cands))
+			if collectProbs {
+				acc.probs = make([][]float64, len(cands))
+			}
+			for _, tx := range db.Transactions[lo:hi] {
+				if len(tx) < k {
+					continue
+				}
+				walkTrie(trie, tx, 0, 1, func(leaf int, p float64) {
+					acc.esup[leaf] += p
+					acc.varsup[leaf] += p * (1 - p)
+					if collectProbs {
+						acc.probs[leaf] = append(acc.probs[leaf], p)
+					}
+				})
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for w := range accums {
+		acc := &accums[w]
+		if acc.esup == nil {
+			continue
+		}
+		for ci := range cands {
+			cands[ci].ESup += acc.esup[ci]
+			cands[ci].Var += acc.varsup[ci]
+			if collectProbs && len(acc.probs[ci]) > 0 {
+				cands[ci].Probs = append(cands[ci].Probs, acc.probs[ci]...)
+			}
+		}
+	}
+	stats.TrackPeak(trieBytes(trie) + candidateBytes(cands, collectProbs))
+}
+
+// walkTrie walks one transaction against the candidate trie, invoking visit
+// with the candidate index and the accumulated containment probability at
+// every matched leaf. Shared by the serial and parallel counting passes.
+func walkTrie(n *trieNode, tx core.Transaction, start int, p float64, visit func(leaf int, p float64)) {
+	if n.leaf >= 0 {
+		visit(n.leaf, p)
+		return // fixed depth: leaves have no children
+	}
+	i := start
+	for _, child := range n.children {
+		for i < len(tx) && tx[i].Item < child.item {
+			i++
+		}
+		if i == len(tx) {
+			return
+		}
+		if tx[i].Item == child.item {
+			walkTrie(child, tx, i+1, p*tx[i].Prob, visit)
+		}
+	}
+}
+
+// CountLevel exposes the shared trie counting pass to sibling algorithm
+// packages (the uniform-platform requirement: every miner counts the same
+// way). Candidates must share one length k and be in canonical order.
+func CountLevel(db *core.Database, cands []Candidate, k int, collectProbs bool, stats *core.MiningStats) {
+	countLevel(db, cands, k, collectProbs, stats)
+}

@@ -1,0 +1,108 @@
+package apriori
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"umine/internal/core"
+	"umine/internal/dataset"
+)
+
+// TestParallelCountMatchesSerial: sharded counting must reproduce the
+// serial aggregates up to summation order, and keep probability vectors in
+// global transaction order.
+func TestParallelCountMatchesSerial(t *testing.T) {
+	db := dataset.Accident.GenerateUncertain(0.001, 23)
+	for _, workers := range []int{2, 3, 8} {
+		serial := pairCandidates(db, 256)
+		var sStats core.MiningStats
+		countLevel(db, serial, 2, true, &sStats)
+
+		parallel := cloneCandidates(serial)
+		var pStats core.MiningStats
+		countLevelParallel(db, parallel, 2, true, workers, &pStats)
+
+		for i := range serial {
+			s, p := serial[i], parallel[i]
+			if math.Abs(s.ESup-p.ESup) > 1e-9 || math.Abs(s.Var-p.Var) > 1e-9 {
+				t.Fatalf("workers=%d %v: serial (%v, %v) vs parallel (%v, %v)",
+					workers, s.Items, s.ESup, s.Var, p.ESup, p.Var)
+			}
+			if len(s.Probs) != len(p.Probs) {
+				t.Fatalf("workers=%d %v: prob vector lengths %d vs %d",
+					workers, s.Items, len(s.Probs), len(p.Probs))
+			}
+			for j := range s.Probs {
+				if s.Probs[j] != p.Probs[j] {
+					t.Fatalf("workers=%d %v: prob %d: %v vs %v (order broken)",
+						workers, s.Items, j, s.Probs[j], p.Probs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunWithWorkersMatchesSerial: the full level-wise loop with sharded
+// counting returns the same result set as the serial loop.
+func TestRunWithWorkersMatchesSerial(t *testing.T) {
+	db := dataset.Gazelle.GenerateUncertain(0.01, 29)
+	decide := func(minCount float64) func(c *Candidate) (core.Result, bool) {
+		return func(c *Candidate) (core.Result, bool) {
+			if c.ESup >= minCount-core.Eps {
+				return core.Result{Itemset: c.Items, ESup: c.ESup, Var: c.Var}, true
+			}
+			return core.Result{}, false
+		}
+	}
+	minCount := 0.01 * float64(db.N())
+	serial, _ := Run(db, Config{Decide: decide(minCount)})
+	parallel, _ := Run(db, Config{Decide: decide(minCount), Workers: 4})
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d results, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !serial[i].Itemset.Equal(parallel[i].Itemset) ||
+			math.Abs(serial[i].ESup-parallel[i].ESup) > 1e-9 {
+			t.Fatalf("result %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestParallelTinyDatabaseFallsBack: fewer transactions than shards must
+// not lose or duplicate work.
+func TestParallelTinyDatabaseFallsBack(t *testing.T) {
+	raw := [][]core.Unit{
+		{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 0.5}},
+		{{Item: 0, Prob: 0.25}},
+	}
+	db := core.MustNewDatabase("tiny", raw)
+	cands := []Candidate{{Items: core.NewItemset(0)}, {Items: core.NewItemset(1)}}
+	var stats core.MiningStats
+	count(db, cands, 1, Config{Workers: 8}, &stats)
+	if math.Abs(cands[0].ESup-0.75) > 1e-12 || math.Abs(cands[1].ESup-0.5) > 1e-12 {
+		t.Fatalf("tiny parallel counts wrong: %+v", cands)
+	}
+}
+
+// BenchmarkParallelCounting measures the counting-pass speedup with
+// goroutine sharding (an extension beyond the paper's platform).
+func BenchmarkParallelCounting(b *testing.B) {
+	db := dataset.Accident.GenerateUncertain(0.01, 31)
+	cands := pairCandidates(db, 1024)
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				work := cloneCandidates(cands)
+				var stats core.MiningStats
+				if workers == 1 {
+					countLevel(db, work, 2, false, &stats)
+				} else {
+					countLevelParallel(db, work, 2, false, workers, &stats)
+				}
+			}
+		})
+	}
+}

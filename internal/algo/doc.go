@@ -1,0 +1,37 @@
+// Package algo registers every miner implementation behind a uniform
+// registry (registry.go) keyed by the paper's experiment labels. The
+// paper's qualitative comparison tables are reproduced below as reference
+// documentation.
+//
+// # Table 3 — expected-support-based algorithms
+//
+//	Method      Search strategy       Data structure
+//	UApriori    breadth-first         none (candidate tries per level)
+//	UFP-growth  depth-first           UFP-tree
+//	UH-Mine     depth-first           UH-Struct
+//
+// # Table 4 — determining the frequent probability of one itemset
+//
+//	Method    Complexity          Accuracy
+//	DP        O(N² · min_sup)     exact
+//	DC        O(N log N)          exact
+//	Chernoff  O(N)                false positives possible (upper bound)
+//
+// The Chernoff bound needs only the expected support, which the shared
+// counting pass produces as a by-product, so its marginal cost inside the
+// Apriori loop is O(1); the O(N) in the table is the cost of obtaining µ
+// from scratch.
+//
+// # Table 5 — approximate probabilistic algorithms
+//
+//	Method      Framework  Approximation
+//	PDUApriori  UApriori   Poisson (λ = esup; decision only, no per-itemset
+//	                       probability values)
+//	NDUApriori  UApriori   Normal (esup + variance, continuity-corrected)
+//	NDUH-Mine   UH-Mine    Normal (esup + variance, continuity-corrected)
+//
+// All three run the frequentness test in O(N) per itemset — the same order
+// as an expected-support test — which is the paper's bridge between the two
+// frequent-itemset definitions. The registry's MCSampling extension also
+// answers approximately, with a sampling budget independent of N.
+package algo

@@ -1,0 +1,116 @@
+// The registry assembles the paper's eight algorithm implementations (plus
+// the sampling extension) behind a single surface keyed by the paper's
+// experiment labels, so the harness, the CLI tools and the public API
+// construct miners uniformly.
+
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"umine/internal/algo/approx"
+	"umine/internal/algo/exact"
+	"umine/internal/algo/sampling"
+	"umine/internal/algo/uapriori"
+	"umine/internal/algo/ufpgrowth"
+	"umine/internal/algo/uhmine"
+	"umine/internal/core"
+)
+
+// Family groups the algorithms as in the paper's Section 3.
+type Family int
+
+const (
+	// ExpectedSupportFamily: UApriori, UFP-growth, UH-Mine (§3.1).
+	ExpectedSupportFamily Family = iota
+	// ExactFamily: DPNB, DPB, DCNB, DCB (§3.2).
+	ExactFamily
+	// ApproxFamily: PDUApriori, NDUApriori, NDUH-Mine (§3.3).
+	ApproxFamily
+)
+
+func (f Family) String() string {
+	switch f {
+	case ExpectedSupportFamily:
+		return "expected-support"
+	case ExactFamily:
+		return "exact-probabilistic"
+	case ApproxFamily:
+		return "approximate-probabilistic"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Entry describes one registered algorithm.
+type Entry struct {
+	Name   string
+	Family Family
+	// New constructs a fresh miner instance (miners are stateless but kept
+	// per-run for clarity).
+	New func() core.Miner
+}
+
+var registry = []Entry{
+	{"UApriori", ExpectedSupportFamily, func() core.Miner { return &uapriori.Miner{} }},
+	{"UFP-growth", ExpectedSupportFamily, func() core.Miner { return &ufpgrowth.Miner{} }},
+	{"UH-Mine", ExpectedSupportFamily, func() core.Miner { return &uhmine.Miner{} }},
+	{"DPNB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DP} }},
+	{"DPB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DP, Chernoff: true} }},
+	{"DCNB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DC} }},
+	{"DCB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DC, Chernoff: true} }},
+	{"PDUApriori", ApproxFamily, func() core.Miner { return &approx.PDUApriori{} }},
+	{"NDUApriori", ApproxFamily, func() core.Miner { return &approx.NDUApriori{} }},
+	{"NDUH-Mine", ApproxFamily, func() core.Miner { return &approx.NDUHMine{} }},
+	// MCSampling is an extension beyond the paper's eight algorithms: the
+	// possible-world sampling estimator of the paper's reference [11]
+	// (Calders et al., PAKDD 2010). See internal/algo/sampling.
+	{"MCSampling", ApproxFamily, func() core.Miner { return &sampling.Miner{} }},
+}
+
+// New returns a fresh miner by registry name.
+func New(name string) (core.Miner, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("algo: unknown algorithm %q (known: %v)", name, Names())
+}
+
+// MustNew is New panicking on unknown names; for tables of experiments.
+func MustNew(name string) core.Miner {
+	m, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names lists all registered algorithm names in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ByFamily returns the names of the algorithms in one family.
+func ByFamily(f Family) []string {
+	var out []string
+	for _, e := range registry {
+		if e.Family == f {
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+// Entries returns a copy of the registry sorted by name.
+func Entries() []Entry {
+	out := append([]Entry(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,301 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"umine/internal/core"
+	"umine/internal/core/coretest"
+	"umine/internal/dataset"
+	"umine/internal/prob"
+)
+
+func TestWorldBudget(t *testing.T) {
+	m := &Miner{}
+	// ⌈ln(2/0.05) / (2·0.02²)⌉ = ⌈4611.1…⌉ = 4612.
+	if got := m.WorldBudget(); got != 4612 {
+		t.Errorf("default world budget %d, want 4612", got)
+	}
+	m = &Miner{Worlds: 100}
+	if got := m.WorldBudget(); got != 100 {
+		t.Errorf("explicit world budget %d, want 100", got)
+	}
+	m = &Miner{Epsilon: 0.1, Delta: 0.1}
+	// ⌈ln(20)/0.02⌉ = ⌈149.8⌉ = 150.
+	if got := m.WorldBudget(); got != 150 {
+		t.Errorf("budget(0.1, 0.1) = %d, want 150", got)
+	}
+}
+
+func TestRejectsBadThresholds(t *testing.T) {
+	db := coretest.PaperDB()
+	m := &Miner{}
+	for _, th := range []core.Thresholds{
+		{MinSup: 0, PFT: 0.5},
+		{MinSup: 0.5, PFT: 0},
+		{MinSup: 0.5, PFT: 1},
+		{MinSup: 1.5, PFT: 0.5},
+	} {
+		if _, err := m.Mine(db, th); err == nil {
+			t.Errorf("thresholds %+v accepted", th)
+		}
+	}
+}
+
+func TestPaperExample2(t *testing.T) {
+	db := coretest.PaperDB()
+	m := &Miner{}
+	rs, err := m.Mine(db, core.Thresholds{MinSup: 0.5, PFT: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := rs.Lookup(core.NewItemset(0))
+	if !ok {
+		t.Fatal("{A} not probabilistic frequent under sampling")
+	}
+	// Exact value from Table 1 is 0.80. Early stopping may settle the
+	// decision (0.80 > pft = 0.7) after a few batches, so the reported
+	// estimate carries the coarser early-stop error bound.
+	if math.Abs(a.FreqProb-0.80) > 0.12 {
+		t.Errorf("estimated Pr{sup(A) ≥ 2} = %v, exact 0.80", a.FreqProb)
+	}
+}
+
+func TestEstimateMatchesExactTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	est := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(60)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		msc := 1 + rng.Intn(n)
+		exact := prob.PBFreqProbDP(ps, msc)
+		// Centering pft on the exact value keeps the Hoeffding interval
+		// from excluding it, so the estimator spends its full budget and
+		// the returned value (not just the ≥pft decision) is tight. With
+		// early stopping active the value is deliberately coarser.
+		got := estimateFreqProb(est, ps, msc, exact, 8000, 0.02)
+		if math.Abs(got-exact) > 0.05 {
+			t.Errorf("trial %d (n=%d, msc=%d): estimate %v, exact %v", trial, n, msc, got, exact)
+		}
+	}
+}
+
+func TestEstimateEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := estimateFreqProb(rng, []float64{0.5, 0.5}, 0, 0.9, 100, 0.02); got != 1 {
+		t.Errorf("msc=0 should be certainly frequent, got %v", got)
+	}
+	if got := estimateFreqProb(rng, []float64{0.5, 0.5}, 3, 0.9, 100, 0.02); got != 0 {
+		t.Errorf("msc > #trials should be impossible, got %v", got)
+	}
+	// All-ones probabilities: support is deterministic.
+	ones := []float64{1, 1, 1, 1}
+	if got := estimateFreqProb(rng, ones, 4, 0.9, 100, 0.02); got != 1 {
+		t.Errorf("deterministic support 4 vs msc 4: got %v, want 1", got)
+	}
+}
+
+func TestSampleSupportShortCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// msc=1 with a certain first trial must hit immediately.
+	if !sampleSupportAtLeast(rng, []float64{1, 0.5, 0.5}, 1) {
+		t.Error("certain trial missed")
+	}
+	// Impossible target.
+	if sampleSupportAtLeast(rng, []float64{0.5, 0.5}, 3) {
+		t.Error("support exceeded the number of trials")
+	}
+}
+
+func TestAgreesWithExactMinerOnProfile(t *testing.T) {
+	db := dataset.Gazelle.GenerateUncertain(0.01, 3)
+	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
+	m := &Miner{Seed: 5}
+	got, err := m.Mine(db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (&exactRef{}).mine(db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Membership agreement: with ε = 0.02, disagreement is possible only
+	// for itemsets whose exact frequent probability is within ~ε of pft.
+	exactSet := map[string]float64{}
+	for _, r := range exact.Results {
+		exactSet[r.Itemset.Key()] = r.FreqProb
+	}
+	for _, r := range got.Results {
+		fp, ok := exactSet[r.Itemset.Key()]
+		if !ok {
+			// Must be a borderline candidate.
+			continue
+		}
+		if math.Abs(r.FreqProb-fp) > 0.05 {
+			t.Errorf("%v: sampled %v vs exact %v", r.Itemset, r.FreqProb, fp)
+		}
+	}
+	missed := 0
+	for _, r := range exact.Results {
+		if _, ok := got.Lookup(r.Itemset); !ok {
+			missed++
+			if r.FreqProb > 0.97 {
+				t.Errorf("%v has exact frequent probability %v but was missed", r.Itemset, r.FreqProb)
+			}
+		}
+	}
+	if exact.Len() > 0 && float64(missed)/float64(exact.Len()) > 0.05 {
+		t.Errorf("missed %d of %d exact itemsets", missed, exact.Len())
+	}
+}
+
+func TestDeterministicWithFixedSeed(t *testing.T) {
+	db := dataset.Gazelle.GenerateUncertain(0.005, 4)
+	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
+	a, err := (&Miner{Seed: 9}).Mine(db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Miner{Seed: 9}).Mine(db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different result sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Results {
+		if !a.Results[i].Itemset.Equal(b.Results[i].Itemset) ||
+			a.Results[i].FreqProb != b.Results[i].FreqProb {
+			t.Fatalf("same seed, different result %d", i)
+		}
+	}
+}
+
+func TestChernoffAblationConsistent(t *testing.T) {
+	db := dataset.Gazelle.GenerateUncertain(0.005, 4)
+	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
+	with, err := (&Miner{Seed: 9}).Mine(db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := (&Miner{Seed: 9, DisableChernoff: true}).Mine(db, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chernoff pruning is a sound filter: it may only remove candidates the
+	// estimator would reject anyway, so the frequent sets agree up to
+	// borderline sampling noise. Require full agreement on this seed.
+	if with.Len() != without.Len() {
+		t.Fatalf("Chernoff pruning changed result count: %d vs %d", with.Len(), without.Len())
+	}
+	if with.Stats.ChernoffPruned == 0 {
+		t.Error("Chernoff pruning never fired on this workload")
+	}
+	if without.Stats.ChernoffPruned != 0 {
+		t.Error("disabled Chernoff pruning still fired")
+	}
+}
+
+// TestEstimatorUnbiasedProperty: over random probability vectors, the
+// estimate must stay within 3ε of the exact tail (quick property check).
+func TestEstimatorUnbiasedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + int(seed%40+40)%40
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = r.Float64()
+		}
+		msc := 1 + int(seed%int64(n)+int64(n))%n
+		exact := prob.PBFreqProbDP(ps, msc)
+		got := estimateFreqProb(rng, ps, msc, exact, 6000, 0.02)
+		return math.Abs(got-exact) <= 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// exactRef wraps the DP computation as a minimal exact reference without
+// importing the exact package (avoiding a dependency cycle in tests is not
+// an issue here, but the direct DP keeps the reference independent).
+type exactRef struct{}
+
+func (e *exactRef) mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+	msc := th.MinSupCount(db.N())
+	m := &Miner{Worlds: 1} // reuse the Apriori plumbing below instead
+	_ = m
+	// Direct level-wise mining with the exact DP decision.
+	var results []core.Result
+	frequent := map[string]bool{}
+	// Level 1.
+	esup := db.ItemESup()
+	var level []core.Itemset
+	for it := range esup {
+		x := core.NewItemset(core.Item(it))
+		ps := nonzero(db.TxProbs(x))
+		fp := prob.PBFreqProbDP(ps, msc)
+		if fp > th.PFT+core.Eps {
+			e, v := db.ESupVar(x)
+			results = append(results, core.Result{Itemset: x, ESup: e, Var: v, FreqProb: fp})
+			frequent[x.Key()] = true
+			level = append(level, x)
+		}
+	}
+	// Higher levels by pairwise join.
+	for len(level) > 0 {
+		var next []core.Itemset
+		seen := map[string]bool{}
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand, ok := join(level[i], level[j])
+				if !ok || seen[cand.Key()] {
+					continue
+				}
+				seen[cand.Key()] = true
+				ps := nonzero(db.TxProbs(cand))
+				fp := prob.PBFreqProbDP(ps, msc)
+				if fp > th.PFT+core.Eps {
+					e, v := db.ESupVar(cand)
+					results = append(results, core.Result{Itemset: cand, ESup: e, Var: v, FreqProb: fp})
+					next = append(next, cand)
+				}
+			}
+		}
+		level = next
+	}
+	core.SortResults(results)
+	return &core.ResultSet{Algorithm: "exact-ref", Semantics: core.Probabilistic, Thresholds: th, N: db.N(), Results: results}, nil
+}
+
+func nonzero(ps []float64) []float64 {
+	out := ps[:0:0]
+	for _, p := range ps {
+		if p > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func join(a, b core.Itemset) (core.Itemset, bool) {
+	if len(a) != len(b) {
+		return nil, false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return nil, false
+		}
+	}
+	if a[len(a)-1] == b[len(b)-1] {
+		return nil, false
+	}
+	out := a.Extend(b[len(b)-1])
+	return out, true
+}

@@ -1,0 +1,35 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"umine/internal/core/coretest"
+)
+
+// TestTopKStressManyShapes drives the rising-threshold search across many
+// database shapes and k values, always cross-checking the brute force.
+func TestTopKStressManyShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(40)
+		m := 2 + rng.Intn(8)
+		density := 0.2 + 0.6*rng.Float64()
+		db := coretest.RandomDB(rng, n, m, density)
+		k := 1 + rng.Intn(30)
+		got, _, err := (&Miner{K: k}).Mine(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteTopK(db, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d m=%d k=%d): %d results, want %d",
+				trial, n, m, k, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Itemset.Equal(want[i].Itemset) {
+				t.Fatalf("trial %d result %d: %v, want %v", trial, i, got[i].Itemset, want[i].Itemset)
+			}
+		}
+	}
+}

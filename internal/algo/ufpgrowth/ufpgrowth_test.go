@@ -1,0 +1,152 @@
+package ufpgrowth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"umine/internal/core"
+	"umine/internal/core/coretest"
+)
+
+func TestPaperExample1(t *testing.T) {
+	db := coretest.PaperDB()
+	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("got %d itemsets, want 2 (A, C): %+v", rs.Len(), rs.Results)
+	}
+	c, _ := rs.Lookup(core.NewItemset(coretest.C))
+	if math.Abs(c.ESup-2.6) > 1e-12 {
+		t.Fatalf("esup(C) = %v", c.ESup)
+	}
+}
+
+func TestPaperFigure1Threshold(t *testing.T) {
+	// Figure 1 builds the UFP-tree at min_esup = 0.25; all six items are
+	// frequent there. Check the mined item layer matches.
+	db := coretest.PaperDB()
+	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it, want := range map[core.Item]float64{
+		coretest.A: 2.1, coretest.B: 1.4, coretest.C: 2.6,
+		coretest.D: 1.2, coretest.E: 1.3, coretest.F: 1.8,
+	} {
+		r, ok := rs.Lookup(core.NewItemset(it))
+		if !ok {
+			t.Fatalf("item %d missing", it)
+		}
+		if math.Abs(r.ESup-want) > 1e-12 {
+			t.Fatalf("esup(%d) = %v, want %v", it, r.ESup, want)
+		}
+	}
+}
+
+func TestAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 60; trial++ {
+		db := coretest.RandomDB(rng, 10+rng.Intn(30), 6, 0.3+0.5*rng.Float64())
+		minESup := 0.05 + 0.5*rng.Float64()
+		rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: minESup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coretest.BruteForceExpected(db, minESup)
+		if rs.Len() != len(want) {
+			t.Fatalf("trial %d: got %d itemsets, want %d", trial, rs.Len(), len(want))
+		}
+		for i := range want {
+			if !rs.Results[i].Itemset.Equal(want[i].Itemset) {
+				t.Fatalf("itemset %d: %v vs %v", i, rs.Results[i].Itemset, want[i].Itemset)
+			}
+			if math.Abs(rs.Results[i].ESup-want[i].ESup) > 1e-9 {
+				t.Fatalf("%v esup %v vs %v", want[i].Itemset, rs.Results[i].ESup, want[i].ESup)
+			}
+			if math.Abs(rs.Results[i].Var-want[i].Var) > 1e-9 {
+				t.Fatalf("%v var %v vs %v", want[i].Itemset, rs.Results[i].Var, want[i].Var)
+			}
+		}
+	}
+}
+
+func TestNodeSharingRequiresEqualProbability(t *testing.T) {
+	// Two transactions with the same leading item but different
+	// probabilities must occupy two tree nodes; with equal probabilities,
+	// one shared node (the paper's central structural observation).
+	shared := newTree(2)
+	shared.insert([]wunit{{rank: 0, prob: 0.5}}, 1, 1)
+	shared.insert([]wunit{{rank: 0, prob: 0.5}}, 1, 1)
+	if shared.nodes != 1 {
+		t.Fatalf("equal probabilities: %d nodes, want 1", shared.nodes)
+	}
+	split := newTree(2)
+	split.insert([]wunit{{rank: 0, prob: 0.5}}, 1, 1)
+	split.insert([]wunit{{rank: 0, prob: 0.6}}, 1, 1)
+	if split.nodes != 2 {
+		t.Fatalf("different probabilities: %d nodes, want 2", split.nodes)
+	}
+}
+
+func TestRoundedProbabilitiesShareNodes(t *testing.T) {
+	// With probabilities drawn from a small discrete set, the UFP-tree must
+	// actually compress (fewer nodes than total units) and still mine
+	// exactly.
+	rng := rand.New(rand.NewSource(302))
+	db := coretest.RandomDBRounded(rng, 60, 5, 0.7, 2) // probs ∈ {0.5, 1.0}
+	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := coretest.BruteForceExpected(db, 0.15)
+	if rs.Len() != len(want) {
+		t.Fatalf("got %d itemsets, want %d", rs.Len(), len(want))
+	}
+	for i := range want {
+		if math.Abs(rs.Results[i].ESup-want[i].ESup) > 1e-9 {
+			t.Fatalf("%v esup %v vs %v", want[i].Itemset, rs.Results[i].ESup, want[i].ESup)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	rs, err := (&Miner{}).Mine(core.MustNewDatabase("empty", nil), core.Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Fatal("results on empty database")
+	}
+	single := core.MustNewDatabase("one", [][]core.Unit{{{Item: 3, Prob: 0.9}}})
+	rs, err = (&Miner{}).Mine(single, core.Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 || !rs.Results[0].Itemset.Equal(core.NewItemset(3)) {
+		t.Fatalf("results = %+v", rs.Results)
+	}
+}
+
+func TestRejectsBadThresholds(t *testing.T) {
+	if _, err := (&Miner{}).Mine(coretest.PaperDB(), core.Thresholds{MinESup: -1}); err == nil {
+		t.Fatal("negative min_esup accepted")
+	}
+}
+
+func TestMemoryTrackingGrowsWithConditionalTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	db := coretest.RandomDB(rng, 80, 8, 0.6)
+	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Stats.PeakTrackedBytes == 0 {
+		t.Fatal("peak bytes not tracked")
+	}
+	if rs.Stats.DBScans != 2 {
+		t.Fatalf("UFP-growth must scan the database exactly twice, got %d", rs.Stats.DBScans)
+	}
+}

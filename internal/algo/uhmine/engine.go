@@ -1,0 +1,253 @@
+// Package uhmine implements UH-Mine [Aggarwal, Li, Wang, Wang 2009], the
+// depth-first hyper-structure miner (paper §3.1.3), as a reusable engine:
+// the expected-support miner (this package's Miner) and the paper's new
+// NDUH-Mine algorithm (package approx) differ only in the per-itemset
+// frequentness test they plug into the engine.
+//
+// The UH-Struct stores each transaction once, projected to frequent items
+// and reordered by descending item expected support. Mining recursively
+// builds head tables: for a prefix P, the occurrence list holds, per
+// transaction containing P, the position after P's last item and the
+// accumulated containment probability Pr(P ⊆ t). Extending P by item j
+// scans the occurrences once — the uncertain analogue of H-Mine's hyperlink
+// adjustment — so no conditional databases are materialized and memory
+// stays bounded by the UH-Struct plus one occurrence list per recursion
+// level (the behaviour behind the paper's Figure 4 memory curves).
+package uhmine
+
+import (
+	"sort"
+	"unsafe"
+
+	"umine/internal/core"
+)
+
+// Decide is the per-itemset frequentness test: given the (canonical)
+// itemset with its expected support and support variance, it returns the
+// result to report and whether the itemset is frequent. Depth-first search
+// only extends frequent prefixes (anti-monotonicity).
+type Decide func(items core.Itemset, esup, varsup float64) (core.Result, bool)
+
+// runit is one unit of a UH-Struct row: the item's frequency rank and its
+// existential probability. Rows are sorted by rank ascending (most frequent
+// first).
+type runit struct {
+	rank int32
+	prob float64
+}
+
+// occ is one entry of a head table: transaction row, scan start position,
+// and accumulated prefix containment probability.
+type occ struct {
+	row int32
+	pos int32
+	acc float64
+}
+
+// Engine holds the knobs shared by UH-Mine and NDUH-Mine.
+type Engine struct {
+	// ItemFloor, when positive, removes items whose expected support is
+	// below this absolute count before the UH-Struct is built, exactly like
+	// the head-table construction of §3.1.3. Expected-support semantics set
+	// it to N·min_esup; probabilistic semantics may use a safe lower bound
+	// (or leave 0 and let Decide filter).
+	ItemFloor float64
+	// Decide is the frequentness test. Required.
+	Decide Decide
+}
+
+// Mine runs the engine and returns results in canonical order plus work
+// counters.
+func (e *Engine) Mine(db *core.Database) ([]core.Result, core.MiningStats) {
+	var stats core.MiningStats
+
+	// Pass 1: per-item aggregates (one scan — expectation and variance
+	// together, the paper's bridge property).
+	esup, varsup := db.ItemESupVar()
+	stats.DBScans++
+
+	// Head table: frequent items by Decide (after the optional floor),
+	// ordered by descending expected support.
+	order, rank := core.FrequencyOrder(esup, e.ItemFloor)
+	var kept []core.Item
+	var results []core.Result
+	for _, it := range order {
+		stats.CandidatesGenerated++
+		res, ok := e.Decide(core.Itemset{it}, esup[it], varsup[it])
+		if ok {
+			results = append(results, res)
+			kept = append(kept, it)
+		}
+	}
+	if len(kept) == 0 {
+		core.SortResults(results)
+		return results, stats
+	}
+	// Re-rank over kept items only, preserving frequency order.
+	keptRank := make([]int, db.NumItems)
+	for i := range keptRank {
+		keptRank[i] = -1
+	}
+	items := make([]core.Item, len(kept))
+	for pos, it := range kept {
+		keptRank[it] = pos
+		items[pos] = it
+	}
+	_ = rank
+
+	// Pass 2: build the UH-Struct rows.
+	stats.DBScans++
+	rows := make([][]runit, 0, db.N())
+	var structBytes int64
+	for _, tx := range db.Transactions {
+		var row []runit
+		for _, u := range tx {
+			if r := keptRank[u.Item]; r >= 0 {
+				row = append(row, runit{rank: int32(r), prob: u.Prob})
+			}
+		}
+		if len(row) == 0 {
+			continue
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i].rank < row[j].rank })
+		rows = append(rows, row)
+		structBytes += int64(len(row)) * int64(unsafe.Sizeof(runit{}))
+	}
+	stats.TrackPeak(structBytes)
+
+	// Top-level head table: one occurrence per row.
+	top := make([]occ, len(rows))
+	for i := range rows {
+		top[i] = occ{row: int32(i), pos: 0, acc: 1}
+	}
+
+	m := &mineState{
+		engine:  e,
+		rows:    rows,
+		items:   items,
+		esupBuf: make([]float64, len(items)),
+		varBuf:  make([]float64, len(items)),
+		results: results,
+		stats:   &stats,
+		liveOcc: int64(len(top)) * int64(unsafe.Sizeof(occ{})),
+	}
+	m.stats.TrackPeak(structBytes + m.liveOcc)
+	// Singletons were already decided and reported above; descend directly
+	// into each frequent item's head table.
+	for r := range items {
+		sub := collectOcc(rows, top, int32(r))
+		subBytes := int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
+		m.liveOcc += subBytes
+		m.stats.TrackPeak(structBytes + m.liveOcc)
+		m.mine([]core.Item{items[r]}, sub, structBytes)
+		m.liveOcc -= subBytes
+	}
+	core.SortResults(m.results)
+	return m.results, stats
+}
+
+type mineState struct {
+	engine  *Engine
+	rows    [][]runit
+	items   []core.Item // rank → item
+	esupBuf []float64
+	varBuf  []float64
+	results []core.Result
+	stats   *core.MiningStats
+	liveOcc int64
+}
+
+// extAgg is one extension's aggregates, moved out of the scratch buffers
+// before recursion.
+type extAgg struct {
+	rank   int32
+	esup   float64
+	varsup float64
+}
+
+// mine recursively extends the prefix (given as ranks via prefixRanks'
+// semantics embedded in occs) by every frequent item of larger rank.
+// prefix holds the prefix itemset as original items (unsorted by item id;
+// canonicalized on report).
+func (m *mineState) mine(prefix []core.Item, occs []occ, baseBytes int64) {
+	if len(occs) == 0 {
+		return
+	}
+	// Head-table pass: aggregate every extension's expected support and
+	// variance in one scan of the occurrence list. The aggregates are moved
+	// out of the shared scratch buffers (and the buffers zeroed) before any
+	// recursion, which reuses the same buffers.
+	touched := touchedRanks(m.rows, occs, m.esupBuf, m.varBuf)
+	exts := make([]extAgg, len(touched))
+	for i, r := range touched {
+		exts[i] = extAgg{rank: r, esup: m.esupBuf[r], varsup: m.varBuf[r]}
+		m.esupBuf[r], m.varBuf[r] = 0, 0
+	}
+
+	for _, ea := range exts {
+		r, e, v := ea.rank, ea.esup, ea.varsup
+
+		m.stats.CandidatesGenerated++
+		ext := append(prefix, m.items[r]) //nolint:gocritic // copied by NewItemset below
+		itemset := core.NewItemset(ext...)
+		res, ok := m.engine.Decide(itemset, e, v)
+		if !ok {
+			continue
+		}
+		m.results = append(m.results, res)
+
+		// Build the extension's occurrence list (second scan restricted to
+		// this rank), recurse, release.
+		sub := collectOcc(m.rows, occs, r)
+		subBytes := int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
+		m.liveOcc += subBytes
+		m.stats.TrackPeak(baseBytes + m.liveOcc)
+		m.mine(ext, sub, baseBytes)
+		m.liveOcc -= subBytes
+	}
+}
+
+// touchedRanks accumulates per-extension aggregates into the buffers and
+// returns the sorted list of ranks that occur. Buffers must be zero on
+// entry; the caller resets the touched entries afterwards.
+func touchedRanks(rows [][]runit, occs []occ, esupBuf, varBuf []float64) []int32 {
+	var touched []int32
+	for _, o := range occs {
+		row := rows[o.row]
+		for i := int(o.pos); i < len(row); i++ {
+			u := row[i]
+			if esupBuf[u.rank] == 0 && varBuf[u.rank] == 0 {
+				touched = append(touched, u.rank)
+			}
+			p := o.acc * u.prob
+			esupBuf[u.rank] += p
+			varBuf[u.rank] += p * (1 - p)
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	return touched
+}
+
+// collectOcc builds the occurrence list of prefix ∪ {rank r}: for every
+// parent occurrence whose row contains r at or after pos, the position after
+// r with the multiplied accumulator.
+func collectOcc(rows [][]runit, occs []occ, r int32) []occ {
+	var out []occ
+	for _, o := range occs {
+		row := rows[o.row]
+		// Binary search for rank r in row[pos:] (rows sorted by rank).
+		lo, hi := int(o.pos), len(row)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if row[mid].rank < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(row) && row[lo].rank == r {
+			out = append(out, occ{row: o.row, pos: int32(lo + 1), acc: o.acc * row[lo].prob})
+		}
+	}
+	return out
+}

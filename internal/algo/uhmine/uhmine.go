@@ -1,0 +1,43 @@
+package uhmine
+
+import (
+	"fmt"
+
+	"umine/internal/core"
+)
+
+// Miner is the expected-support UH-Mine algorithm (paper §3.1.3). The zero
+// value is ready to use.
+type Miner struct{}
+
+// Name implements core.Miner.
+func (m *Miner) Name() string { return "UH-Mine" }
+
+// Semantics implements core.Miner.
+func (m *Miner) Semantics() core.Semantics { return core.ExpectedSupport }
+
+// Mine implements core.Miner.
+func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+	if err := th.Validate(core.ExpectedSupport); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
+	}
+	minCount := th.MinESupCount(db.N())
+	engine := &Engine{
+		ItemFloor: minCount,
+		Decide: func(items core.Itemset, esup, varsup float64) (core.Result, bool) {
+			if esup >= minCount-core.Eps {
+				return core.Result{Itemset: items, ESup: esup, Var: varsup}, true
+			}
+			return core.Result{}, false
+		},
+	}
+	results, stats := engine.Mine(db)
+	return &core.ResultSet{
+		Algorithm:  m.Name(),
+		Semantics:  core.ExpectedSupport,
+		Thresholds: th,
+		N:          db.N(),
+		Results:    results,
+		Stats:      stats,
+	}, nil
+}

@@ -1,0 +1,139 @@
+package coretest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"umine/internal/core"
+)
+
+func TestSupportDistributionMatchesPossibleWorlds(t *testing.T) {
+	// Tiny database: 3 transactions, ≤ 2 units each → 6 units, 64 worlds.
+	db := core.MustNewDatabase("tiny", [][]core.Unit{
+		{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 0.4}},
+		{{Item: 0, Prob: 0.9}},
+		{{Item: 0, Prob: 0.3}, {Item: 1, Prob: 0.8}},
+	})
+	for _, x := range AllItemsets(2) {
+		fast := SupportDistribution(db, x)
+		slow := PossibleWorldSupportDist(db, x)
+		for k := range slow {
+			if math.Abs(fast[k]-slow[k]) > 1e-12 {
+				t.Fatalf("itemset %v support %d: conv %v vs worlds %v", x, k, fast[k], slow[k])
+			}
+		}
+	}
+}
+
+func TestSupportDistributionSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		db := RandomDB(rng, 15, 5, 0.6)
+		for _, x := range [][]core.Item{{0}, {0, 1}, {2, 4}} {
+			dist := SupportDistribution(db, core.NewItemset(x...))
+			sum := 0.0
+			for _, p := range dist {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("distribution sums to %v", sum)
+			}
+		}
+	}
+}
+
+func TestPaperExample2TailProbability(t *testing.T) {
+	// Table 2 gives the distribution of sup(A) as {0:0.1, 1:0.18, 2:0.4,
+	// 3:0.32}; Example 2 concludes Pr{sup(A) ≥ 2} = 0.72 > pft = 0.7.
+	dist := []float64{0.1, 0.18, 0.4, 0.32}
+	tail := dist[2] + dist[3]
+	if math.Abs(tail-0.72) > 1e-12 {
+		t.Fatalf("tail = %v", tail)
+	}
+	if !(tail > 0.7) {
+		t.Fatal("Example 2 conclusion does not hold")
+	}
+}
+
+func TestFreqProbMonotoneInMinCount(t *testing.T) {
+	db := PaperDB()
+	x := core.NewItemset(A)
+	prev := 1.1
+	for k := 0; k <= db.N()+1; k++ {
+		fp := FreqProb(db, x, k)
+		if fp > prev+1e-12 {
+			t.Fatalf("FreqProb increased at k=%d: %v > %v", k, fp, prev)
+		}
+		prev = fp
+	}
+	if FreqProb(db, x, 0) != 1 {
+		t.Fatal("Pr{sup ≥ 0} must be 1")
+	}
+}
+
+func TestBruteForceExpectedOnPaperDB(t *testing.T) {
+	res := BruteForceExpected(PaperDB(), 0.5)
+	if len(res) != 2 {
+		t.Fatalf("got %d frequent itemsets, want 2 (A and C): %+v", len(res), res)
+	}
+	if !res[0].Itemset.Equal(core.NewItemset(A)) || !res[1].Itemset.Equal(core.NewItemset(C)) {
+		t.Fatalf("results %+v", res)
+	}
+}
+
+func TestBruteForceProbabilisticAntiMonotone(t *testing.T) {
+	// Frequent probability must be anti-monotone: every subset of a
+	// probabilistic frequent itemset is also probabilistic frequent.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		db := RandomDB(rng, 12, 5, 0.7)
+		res := BruteForceProbabilistic(db, 0.3, 0.5)
+		frequent := map[string]bool{}
+		for _, r := range res {
+			frequent[r.Itemset.Key()] = true
+		}
+		for _, r := range res {
+			x := r.Itemset
+			if len(x) < 2 {
+				continue
+			}
+			for drop := range x {
+				sub := make(core.Itemset, 0, len(x)-1)
+				for i, it := range x {
+					if i != drop {
+						sub = append(sub, it)
+					}
+				}
+				if !frequent[sub.Key()] {
+					t.Fatalf("subset %v of frequent %v is not frequent", sub, x)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDBRoundedProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := RandomDBRounded(rng, 30, 6, 0.5, 4)
+	for _, tr := range db.Transactions {
+		for _, u := range tr {
+			scaled := u.Prob * 4
+			if math.Abs(scaled-math.Round(scaled)) > 1e-12 {
+				t.Fatalf("probability %v not a multiple of 1/4", u.Prob)
+			}
+		}
+	}
+}
+
+func TestAllItemsetsCountAndOrder(t *testing.T) {
+	sets := AllItemsets(4)
+	if len(sets) != 15 {
+		t.Fatalf("len = %d, want 15", len(sets))
+	}
+	for i := 1; i < len(sets); i++ {
+		if sets[i-1].Compare(sets[i]) >= 0 {
+			t.Fatalf("not in canonical order at %d: %v, %v", i, sets[i-1], sets[i])
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Database is an uncertain transaction database UDB: an ordered collection
+// of uncertain transactions over a dense item universe [0, NumItems).
+//
+// A Database is immutable once built; miners never modify it and may share
+// one instance across goroutines.
+type Database struct {
+	// Name labels the database in reports (e.g. "connect-like").
+	Name string
+	// Transactions holds the normalized transactions. Index = TID.
+	Transactions []Transaction
+	// NumItems is the size of the item universe; every unit's item is in
+	// [0, NumItems).
+	NumItems int
+}
+
+// ErrEmptyDatabase is returned when a Database with no transactions is used
+// where at least one transaction is required.
+var ErrEmptyDatabase = errors.New("core: empty database")
+
+// NewDatabase normalizes the raw transactions and builds a Database.
+// Empty transactions are kept (they contribute zero probability to every
+// itemset) so that transaction counts match the source data. The item
+// universe size is inferred as max item + 1 and can be widened afterwards
+// with SetNumItems.
+func NewDatabase(name string, raw [][]Unit) (*Database, error) {
+	db := &Database{Name: name, Transactions: make([]Transaction, 0, len(raw))}
+	maxItem := -1
+	for tid, units := range raw {
+		t, err := NormalizeTransaction(units)
+		if err != nil {
+			return nil, fmt.Errorf("transaction %d: %w", tid, err)
+		}
+		if len(t) > 0 && int(t[len(t)-1].Item) > maxItem {
+			maxItem = int(t[len(t)-1].Item)
+		}
+		db.Transactions = append(db.Transactions, t)
+	}
+	db.NumItems = maxItem + 1
+	return db, nil
+}
+
+// MustNewDatabase is NewDatabase panicking on error; intended for tests and
+// examples with literal data.
+func MustNewDatabase(name string, raw [][]Unit) *Database {
+	db, err := NewDatabase(name, raw)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// SetNumItems widens the declared item universe. It panics if n is smaller
+// than an item already present.
+func (db *Database) SetNumItems(n int) {
+	if n < db.NumItems {
+		panic(fmt.Sprintf("core: SetNumItems(%d) below existing universe %d", n, db.NumItems))
+	}
+	db.NumItems = n
+}
+
+// N returns the number of transactions, the paper's N.
+func (db *Database) N() int { return len(db.Transactions) }
+
+// ItemESup returns the expected support of every single item in one scan:
+// esup({i}) = Σ_t Pr(i ∈ t). The returned slice is indexed by Item.
+func (db *Database) ItemESup() []float64 {
+	esup := make([]float64, db.NumItems)
+	for _, t := range db.Transactions {
+		for _, u := range t {
+			esup[u.Item] += u.Prob
+		}
+	}
+	return esup
+}
+
+// ItemESupVar returns per-item expected support and variance of support in
+// one scan. Since sup({i}) is Poisson-Binomial, Var = Σ p(1−p). This is the
+// paper's observation that expectation and variance have identical
+// computational cost (Section 1).
+func (db *Database) ItemESupVar() (esup, varsup []float64) {
+	esup = make([]float64, db.NumItems)
+	varsup = make([]float64, db.NumItems)
+	for _, t := range db.Transactions {
+		for _, u := range t {
+			esup[u.Item] += u.Prob
+			varsup[u.Item] += u.Prob * (1 - u.Prob)
+		}
+	}
+	return esup, varsup
+}
+
+// ESup returns the expected support of itemset X: Σ_t Pr(X ⊆ t)
+// (Definition 1). Complexity O(N · |X|).
+func (db *Database) ESup(x Itemset) float64 {
+	s := 0.0
+	for _, t := range db.Transactions {
+		s += t.ItemsetProb(x)
+	}
+	return s
+}
+
+// ESupVar returns the expected support and the variance of the support of
+// itemset X in a single scan.
+func (db *Database) ESupVar(x Itemset) (esup, varsup float64) {
+	for _, t := range db.Transactions {
+		p := t.ItemsetProb(x)
+		esup += p
+		varsup += p * (1 - p)
+	}
+	return esup, varsup
+}
+
+// TxProbs returns the per-transaction containment probabilities
+// p_j = Pr(X ⊆ T_j) for j = 1..N, the input to exact probabilistic
+// frequentness computations. Zero entries are included so indexes align
+// with TIDs.
+func (db *Database) TxProbs(x Itemset) []float64 {
+	ps := make([]float64, len(db.Transactions))
+	for j, t := range db.Transactions {
+		ps[j] = t.ItemsetProb(x)
+	}
+	return ps
+}
+
+// Stats describes a database in the shape of the paper's Table 6.
+type Stats struct {
+	Name        string
+	NumTrans    int
+	NumItems    int
+	AvgLen      float64 // average number of units per transaction
+	Density     float64 // AvgLen / NumItems
+	TotalUnits  int     // Σ transaction lengths
+	MeanProb    float64 // mean unit probability
+	MinProb     float64
+	MaxProb     float64
+	EmptyTrans  int
+	MaxTransLen int
+}
+
+// Stats computes summary statistics for the database.
+func (db *Database) Stats() Stats {
+	st := Stats{
+		Name:     db.Name,
+		NumTrans: len(db.Transactions),
+		NumItems: db.NumItems,
+		MinProb:  math.Inf(1),
+		MaxProb:  math.Inf(-1),
+	}
+	sumProb := 0.0
+	for _, t := range db.Transactions {
+		if len(t) == 0 {
+			st.EmptyTrans++
+		}
+		if len(t) > st.MaxTransLen {
+			st.MaxTransLen = len(t)
+		}
+		st.TotalUnits += len(t)
+		for _, u := range t {
+			sumProb += u.Prob
+			if u.Prob < st.MinProb {
+				st.MinProb = u.Prob
+			}
+			if u.Prob > st.MaxProb {
+				st.MaxProb = u.Prob
+			}
+		}
+	}
+	if st.NumTrans > 0 {
+		st.AvgLen = float64(st.TotalUnits) / float64(st.NumTrans)
+	}
+	if st.NumItems > 0 {
+		st.Density = st.AvgLen / float64(st.NumItems)
+	}
+	if st.TotalUnits > 0 {
+		st.MeanProb = sumProb / float64(st.TotalUnits)
+	} else {
+		st.MinProb, st.MaxProb = 0, 0
+	}
+	return st
+}
+
+// Validate checks structural invariants: canonical transactions,
+// probabilities in (0,1], items within the universe. Databases produced by
+// NewDatabase always validate; this is for data read from external files.
+func (db *Database) Validate() error {
+	if db.NumItems < 0 {
+		return fmt.Errorf("core: negative NumItems %d", db.NumItems)
+	}
+	for tid, t := range db.Transactions {
+		for i, u := range t {
+			if i > 0 && t[i-1].Item >= u.Item {
+				return fmt.Errorf("core: transaction %d not canonical at unit %d", tid, i)
+			}
+			if u.Prob <= 0 || u.Prob > 1 || u.Prob != u.Prob {
+				return fmt.Errorf("core: transaction %d item %d has invalid probability %v", tid, u.Item, u.Prob)
+			}
+			if int(u.Item) >= db.NumItems {
+				return fmt.Errorf("core: transaction %d item %d outside universe [0,%d)", tid, u.Item, db.NumItems)
+			}
+		}
+	}
+	return nil
+}
+
+// Slice returns a database over transactions [lo, hi); the underlying
+// transactions are shared. Used by scalability experiments that grow the
+// transaction count.
+func (db *Database) Slice(lo, hi int) *Database {
+	if lo < 0 || hi > len(db.Transactions) || lo > hi {
+		panic(fmt.Sprintf("core: Slice(%d,%d) out of range [0,%d]", lo, hi, len(db.Transactions)))
+	}
+	return &Database{
+		Name:         fmt.Sprintf("%s[%d:%d]", db.Name, lo, hi),
+		Transactions: db.Transactions[lo:hi],
+		NumItems:     db.NumItems,
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *ResultSet {
+	return &ResultSet{
+		Algorithm:  "DCB",
+		Semantics:  Probabilistic,
+		Thresholds: Thresholds{MinSup: 0.5, PFT: 0.7},
+		N:          4,
+		Results: []Result{
+			{Itemset: NewItemset(0), ESup: 2.1, Var: 0.61, FreqProb: 0.8},
+			{Itemset: NewItemset(0, 2), ESup: 1.84, Var: 0.7, FreqProb: math.NaN()},
+			{Itemset: NewItemset(2), ESup: 2.6, Var: 0.26, FreqProb: 0.9524},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3", len(lines))
+	}
+	if lines[0] != "itemset,length,esup,var,freq_prob" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,1,2.1,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// NaN frequent probability serializes as an empty cell.
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Errorf("NaN row should end with an empty cell: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "0 2,2,") {
+		t.Errorf("itemset cell wrong in %q", lines[2])
+	}
+}
+
+func TestWriteCSVExpectedSupportOmitsFreqProb(t *testing.T) {
+	rs := exportFixture()
+	rs.Semantics = ExpectedSupport
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if i == 0 {
+			continue
+		}
+		if !strings.HasSuffix(line, ",") {
+			t.Errorf("expected-support row %d carries a freq_prob: %q", i, line)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rs := exportFixture()
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != rs.Algorithm || back.Semantics != rs.Semantics || back.N != rs.N {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	if back.Thresholds != rs.Thresholds {
+		t.Fatalf("thresholds %+v, want %+v", back.Thresholds, rs.Thresholds)
+	}
+	if back.Len() != rs.Len() {
+		t.Fatalf("result count %d, want %d", back.Len(), rs.Len())
+	}
+	for i := range rs.Results {
+		a, b := rs.Results[i], back.Results[i]
+		if !a.Itemset.Equal(b.Itemset) || a.ESup != b.ESup || a.Var != b.Var {
+			t.Fatalf("result %d: %+v vs %+v", i, a, b)
+		}
+		if math.IsNaN(a.FreqProb) != math.IsNaN(b.FreqProb) {
+			t.Fatalf("result %d NaN-ness changed", i)
+		}
+		if !math.IsNaN(a.FreqProb) && a.FreqProb != b.FreqProb {
+			t.Fatalf("result %d freq prob %v vs %v", i, a.FreqProb, b.FreqProb)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"semantics":"quantum"}`)); err == nil {
+		t.Error("unknown semantics accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"semantics":"probabilistic","results":[{"itemset":[2,1]}]}`)); err == nil {
+		t.Error("non-canonical itemset accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"semantics":"probabilistic","results":[{"itemset":[-4]}]}`)); err == nil {
+		t.Error("negative item accepted")
+	}
+}

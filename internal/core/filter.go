@@ -1,0 +1,90 @@
+package core
+
+import "sort"
+
+// Post-processing filters over mined result sets. Frequent-itemset result
+// sets are often too large to inspect (§4.2's dense datasets reach millions
+// of itemsets); the standard condensed representations — closed and maximal
+// itemsets — and a top-k selection tame them without re-mining.
+//
+// Over uncertain data, closedness is defined on the expected support (the
+// natural lift of "same support" used by threshold-based probabilistic
+// closed-itemset mining, the paper's reference [30]): X is closed iff no
+// proper superset in the result set has the same expected support (±Eps).
+
+// FilterClosed returns the closed itemsets of rs: those with no proper
+// superset of equal expected support. The input must be subset-closed (any
+// miner output is); the returned set shares Result values with rs and is in
+// canonical order.
+func FilterClosed(rs *ResultSet) *ResultSet {
+	return filterResults(rs, rs.Algorithm+"+closed", func(r Result, supersets []Result) bool {
+		for _, s := range supersets {
+			if s.ESup >= r.ESup-Eps {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// FilterMaximal returns the maximal itemsets of rs: those with no proper
+// superset in the result set at all. Maximal ⊆ closed ⊆ all.
+func FilterMaximal(rs *ResultSet) *ResultSet {
+	return filterResults(rs, rs.Algorithm+"+maximal", func(r Result, supersets []Result) bool {
+		return len(supersets) == 0
+	})
+}
+
+// filterResults keeps the results the predicate accepts, handing each one
+// the list of its proper supersets present in rs.
+func filterResults(rs *ResultSet, name string, keep func(r Result, supersets []Result) bool) *ResultSet {
+	// Group by length so only |X|+1…max lengths are scanned for supersets.
+	byLen := map[int][]Result{}
+	maxLen := 0
+	for _, r := range rs.Results {
+		l := len(r.Itemset)
+		byLen[l] = append(byLen[l], r)
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	out := &ResultSet{
+		Algorithm:  name,
+		Semantics:  rs.Semantics,
+		Thresholds: rs.Thresholds,
+		N:          rs.N,
+		Stats:      rs.Stats,
+	}
+	var supersets []Result
+	for _, r := range rs.Results {
+		supersets = supersets[:0]
+		for l := len(r.Itemset) + 1; l <= maxLen; l++ {
+			for _, s := range byLen[l] {
+				if s.Itemset.ContainsAll(r.Itemset) {
+					supersets = append(supersets, s)
+				}
+			}
+		}
+		if keep(r, supersets) {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out
+}
+
+// TopK returns the k results with the highest expected support, in
+// descending expected-support order (ties broken canonically). k ≥ len
+// returns a copy of everything.
+func TopK(rs *ResultSet, k int) []Result {
+	out := append([]Result(nil), rs.Results...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ESup != out[j].ESup {
+			return out[i].ESup > out[j].ESup
+		}
+		return out[i].Itemset.Compare(out[j].Itemset) < 0
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// filterFixture builds a small subset-closed result set by hand:
+//
+//	{0}: 3.0   {1}: 2.0   {2}: 2.0
+//	{0,1}: 2.0  {0,2}: 1.0  {1,2}: 2.0
+//	{0,1,2}: 1.0
+//
+// Closed: {0} (no equal-esup superset), {0,1} (supersets: {0,1,2} at 1.0),
+// {1,2} (same), {0,1,2}. NOT closed: {1} (⊂ {0,1} at equal 2.0), {2}
+// (⊂ {1,2} at 2.0), {0,2} (⊂ {0,1,2} at equal 1.0).
+// Maximal: only {0,1,2}.
+func filterFixture() *ResultSet {
+	rs := &ResultSet{Algorithm: "test", N: 4}
+	add := func(esup float64, items ...Item) {
+		rs.Results = append(rs.Results, Result{Itemset: NewItemset(items...), ESup: esup})
+	}
+	add(3.0, 0)
+	add(2.0, 1)
+	add(2.0, 2)
+	add(2.0, 0, 1)
+	add(1.0, 0, 2)
+	add(2.0, 1, 2)
+	add(1.0, 0, 1, 2)
+	SortResults(rs.Results)
+	return rs
+}
+
+func TestFilterClosed(t *testing.T) {
+	rs := filterFixture()
+	closed := FilterClosed(rs)
+	want := []Itemset{
+		NewItemset(0),
+		NewItemset(0, 1),
+		NewItemset(1, 2),
+		NewItemset(0, 1, 2),
+	}
+	if closed.Len() != len(want) {
+		t.Fatalf("closed set has %d itemsets, want %d: %v", closed.Len(), len(want), closed.Itemsets())
+	}
+	for _, w := range want {
+		if _, ok := closed.Lookup(w); !ok {
+			t.Errorf("closed itemset %v missing", w)
+		}
+	}
+	if closed.Algorithm != "test+closed" {
+		t.Errorf("algorithm label %q", closed.Algorithm)
+	}
+}
+
+func TestFilterMaximal(t *testing.T) {
+	rs := filterFixture()
+	maximal := FilterMaximal(rs)
+	if maximal.Len() != 1 || !maximal.Results[0].Itemset.Equal(NewItemset(0, 1, 2)) {
+		t.Fatalf("maximal set = %v, want [{0,1,2}]", maximal.Itemsets())
+	}
+}
+
+func TestMaximalSubsetOfClosed(t *testing.T) {
+	// Property: maximal ⊆ closed ⊆ all, on random subset-closed sets.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		rs := randomClosedResultSet(rng)
+		closed := FilterClosed(rs)
+		maximal := FilterMaximal(rs)
+		if closed.Len() > rs.Len() || maximal.Len() > closed.Len() {
+			t.Fatalf("size ordering violated: %d all, %d closed, %d maximal",
+				rs.Len(), closed.Len(), maximal.Len())
+		}
+		for _, r := range maximal.Results {
+			if _, ok := closed.Lookup(r.Itemset); !ok {
+				t.Fatalf("maximal itemset %v not closed", r.Itemset)
+			}
+		}
+		for _, r := range closed.Results {
+			if _, ok := rs.Lookup(r.Itemset); !ok {
+				t.Fatalf("closed itemset %v not in the input", r.Itemset)
+			}
+		}
+	}
+}
+
+// randomClosedResultSet mines nothing: it builds a subset-closed family
+// directly, with anti-monotone expected supports.
+func randomClosedResultSet(rng *rand.Rand) *ResultSet {
+	universe := 1 + rng.Intn(5)
+	rs := &ResultSet{Algorithm: "rand", N: 10}
+	type entry struct {
+		set  Itemset
+		esup float64
+	}
+	var level []entry
+	for it := 0; it < universe; it++ {
+		e := entry{NewItemset(Item(it)), 1 + 9*rng.Float64()}
+		level = append(level, e)
+		rs.Results = append(rs.Results, Result{Itemset: e.set, ESup: e.esup})
+	}
+	for len(level) > 1 {
+		var next []entry
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if len(a.set) != len(b.set) || a.set[len(a.set)-1] >= b.set[len(b.set)-1] {
+					continue
+				}
+				joinable := true
+				for k := 0; k < len(a.set)-1; k++ {
+					if a.set[k] != b.set[k] {
+						joinable = false
+						break
+					}
+				}
+				if !joinable || rng.Float64() < 0.3 {
+					continue
+				}
+				min := a.esup
+				if b.esup < min {
+					min = b.esup
+				}
+				e := entry{a.set.Extend(b.set[len(b.set)-1]), min * (0.5 + 0.5*rng.Float64())}
+				next = append(next, e)
+				rs.Results = append(rs.Results, Result{Itemset: e.set, ESup: e.esup})
+			}
+		}
+		level = next
+	}
+	SortResults(rs.Results)
+	// Deduplicate (joins can collide).
+	dedup := rs.Results[:0]
+	for i, r := range rs.Results {
+		if i == 0 || !rs.Results[i-1].Itemset.Equal(r.Itemset) {
+			dedup = append(dedup, r)
+		}
+	}
+	rs.Results = dedup
+	return rs
+}
+
+func TestTopK(t *testing.T) {
+	rs := filterFixture()
+	top := TopK(rs, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d results", len(top))
+	}
+	if !top[0].Itemset.Equal(NewItemset(0)) || top[0].ESup != 3.0 {
+		t.Errorf("top result = %+v, want {0} at 3.0", top[0])
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].ESup > top[i-1].ESup {
+			t.Fatalf("TopK not sorted at %d", i)
+		}
+	}
+	// k larger than the set returns everything.
+	if got := TopK(rs, 100); len(got) != rs.Len() {
+		t.Errorf("TopK(100) returned %d, want %d", len(got), rs.Len())
+	}
+	// Determinism on ties: {1}, {2}, {0,1}, {1,2} all have esup 2.0; the
+	// canonical order must break the tie.
+	a, b := TopK(rs, 4), TopK(rs, 4)
+	for i := range a {
+		if !a[i].Itemset.Equal(b[i].Itemset) {
+			t.Fatal("TopK unstable on ties")
+		}
+	}
+	if got := TopK(rs, 0); len(got) != 0 {
+		t.Errorf("TopK(0) returned %d results", len(got))
+	}
+}

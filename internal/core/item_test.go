@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewItemsetCanonicalizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Item
+		want Itemset
+	}{
+		{"empty", nil, nil},
+		{"single", []Item{7}, Itemset{7}},
+		{"sorted", []Item{1, 2, 3}, Itemset{1, 2, 3}},
+		{"reversed", []Item{3, 2, 1}, Itemset{1, 2, 3}},
+		{"duplicates", []Item{5, 1, 5, 1, 5}, Itemset{1, 5}},
+		{"all same", []Item{4, 4, 4}, Itemset{4}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewItemset(tc.in...)
+			if !got.Equal(tc.want) {
+				t.Fatalf("NewItemset(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			if !got.IsCanonical() {
+				t.Fatalf("NewItemset(%v) = %v not canonical", tc.in, got)
+			}
+		})
+	}
+}
+
+func TestNewItemsetDoesNotModifyInput(t *testing.T) {
+	in := []Item{3, 1, 2}
+	NewItemset(in...)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input slice modified: %v", in)
+	}
+}
+
+func TestItemsetContains(t *testing.T) {
+	s := NewItemset(2, 4, 6, 8)
+	for _, x := range []Item{2, 4, 6, 8} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []Item{0, 1, 3, 5, 7, 9, 100} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true, want false", x)
+		}
+	}
+}
+
+func TestItemsetContainsAll(t *testing.T) {
+	s := NewItemset(1, 3, 5, 7, 9)
+	tests := []struct {
+		sub  Itemset
+		want bool
+	}{
+		{nil, true},
+		{NewItemset(1), true},
+		{NewItemset(9), true},
+		{NewItemset(3, 7), true},
+		{NewItemset(1, 3, 5, 7, 9), true},
+		{NewItemset(2), false},
+		{NewItemset(1, 2), false},
+		{NewItemset(1, 3, 5, 7, 9, 11), false},
+		{NewItemset(0, 1), false},
+	}
+	for _, tc := range tests {
+		if got := s.ContainsAll(tc.sub); got != tc.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", tc.sub, got, tc.want)
+		}
+	}
+}
+
+func TestItemsetCompare(t *testing.T) {
+	tests := []struct {
+		a, b Itemset
+		want int
+	}{
+		{nil, nil, 0},
+		{NewItemset(1), nil, 1},
+		{nil, NewItemset(1), -1},
+		{NewItemset(1), NewItemset(1), 0},
+		{NewItemset(1), NewItemset(2), -1},
+		{NewItemset(2), NewItemset(1), 1},
+		{NewItemset(9), NewItemset(1, 2), -1}, // shorter first
+		{NewItemset(1, 2), NewItemset(1, 3), -1},
+		{NewItemset(1, 3), NewItemset(2, 3), -1},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Compare(tc.a); got != -tc.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tc.b, tc.a, got, -tc.want)
+		}
+	}
+}
+
+func TestItemsetExtend(t *testing.T) {
+	s := NewItemset(1, 3)
+	got := s.Extend(5)
+	if !got.Equal(NewItemset(1, 3, 5)) {
+		t.Fatalf("Extend(5) = %v", got)
+	}
+	if !s.Equal(NewItemset(1, 3)) {
+		t.Fatalf("Extend modified receiver: %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend with out-of-order item did not panic")
+		}
+	}()
+	s.Extend(2)
+}
+
+func TestItemsetKeyInjective(t *testing.T) {
+	sets := []Itemset{
+		nil,
+		NewItemset(0),
+		NewItemset(1),
+		NewItemset(256),
+		NewItemset(0, 1),
+		NewItemset(0, 256),
+		NewItemset(1, 2, 3),
+		NewItemset(65536),
+		NewItemset(1, 65537),
+	}
+	seen := map[string]Itemset{}
+	for _, s := range sets {
+		k := s.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision between %v and %v", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestItemsetString(t *testing.T) {
+	if got := NewItemset(3, 1, 2).String(); got != "{1 2 3}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Itemset)(nil).String(); got != "{}" {
+		t.Fatalf("nil String() = %q", got)
+	}
+}
+
+// Property: NewItemset output is always canonical and contains exactly the
+// distinct input items.
+func TestNewItemsetProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		in := make([]Item, len(raw))
+		for i, v := range raw {
+			in[i] = Item(v)
+		}
+		s := NewItemset(in...)
+		if !s.IsCanonical() {
+			return false
+		}
+		want := map[Item]bool{}
+		for _, v := range in {
+			want[v] = true
+		}
+		if len(s) != len(want) {
+			return false
+		}
+		for _, v := range s {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ContainsAll agrees with a naive map-based implementation.
+func TestContainsAllProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a := randomItemset(rng, 12, 20)
+		b := randomItemset(rng, 6, 20)
+		naive := true
+		for _, x := range b {
+			if !a.Contains(x) {
+				naive = false
+				break
+			}
+		}
+		if got := a.ContainsAll(b); got != naive {
+			t.Fatalf("ContainsAll(%v, %v) = %v, naive = %v", a, b, got, naive)
+		}
+	}
+}
+
+// Property: Compare is a strict weak order consistent with sort.
+func TestCompareOrdersSorting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sets := make([]Itemset, 50)
+	for i := range sets {
+		sets[i] = randomItemset(rng, 5, 10)
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+	for i := 1; i < len(sets); i++ {
+		if sets[i-1].Compare(sets[i]) > 0 {
+			t.Fatalf("not sorted at %d: %v > %v", i, sets[i-1], sets[i])
+		}
+	}
+}
+
+func randomItemset(rng *rand.Rand, maxLen, universe int) Itemset {
+	n := rng.Intn(maxLen + 1)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(rng.Intn(universe))
+	}
+	return NewItemset(items...)
+}

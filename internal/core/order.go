@@ -1,0 +1,63 @@
+package core
+
+import "sort"
+
+// SortResults puts results into canonical order (Itemset.Compare ascending).
+// All miners call this before returning so result sets are directly
+// comparable.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Itemset.Compare(rs[j].Itemset) < 0 })
+}
+
+// FrequencyOrder computes the canonical item reordering used by the
+// pattern-growth miners (UFP-growth, UH-Mine): frequent items sorted by
+// descending expected support, ties broken by ascending item id. It returns:
+//
+//   - order: the frequent items in that order;
+//   - rank: a slice indexed by Item giving the item's position in order,
+//     or -1 for infrequent items.
+//
+// The ordering matches the paper's example list {C:2.6, A:2.1, F:1.8, B:1.4,
+// E:1.3, D:1.2} in Section 3.1.2.
+func FrequencyOrder(esup []float64, minESupCount float64) (order []Item, rank []int) {
+	for it, e := range esup {
+		if e >= minESupCount-Eps {
+			order = append(order, Item(it))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if esup[a] != esup[b] {
+			return esup[a] > esup[b]
+		}
+		return a < b
+	})
+	rank = make([]int, len(esup))
+	for i := range rank {
+		rank[i] = -1
+	}
+	for pos, it := range order {
+		rank[it] = pos
+	}
+	return order, rank
+}
+
+// ProjectTransaction filters a transaction to frequent items and re-sorts its
+// units by frequency rank (most frequent first), the canonical input shape
+// for UFP-tree insertion and UH-Struct rows. Returns nil when no unit
+// survives.
+func ProjectTransaction(t Transaction, rank []int) []Unit {
+	var out []Unit
+	for _, u := range t {
+		if rank[u.Item] >= 0 {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rank[out[i].Item] < rank[out[j].Item] })
+	return out
+}
+
+// SortItemsets sorts itemsets into canonical order.
+func SortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+}

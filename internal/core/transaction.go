@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Unit is one element of an uncertain transaction: an item together with the
+// probability that the item actually appears in that transaction (the
+// attribute-level existential uncertainty model used throughout the paper).
+type Unit struct {
+	Item Item
+	// Prob is the existential probability p_i in (0, 1]. Units with
+	// probability 0 are dropped on normalization: a never-present item
+	// carries no information.
+	Prob float64
+}
+
+// Transaction is one uncertain transaction: a set of units sorted by item.
+// Item appearances are mutually independent, both within a transaction and
+// across transactions (the standard model of [Chui et al. 2007] adopted by
+// the paper).
+type Transaction []Unit
+
+// NormalizeTransaction sorts units by item, merges duplicates (keeping the
+// max probability, the conventional resolution), clamps probabilities into
+// [0,1] and drops zero-probability units. It returns an error if any
+// probability is NaN or outside [-eps, 1+eps].
+func NormalizeTransaction(units []Unit) (Transaction, error) {
+	const eps = 1e-9
+	t := make(Transaction, 0, len(units))
+	for _, u := range units {
+		switch {
+		case u.Prob != u.Prob: // NaN
+			return nil, fmt.Errorf("core: item %d has NaN probability", u.Item)
+		case u.Prob < -eps || u.Prob > 1+eps:
+			return nil, fmt.Errorf("core: item %d has probability %v outside [0,1]", u.Item, u.Prob)
+		}
+		p := u.Prob
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		if p == 0 {
+			continue
+		}
+		t = append(t, Unit{Item: u.Item, Prob: p})
+	}
+	sort.Slice(t, func(i, j int) bool { return t[i].Item < t[j].Item })
+	out := t[:0]
+	for _, u := range t {
+		if len(out) > 0 && out[len(out)-1].Item == u.Item {
+			if u.Prob > out[len(out)-1].Prob {
+				out[len(out)-1].Prob = u.Prob
+			}
+			continue
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// Prob returns the probability that item x appears in t, or 0 when x is not
+// mentioned by t.
+func (t Transaction) Prob(x Item) float64 {
+	i := sort.Search(len(t), func(i int) bool { return t[i].Item >= x })
+	if i < len(t) && t[i].Item == x {
+		return t[i].Prob
+	}
+	return 0
+}
+
+// ItemsetProb returns Pr(X ⊆ t): the product of the member probabilities
+// under item independence, or 0 if any member is absent. X must be
+// canonical.
+func (t Transaction) ItemsetProb(x Itemset) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	p := 1.0
+	i := 0
+	for _, want := range x {
+		for i < len(t) && t[i].Item < want {
+			i++
+		}
+		if i == len(t) || t[i].Item != want {
+			return 0
+		}
+		p *= t[i].Prob
+		i++
+	}
+	return p
+}
+
+// Items returns the items of t as a canonical itemset.
+func (t Transaction) Items() Itemset {
+	s := make(Itemset, len(t))
+	for i, u := range t {
+		s[i] = u.Item
+	}
+	return s
+}
+
+// Len returns the number of units in the transaction.
+func (t Transaction) Len() int { return len(t) }
+
+// String renders the transaction in the paper's Table 1 style, e.g.
+// "1(0.80) 3(0.90)".
+func (t Transaction) String() string {
+	var b strings.Builder
+	for i, u := range t {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d(%.2f)", u.Item, u.Prob)
+	}
+	return b.String()
+}

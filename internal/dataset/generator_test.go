@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// shapeTolerance validates a generated deterministic database against its
+// profile's published Table 6 shape.
+func checkShape(t *testing.T, name string, gotAvgLen, wantAvgLen, relTol float64) {
+	t.Helper()
+	if math.Abs(gotAvgLen-wantAvgLen) > relTol*wantAvgLen {
+		t.Errorf("%s: average length %v, want %v ± %.0f%%", name, gotAvgLen, wantAvgLen, relTol*100)
+	}
+}
+
+func TestDenseProfileShapes(t *testing.T) {
+	for _, p := range []Profile{Connect, Accident} {
+		t.Run(p.Name, func(t *testing.T) {
+			d := p.Generate(0.02, 7)
+			st := d.Stats()
+			if st.NumItems != p.NumItems {
+				t.Errorf("NumItems = %d, want %d (dense universes do not shrink)", st.NumItems, p.NumItems)
+			}
+			checkShape(t, p.Name, st.AvgLen, p.AvgLen, 0.08)
+			wantTrans := int(math.Round(float64(p.NumTrans) * 0.02))
+			if st.NumTrans != wantTrans {
+				t.Errorf("NumTrans = %d, want %d", st.NumTrans, wantTrans)
+			}
+		})
+	}
+}
+
+func TestDenseProfileHasHighSupportCore(t *testing.T) {
+	// The graded core must contain items appearing in ≥ 90% of transactions,
+	// otherwise Connect-like data cannot have frequent itemsets at
+	// min_sup 0.5 with mean probability 0.95.
+	d := Connect.Generate(0.01, 3)
+	counts := make([]int, d.NumItems)
+	for _, tx := range d.Transactions {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	n := len(d.Transactions)
+	high := 0
+	for _, c := range counts {
+		if float64(c) >= 0.9*float64(n) {
+			high++
+		}
+	}
+	if high < 10 {
+		t.Fatalf("only %d items appear in ≥90%% of transactions; dense core too weak", high)
+	}
+}
+
+func TestSparseProfileShapes(t *testing.T) {
+	for _, p := range []Profile{Kosarak, Gazelle} {
+		t.Run(p.Name, func(t *testing.T) {
+			d := p.Generate(0.01, 11)
+			st := d.Stats()
+			checkShape(t, p.Name, st.AvgLen, p.AvgLen, 0.15)
+			if st.NumItems >= p.NumItems && p.NumItems > 1000 {
+				t.Errorf("sparse universe did not shrink at scale 0.01: %d", st.NumItems)
+			}
+		})
+	}
+}
+
+func TestSparseProfileZipfPopularity(t *testing.T) {
+	d := Kosarak.Generate(0.005, 5)
+	counts := make([]int, d.NumItems)
+	for _, tx := range d.Transactions {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	// Item 0 (most popular rank) must dominate the median item.
+	median := append([]int(nil), counts...)
+	for i := 1; i < len(median); i++ {
+		for j := i; j > 0 && median[j] < median[j-1]; j-- {
+			median[j], median[j-1] = median[j-1], median[j]
+		}
+	}
+	med := median[len(median)/2]
+	if counts[0] < 20*max(1, med) {
+		t.Fatalf("top item count %d not ≫ median %d; popularity not Zipf-like", counts[0], med)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestGenerateDeterministicReproducible(t *testing.T) {
+	a := Connect.Generate(0.005, 42)
+	b := Connect.Generate(0.005, 42)
+	if len(a.Transactions) != len(b.Transactions) {
+		t.Fatal("different lengths for same seed")
+	}
+	for i := range a.Transactions {
+		if len(a.Transactions[i]) != len(b.Transactions[i]) {
+			t.Fatalf("transaction %d differs", i)
+		}
+		for j := range a.Transactions[i] {
+			if a.Transactions[i][j] != b.Transactions[i][j] {
+				t.Fatalf("transaction %d item %d differs", i, j)
+			}
+		}
+	}
+	c := Connect.Generate(0.005, 43)
+	same := len(a.Transactions) == len(c.Transactions)
+	if same {
+		diff := false
+		for i := range a.Transactions {
+			if len(a.Transactions[i]) != len(c.Transactions[i]) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			// Extremely unlikely to be identical transaction-by-transaction;
+			// spot-check the first non-empty one.
+			for i := range a.Transactions {
+				if len(a.Transactions[i]) > 0 && len(c.Transactions[i]) == len(a.Transactions[i]) {
+					allEq := true
+					for j := range a.Transactions[i] {
+						if a.Transactions[i][j] != c.Transactions[i][j] {
+							allEq = false
+							break
+						}
+					}
+					if !allEq {
+						diff = true
+						break
+					}
+				}
+			}
+			if !diff {
+				t.Error("different seeds produced identical data")
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scale 0 did not panic")
+		}
+	}()
+	Connect.Generate(0, 1)
+}
+
+func TestQuestShape(t *testing.T) {
+	cfg := T25I15(2000)
+	d := cfg.Generate(17)
+	st := d.Stats()
+	if st.NumTrans != 2000 {
+		t.Fatalf("NumTrans = %d", st.NumTrans)
+	}
+	if st.NumItems != 994 {
+		t.Fatalf("NumItems = %d", st.NumItems)
+	}
+	if math.Abs(st.AvgLen-25) > 6 {
+		t.Errorf("average length %v, want ≈ 25", st.AvgLen)
+	}
+	// Transactions must be canonical itemsets (sorted, no duplicates).
+	for i, tx := range d.Transactions {
+		for j := 1; j < len(tx); j++ {
+			if tx[j-1] >= tx[j] {
+				t.Fatalf("transaction %d not canonical", i)
+			}
+		}
+	}
+}
+
+func TestQuestPlantsSharedPatterns(t *testing.T) {
+	// The whole point of Quest data is planted patterns: some item pairs
+	// must co-occur far more often than independence predicts.
+	d := T25I15(3000).Generate(23)
+	n := float64(len(d.Transactions))
+	counts := map[uint64]int{}
+	single := make([]int, d.NumItems)
+	for _, tx := range d.Transactions {
+		for i, a := range tx {
+			single[a]++
+			for _, b := range tx[i+1:] {
+				counts[uint64(a)<<32|uint64(b)]++
+			}
+		}
+	}
+	found := false
+	for key, c := range counts {
+		a, b := key>>32, key&0xffffffff
+		expected := float64(single[a]) * float64(single[b]) / n
+		if float64(c) > 3*expected && c > 50 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no over-represented item pair; pattern planting ineffective")
+	}
+}
+
+func TestApplyPreservesShape(t *testing.T) {
+	d := Gazelle.Generate(0.02, 9)
+	db := Apply(d, GaussianAssigner{Mean: 0.95, Variance: 0.05}, rand.New(rand.NewSource(1)))
+	if db.N() != len(d.Transactions) {
+		t.Fatalf("N = %d, want %d", db.N(), len(d.Transactions))
+	}
+	for i, tx := range d.Transactions {
+		if len(db.Transactions[i]) != len(tx) {
+			t.Fatalf("transaction %d length changed: %d vs %d", i, len(db.Transactions[i]), len(tx))
+		}
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumItems < d.NumItems {
+		t.Fatalf("universe shrank: %d vs %d", db.NumItems, d.NumItems)
+	}
+}
+
+func TestGenerateUncertainDefaults(t *testing.T) {
+	db := Connect.GenerateUncertain(0.002, 3)
+	st := db.Stats()
+	// Mean probability should sit near the Table 7 mean (0.95), allowing
+	// for clamping at 1.
+	if st.MeanProb < 0.8 || st.MeanProb > 1 {
+		t.Fatalf("mean probability %v far from 0.95", st.MeanProb)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"umine/internal/core"
+)
+
+// Text formats.
+//
+// Deterministic transactions use the FIMI repository format: one transaction
+// per line, space-separated non-negative item ids.
+//
+//	1 4 9
+//	2 4
+//
+// Uncertain transactions extend each item with a colon-separated
+// probability:
+//
+//	1:0.80 4:0.95 9:0.33
+//
+// Both formats allow blank lines (empty transactions) and '#' comment lines.
+
+// maxLineBytes bounds a single transaction line (Kosarak-scale lines fit
+// comfortably).
+const maxLineBytes = 1 << 20
+
+// ReadFIMI parses a deterministic transaction database.
+func ReadFIMI(r io.Reader, name string) (*Deterministic, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	d := &Deterministic{Name: name}
+	maxItem := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var tx []core.Item
+		if line != "" {
+			fields := strings.Fields(line)
+			tx = make([]core.Item, 0, len(fields))
+			for _, f := range fields {
+				v, err := strconv.ParseUint(f, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: %s line %d: bad item %q: %w", name, lineNo, f, err)
+				}
+				tx = append(tx, core.Item(v))
+				if int(v) > maxItem {
+					maxItem = int(v)
+				}
+			}
+			tx = core.NewItemset(tx...)
+		}
+		d.Transactions = append(d.Transactions, tx)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %s line %d: %w", name, lineNo, err)
+	}
+	d.NumItems = maxItem + 1
+	return d, nil
+}
+
+// WriteFIMI serializes a deterministic database in FIMI format.
+func WriteFIMI(w io.Writer, d *Deterministic) error {
+	bw := bufio.NewWriter(w)
+	for _, tx := range d.Transactions {
+		for i, it := range tx {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUncertain parses an uncertain transaction database in item:prob
+// format. Probabilities must be in (0, 1]; zero-probability units are
+// rejected (write them out by omitting the unit instead).
+func ReadUncertain(r io.Reader, name string) (*core.Database, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var raw [][]core.Unit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var units []core.Unit
+		if line != "" {
+			fields := strings.Fields(line)
+			units = make([]core.Unit, 0, len(fields))
+			for _, f := range fields {
+				colon := strings.IndexByte(f, ':')
+				if colon <= 0 || colon == len(f)-1 {
+					return nil, fmt.Errorf("dataset: %s line %d: bad unit %q (want item:prob)", name, lineNo, f)
+				}
+				item, err := strconv.ParseUint(f[:colon], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: %s line %d: bad item in %q: %w", name, lineNo, f, err)
+				}
+				p, err := strconv.ParseFloat(f[colon+1:], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: %s line %d: bad probability in %q: %w", name, lineNo, f, err)
+				}
+				if p <= 0 || p > 1 || p != p {
+					return nil, fmt.Errorf("dataset: %s line %d: probability %v outside (0,1]", name, lineNo, p)
+				}
+				units = append(units, core.Unit{Item: core.Item(item), Prob: p})
+			}
+		}
+		raw = append(raw, units)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %s line %d: %w", name, lineNo, err)
+	}
+	db, err := core.NewDatabase(name, raw)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", name, err)
+	}
+	return db, nil
+}
+
+// WriteUncertain serializes an uncertain database in item:prob format with
+// full float64 round-trip precision.
+func WriteUncertain(w io.Writer, db *core.Database) error {
+	bw := bufio.NewWriter(w)
+	for _, tx := range db.Transactions {
+		for i, u := range tx {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d:%s", u.Item, strconv.FormatFloat(u.Prob, 'g', 17, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

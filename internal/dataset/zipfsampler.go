@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// zipfSampler draws item ranks from a Zipf(s) distribution over {0..n−1}
+// by inverse-CDF binary search on a precomputed cumulative table. Unlike
+// math/rand.Zipf it allows s ≤ 1, which the sparse dataset profiles need
+// (real-world click streams such as Kosarak are sub-Zipfian).
+type zipfSampler struct {
+	cdf []float64
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	if n <= 0 {
+		panic("dataset: zipfSampler needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against round-off
+	return &zipfSampler{cdf: cdf}
+}
+
+// Sample returns a rank in [0, n) with Zipf-decaying probability.
+func (z *zipfSampler) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability mass of rank i.
+func (z *zipfSampler) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

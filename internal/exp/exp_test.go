@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg shrinks datasets far below the defaults so harness tests stay
+// fast; shape assertions below use the default config selectively.
+func quickCfg() Config {
+	return Config{Scale: 0.1, Seed: 42, PointBudget: 10 * time.Second}
+}
+
+func TestRegistryCoversEveryPanelAndTable(t *testing.T) {
+	// 24 time/memory panel pairs across Figures 4–6 collapse to 18
+	// experiments (aliases), plus Tables 8–10.
+	wantIDs := []string{
+		"fig4a", "fig4b", "fig4c", "fig4d", "fig4i", "fig4k",
+		"fig5a", "fig5c", "fig5e", "fig5g", "fig5i", "fig5k",
+		"fig6a", "fig6c", "fig6e", "fig6g", "fig6i", "fig6k",
+		"table8", "table9", "table10",
+		"ablation-parallel", "ablation-ucfp",
+	}
+	if len(IDs()) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(IDs()), len(wantIDs))
+	}
+	for _, id := range wantIDs {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	// Memory panels resolve via aliases.
+	for _, alias := range []string{"fig4e", "fig4f", "fig4g", "fig4h", "fig4j", "fig4l",
+		"fig5b", "fig5d", "fig5f", "fig5h", "fig5j", "fig5l",
+		"fig6b", "fig6d", "fig6f", "fig6h", "fig6j", "fig6l"} {
+		if _, ok := Lookup(alias); !ok {
+			t.Errorf("alias %s missing", alias)
+		}
+	}
+	if _, ok := Lookup("fig7a"); ok {
+		t.Error("nonexistent id resolved")
+	}
+}
+
+func TestSweepReportWellFormed(t *testing.T) {
+	e, _ := Lookup("fig4d") // Gazelle: smallest workload
+	r := e.Run(quickCfg())
+	if r.ID != "fig4d" {
+		t.Errorf("report id %q", r.ID)
+	}
+	if len(r.Columns) != 6 { // 3 algorithms × (time, memory)
+		t.Fatalf("fig4d report has %d columns, want 6", len(r.Columns))
+	}
+	if len(r.RowLabels) != 4 || len(r.Cells) != 4 {
+		t.Fatalf("fig4d report has %d rows, want 4", len(r.RowLabels))
+	}
+	for i, row := range r.Cells {
+		if len(row) != len(r.Columns) {
+			t.Fatalf("row %d has %d cells", i, len(row))
+		}
+		for j, v := range row {
+			if !math.IsNaN(v) && v < 0 {
+				t.Errorf("cell [%d][%d] negative: %v", i, j, v)
+			}
+		}
+	}
+	out := r.String()
+	for _, col := range r.Columns {
+		if !strings.Contains(out, col) {
+			t.Errorf("printed report missing column %q", col)
+		}
+	}
+}
+
+func TestAccuracyReportBounds(t *testing.T) {
+	e, _ := Lookup("table8")
+	r := e.Run(quickCfg())
+	if len(r.Columns) != 6 { // 3 approximate algorithms × (P, R)
+		t.Fatalf("table8 has %d columns, want 6", len(r.Columns))
+	}
+	for i, row := range r.Cells {
+		for j, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < 0 || v > 1+1e-12 {
+				t.Errorf("accuracy cell [%d][%d] = %v outside [0,1]", i, j, v)
+			}
+		}
+	}
+}
+
+// TestTable8AccuracyShape asserts the paper's Table 8 headline: the Normal
+// distribution-based approximations are essentially exact on the dense
+// dataset (precision and recall ≈ 1 at every threshold).
+func TestTable8AccuracyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test in -short mode")
+	}
+	e, _ := Lookup("table8")
+	r := e.Run(DefaultConfig())
+	ndCols := columnIndexes(r, "NDUApriori P", "NDUApriori R", "NDUH-Mine P", "NDUH-Mine R")
+	for i := range r.Cells {
+		for _, j := range ndCols {
+			if v := r.Cells[i][j]; !math.IsNaN(v) && v < 0.95 {
+				t.Errorf("row %s col %s: %v < 0.95 (paper: ≈1 on dense data)",
+					r.RowLabels[i], r.Columns[j], v)
+			}
+		}
+	}
+}
+
+// TestTable9AccuracyShape asserts the paper's Table 9 headline on the
+// sparse dataset: recall stays 1-ish for the Normal-based miners and the
+// Poisson-based miner never produces worse precision than 0.9 at the
+// paper's thresholds, with the Normal approximation at least as good as the
+// Poisson one on average (§4.4: "the Normal distribution-based
+// approximation algorithms can get better approximation effect").
+func TestTable9AccuracyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test in -short mode")
+	}
+	e, _ := Lookup("table9")
+	r := e.Run(DefaultConfig())
+	pd := columnIndexes(r, "PDUApriori P", "PDUApriori R")
+	nd := columnIndexes(r, "NDUApriori P", "NDUApriori R")
+	pdSum, ndSum, n := 0.0, 0.0, 0
+	for i := range r.Cells {
+		a, b := r.Cells[i][pd[0]]+r.Cells[i][pd[1]], r.Cells[i][nd[0]]+r.Cells[i][nd[1]]
+		if math.IsNaN(a) || math.IsNaN(b) {
+			continue
+		}
+		pdSum += a
+		ndSum += b
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no comparable accuracy rows")
+	}
+	if ndSum+1e-9 < pdSum {
+		t.Errorf("Normal approximation (%.3f) worse than Poisson (%.3f) on average; paper finds the opposite",
+			ndSum/float64(n), pdSum/float64(n))
+	}
+}
+
+// TestTable10Winners asserts the winner structure the paper's Table 10
+// reports: UApriori wins the dense expected-support cell, approximate
+// miners beat DCB, and every family has a reported winner per row.
+func TestTable10Winners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test in -short mode")
+	}
+	e, _ := Lookup("table10")
+	r := e.Run(DefaultConfig())
+	if len(r.RowLabels) != 4 {
+		t.Fatalf("table10 has %d rows", len(r.RowLabels))
+	}
+	winners := 0
+	for _, n := range r.Notes {
+		if strings.Contains(n, "winner") {
+			winners++
+		}
+	}
+	if winners != 12 { // 4 rows × 3 families
+		t.Errorf("table10 reports %d winners, want 12; notes: %v", winners, r.Notes)
+	}
+}
+
+// TestBudgetCutoffSkipsLaterPoints checks the paper's 1-hour cutoff
+// analogue: an algorithm exceeding the per-point budget is NaN for all
+// later sweep points.
+func TestBudgetCutoffSkipsLaterPoints(t *testing.T) {
+	cfg := quickCfg()
+	cfg.PointBudget = 1 * time.Nanosecond // everything blows the budget
+	e, _ := Lookup("fig4d")
+	r := e.Run(cfg)
+	if len(r.Cells) < 2 {
+		t.Fatal("need at least two sweep points")
+	}
+	for i := 1; i < len(r.Cells); i++ {
+		for j := range r.Cells[i] {
+			if !math.IsNaN(r.Cells[i][j]) {
+				t.Fatalf("point %d column %s measured despite blown budget", i, r.Columns[j])
+			}
+		}
+	}
+	foundNote := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "budget") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Error("no cutoff note recorded")
+	}
+}
+
+func TestConfigEffectiveScale(t *testing.T) {
+	cfg := Config{Scale: 4}
+	if got := cfg.effectiveScale(0.5); got != 1 {
+		t.Errorf("scale should cap at 1, got %v", got)
+	}
+	cfg.Scale = 0.5
+	if got := cfg.effectiveScale(0.02); math.Abs(got-0.01) > 1e-15 {
+		t.Errorf("effectiveScale = %v, want 0.01", got)
+	}
+	cfg.Scale = 0
+	if got := cfg.effectiveScale(0.02); got != 0.02 {
+		t.Errorf("zero scale should fall back to base, got %v", got)
+	}
+}
+
+func TestQuestSizesScale(t *testing.T) {
+	cfg := DefaultConfig()
+	sizes := questSizes(cfg)
+	if len(sizes) != 6 {
+		t.Fatalf("quest sweep has %d sizes", len(sizes))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("quest sizes not increasing: %v", sizes)
+		}
+	}
+	// 320k at base scale 0.01 → 3200.
+	if sizes[len(sizes)-1] != 3200 {
+		t.Errorf("largest quest size %d, want 3200", sizes[len(sizes)-1])
+	}
+}
+
+func columnIndexes(r *Report, names ...string) []int {
+	out := make([]int, len(names))
+	for k, n := range names {
+		out[k] = -1
+		for j, c := range r.Columns {
+			if c == n {
+				out[k] = j
+			}
+		}
+		if out[k] < 0 {
+			panic("column not found: " + n)
+		}
+	}
+	return out
+}

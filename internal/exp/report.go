@@ -1,0 +1,137 @@
+// Package exp is the benchmark harness of the reproduction: a declarative
+// registry of every figure panel and table of the paper's Section 4, a
+// sweep runner that measures time, memory and accuracy with the uniform
+// evaluation layer, and a report printer that emits the same rows/series
+// the paper plots.
+//
+// Experiments run at a configurable dataset scale. The default scales are
+// chosen so the full suite completes in minutes on a laptop; `-full` (CLI)
+// or Config.Scale = 1 reproduces the published dataset sizes. Absolute
+// numbers differ from the paper's 2012 testbed; EXPERIMENTS.md compares
+// shapes (orderings, crossovers, slopes), which is what the paper's own
+// conclusions rest on.
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Report is one printable experiment result: a labelled matrix with one row
+// per sweep value and one column per measured quantity.
+type Report struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Columns []string
+	// RowLabels are the sweep values, formatted.
+	RowLabels []string
+	// Cells[i][j] is the value of Columns[j] at RowLabels[i]; NaN marks a
+	// skipped point (the paper's "running time over 1 hour" cutoff).
+	Cells [][]float64
+	// Notes collects free-form annotations (dataset stats, cutoffs hit).
+	Notes []string
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns)+1)
+	widths[0] = len(r.XLabel)
+	for _, l := range r.RowLabels {
+		if len(l) > widths[0] {
+			widths[0] = len(l)
+		}
+	}
+	cells := make([][]string, len(r.RowLabels))
+	for i := range r.RowLabels {
+		cells[i] = make([]string, len(r.Columns))
+		for j := range r.Columns {
+			cells[i][j] = formatCell(r.Cells[i][j])
+		}
+	}
+	for j, c := range r.Columns {
+		widths[j+1] = len(c)
+		for i := range cells {
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	// Header.
+	fmt.Fprintf(w, "%-*s", widths[0], r.XLabel)
+	for j, c := range r.Columns {
+		fmt.Fprintf(w, "  %*s", widths[j+1], c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*len(r.Columns)))
+	for i, l := range r.RowLabels {
+		fmt.Fprintf(w, "%-*s", widths[0], l)
+		for j := range r.Columns {
+			fmt.Fprintf(w, "  %*s", widths[j+1], cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Fprint(&b)
+	return b.String()
+}
+
+// WriteCSV emits the report as CSV (x-label column first), for plotting
+// the panels outside the terminal. NaN cells become empty fields.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{r.XLabel}, r.Columns...)); err != nil {
+		return err
+	}
+	for i, label := range r.RowLabels {
+		row := make([]string, 1, len(r.Columns)+1)
+		row[0] = label
+		for _, v := range r.Cells[i] {
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func reportFixture() *Report {
+	return &Report{
+		ID:        "figX",
+		Title:     "fixture",
+		XLabel:    "min_esup",
+		Columns:   []string{"A s", "B s"},
+		RowLabels: []string{"0.5", "0.4"},
+		Cells: [][]float64{
+			{0.125, 2},
+			{math.NaN(), 1234.5},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestReportFprintGolden(t *testing.T) {
+	got := reportFixture().String()
+	want := strings.Join([]string{
+		"== figX — fixture ==",
+		"min_esup    A s     B s",
+		"-----------------------",
+		"0.5       0.125       2",
+		"0.4           -  1234.5",
+		"note: a note",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Fprint output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := reportFixture().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"min_esup,A s,B s",
+		"0.5,0.125,2",
+		"0.4,,1234.5",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), len(want), buf.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "-"},
+		{3, "3"},
+		{123.45, "123.5"},
+		{0.125, "0.125"},
+		{0.00031, "3.10e-04"},
+		{1e8, "100000000.0"},
+	}
+	for _, c := range cases {
+		if got := formatCell(c.in); got != c.want {
+			t.Errorf("formatCell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

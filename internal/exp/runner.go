@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/eval"
+)
+
+// Point is one sweep position: a database, thresholds, and the formatted
+// x-axis label of the paper's plot.
+type Point struct {
+	Label string
+	DB    *core.Database
+	Th    core.Thresholds
+}
+
+// runSweep measures every algorithm at every point and assembles the report
+// with one time column (seconds) and one memory column (MB) per algorithm —
+// the paired time/memory panels of Figures 4–6 come from the same runs.
+//
+// The per-point budget implements the paper's cutoff rule: sweeps are ordered
+// from the easiest to the hardest point, so once an algorithm blows the
+// budget it is skipped (NaN) for the rest of the sweep.
+func runSweep(cfg Config, id, title, xlabel string, algos []string, points []Point) *Report {
+	r := &Report{
+		ID:        id,
+		Title:     title,
+		XLabel:    xlabel,
+		RowLabels: make([]string, len(points)),
+		Cells:     make([][]float64, len(points)),
+	}
+	for _, a := range algos {
+		r.Columns = append(r.Columns, a+" s")
+	}
+	for _, a := range algos {
+		r.Columns = append(r.Columns, a+" MB")
+	}
+	skipped := make(map[string]bool, len(algos))
+	for i, pt := range points {
+		r.RowLabels[i] = pt.Label
+		r.Cells[i] = make([]float64, len(r.Columns))
+		for c := range r.Cells[i] {
+			r.Cells[i][c] = math.NaN()
+		}
+		for j, name := range algos {
+			if skipped[name] {
+				continue
+			}
+			m := eval.Run(algo.MustNew(name), pt.DB, pt.Th)
+			if m.Err != nil {
+				r.Notes = append(r.Notes, fmt.Sprintf("%s at %s=%s: %v", name, xlabel, pt.Label, m.Err))
+				skipped[name] = true
+				continue
+			}
+			r.Cells[i][j] = m.Elapsed.Seconds()
+			r.Cells[i][len(algos)+j] = float64(m.PeakHeapBytes) / (1 << 20)
+			if cfg.PointBudget > 0 && m.Elapsed > cfg.PointBudget {
+				skipped[name] = true
+				r.Notes = append(r.Notes, fmt.Sprintf("%s exceeded the %v point budget at %s=%s; later points skipped (paper's cutoff rule)", name, cfg.PointBudget, xlabel, pt.Label))
+			}
+		}
+		if cfg.Verbose {
+			r.Notes = append(r.Notes, fmt.Sprintf("point %s: N=%d", pt.Label, pt.DB.N()))
+		}
+	}
+	if len(points) > 0 {
+		st := points[len(points)-1].DB.Stats()
+		r.Notes = append(r.Notes, fmt.Sprintf("dataset %s: N=%d, items=%d, avg len %.2f, density %.4g",
+			st.Name, st.NumTrans, st.NumItems, st.AvgLen, st.Density))
+	}
+	return r
+}
+
+// runAccuracy measures precision/recall of the approximate miners against
+// the exact reference at every point (Tables 8 and 9). Columns follow the
+// paper's layout: P and R per approximate algorithm.
+func runAccuracy(cfg Config, id, title, xlabel string, approxAlgos []string, exactAlgo string, points []Point) *Report {
+	r := &Report{
+		ID:        id,
+		Title:     title,
+		XLabel:    xlabel,
+		RowLabels: make([]string, len(points)),
+		Cells:     make([][]float64, len(points)),
+	}
+	for _, a := range approxAlgos {
+		r.Columns = append(r.Columns, a+" P", a+" R")
+	}
+	for i, pt := range points {
+		r.RowLabels[i] = pt.Label
+		r.Cells[i] = make([]float64, len(r.Columns))
+		for c := range r.Cells[i] {
+			r.Cells[i][c] = math.NaN()
+		}
+		ref := eval.Run(algo.MustNew(exactAlgo), pt.DB, pt.Th)
+		if ref.Err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("exact reference %s at %s: %v", exactAlgo, pt.Label, ref.Err))
+			continue
+		}
+		for j, name := range approxAlgos {
+			m := eval.Run(algo.MustNew(name), pt.DB, pt.Th)
+			if m.Err != nil {
+				r.Notes = append(r.Notes, fmt.Sprintf("%s at %s: %v", name, pt.Label, m.Err))
+				continue
+			}
+			acc := eval.CompareSets(m.Results, ref.Results)
+			r.Cells[i][2*j] = acc.Precision
+			r.Cells[i][2*j+1] = acc.Recall
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf("%s=%s: |ER|=%d", xlabel, pt.Label, ref.Results.Len()))
+	}
+	return r
+}

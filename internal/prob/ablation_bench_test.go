@@ -1,0 +1,78 @@
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAblationFFTCutoff sweeps vector lengths around the
+// direct-vs-FFT convolution cutoff (fftConvolveCutoff = 64), measuring both
+// paths at each length so the crossover is visible in one benchmark run.
+// The cutoff is right where the fft/direct times swap order.
+func BenchmarkAblationFFTCutoff(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	for _, n := range []int{16, 32, 64, 128, 256, 1024} {
+		a := randomDist(rng, n)
+		c := randomDist(rng, n)
+		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				convolveDirect(a, c)
+			}
+		})
+		b.Run(fmt.Sprintf("fft/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				convolveFFT(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkPBFreqProbDP measures the dynamic-programming tail computation
+// that dominates DP-family mining (Table 4's O(N²·min_sup) row).
+func BenchmarkPBFreqProbDP(b *testing.B) {
+	rng := rand.New(rand.NewSource(65))
+	for _, n := range []int{100, 400, 1600} {
+		ps := randomProbs(rng, n)
+		msc := n / 4
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PBFreqProbDP(ps, msc)
+			}
+		})
+	}
+}
+
+// BenchmarkChernoffBound measures the O(1)-given-esup pruning test
+// (Table 4's Chernoff row) as the baseline the exact computations are
+// compared against.
+func BenchmarkChernoffBound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ChernoffInfrequent(40.5, 120, 0.9)
+	}
+}
+
+func randomDist(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		out[i] = rng.Float64()
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func randomProbs(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.05 + 0.9*rng.Float64()
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestChernoffNeverFalselyDismisses is the safety property of Lemma 1: if
+// the pruning test fires, the exact frequent probability must indeed be
+// below pft (no probabilistic frequent itemset may be pruned).
+func TestChernoffNeverFalselyDismisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 2000; trial++ {
+		n := 5 + rng.Intn(60)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		mu, _ := PBMeanVar(ps)
+		minCount := 1 + rng.Intn(n)
+		pft := rng.Float64()*0.98 + 0.01
+		if ChernoffInfrequent(mu, minCount, pft) {
+			exact := PBTailGE(ps, minCount)
+			if exact > pft {
+				t.Fatalf("false dismissal: mu=%v minCount=%d pft=%v exact=%v",
+					mu, minCount, pft, exact)
+			}
+		}
+	}
+}
+
+func TestChernoffZeroMean(t *testing.T) {
+	if !ChernoffInfrequent(0, 1, 0.5) {
+		t.Error("zero expected support must prune for minCount ≥ 1")
+	}
+	if ChernoffInfrequent(0, 0, 0.5) {
+		t.Error("minCount 0 is always frequent; must not prune")
+	}
+}
+
+func TestChernoffVacuousWhenMeanExceedsThreshold(t *testing.T) {
+	// δ ≤ 0 when minCount ≤ mu + 1: no pruning regardless of pft.
+	if ChernoffInfrequent(10, 10, 0.999) {
+		t.Error("pruned although threshold ≤ mean + 1")
+	}
+	if ChernoffInfrequent(10, 11, 0.999) {
+		t.Error("pruned although δ = 0")
+	}
+}
+
+func TestChernoffPrunesFarTail(t *testing.T) {
+	// An itemset with expected support 1 can essentially never reach
+	// support 100: the bound must fire for any realistic pft.
+	if !ChernoffInfrequent(1, 100, 0.9) {
+		t.Error("far tail not pruned")
+	}
+	if !ChernoffInfrequent(1, 100, 0.001) {
+		t.Error("far tail not pruned at small pft")
+	}
+}
+
+func TestChernoffBoundDominatesExactTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 1000; trial++ {
+		n := 5 + rng.Intn(40)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		mu, _ := PBMeanVar(ps)
+		minCount := 1 + rng.Intn(n+5)
+		bound := ChernoffBound(mu, minCount)
+		exact := PBTailGE(ps, minCount)
+		if exact > bound+1e-9 {
+			t.Fatalf("bound %v below exact tail %v (mu=%v, minCount=%d)",
+				bound, exact, mu, minCount)
+		}
+	}
+}
+
+func TestChernoffBoundEdges(t *testing.T) {
+	if ChernoffBound(0, 1) != 0 || ChernoffBound(0, 0) != 1 {
+		t.Error("zero-mean edges wrong")
+	}
+	if ChernoffBound(5, 3) != 1 {
+		t.Error("vacuous bound must be 1")
+	}
+	if b := ChernoffBound(1, 1000); b <= 0 || b > 1e-100 {
+		t.Errorf("extreme tail bound = %v, want tiny positive", b)
+	}
+	if math.IsNaN(ChernoffBound(2.5, 7)) {
+		t.Error("NaN bound")
+	}
+}
+
+func TestChernoffMoreAggressiveAtHigherPFT(t *testing.T) {
+	// If the bound prunes at pft₁ it must also prune at every pft₂ > pft₁
+	// (bound < pft₁ < pft₂).
+	mu, minCount := 3.0, 20
+	pruned := false
+	for _, pft := range []float64{0.001, 0.01, 0.1, 0.5, 0.9, 0.99} {
+		now := ChernoffInfrequent(mu, minCount, pft)
+		if pruned && !now {
+			t.Fatalf("pruning not monotone in pft at %v", pft)
+		}
+		pruned = now
+	}
+}

@@ -1,0 +1,167 @@
+package prob
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x, false)
+		FFT(x, true)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d round trip diverged at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of the unit impulse is all ones.
+	x := []complex128{1, 0, 0, 0}
+	FFT(x, false)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v", i, v)
+		}
+	}
+	// FFT of constant 1 is n·impulse.
+	y := []complex128{1, 1, 1, 1}
+	FFT(y, false)
+	if cmplx.Abs(y[0]-4) > 1e-12 {
+		t.Fatalf("DC bin = %v", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FFT length %d did not panic", n)
+				}
+			}()
+			FFT(make([]complex128, n), false)
+		}()
+	}
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		a := randProbs(rng, 1+rng.Intn(200))
+		b := randProbs(rng, 1+rng.Intn(200))
+		got := Convolve(a, b)
+		want := convolveDirect(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("length %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*math.Max(1, want[i]) {
+				t.Fatalf("conv[%d] = %v, want %v (la=%d lb=%d)", i, got[i], want[i], len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestConvolveForcesFFTPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randProbs(rng, fftConvolveCutoff*2)
+	b := randProbs(rng, fftConvolveCutoff*2)
+	got := convolveFFT(a, b)
+	want := convolveDirect(a, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("fft path diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil || Convolve([]float64{1}, nil) != nil {
+		t.Fatal("empty convolution must be nil")
+	}
+}
+
+func TestConvolveTruncatedFoldsTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		a := randProbs(rng, 1+rng.Intn(50))
+		b := randProbs(rng, 1+rng.Intn(50))
+		cap := rng.Intn(len(a) + len(b))
+		got := ConvolveTruncated(a, b, cap)
+		full := convolveDirect(a, b)
+		if len(full) <= cap+1 {
+			// No folding needed.
+			for i := range full {
+				if math.Abs(got[i]-full[i]) > 1e-9 {
+					t.Fatalf("unfolded mismatch at %d", i)
+				}
+			}
+			continue
+		}
+		if len(got) != cap+1 {
+			t.Fatalf("len = %d, want %d", len(got), cap+1)
+		}
+		for i := 0; i < cap; i++ {
+			if math.Abs(got[i]-full[i]) > 1e-9 {
+				t.Fatalf("point mass %d = %v, want %v", i, got[i], full[i])
+			}
+		}
+		tail := 0.0
+		for i := cap; i < len(full); i++ {
+			tail += full[i]
+		}
+		if tail > 1 {
+			tail = 1
+		}
+		if math.Abs(got[cap]-tail) > 1e-9 {
+			t.Fatalf("bucket = %v, want %v", got[cap], tail)
+		}
+	}
+}
+
+// Property: convolving two probability distributions yields a probability
+// distribution (non-negative, sums to the product of the input sums).
+func TestConvolvePreservesMassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randProbs(rng, 1+rng.Intn(100))
+		b := randProbs(rng, 1+rng.Intn(100))
+		var sa, sb float64
+		for _, v := range a {
+			sa += v
+		}
+		for _, v := range b {
+			sb += v
+		}
+		c := Convolve(a, b)
+		var sc float64
+		for _, v := range c {
+			if v < 0 {
+				return false
+			}
+			sc += v
+		}
+		return math.Abs(sc-sa*sb) < 1e-6*math.Max(1, sa*sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

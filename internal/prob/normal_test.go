@@ -1,0 +1,134 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		z, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.96, 0.9750021048517795},
+		{-1.96, 0.024997895148220435},
+		{3, 0.9986501019683699},
+		{-6, 9.865876450376946e-10},
+	}
+	for _, tc := range tests {
+		if got := StdNormalCDF(tc.z); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Φ(%v) = %v, want %v", tc.z, got, tc.want)
+		}
+	}
+}
+
+func TestStdNormalTailComplement(t *testing.T) {
+	for _, z := range []float64{-8, -3, -1, 0, 0.5, 2, 8} {
+		if got := StdNormalCDF(z) + StdNormalTail(z); math.Abs(got-1) > 1e-12 {
+			t.Errorf("CDF+Tail at %v = %v", z, got)
+		}
+	}
+	// Tail precision far out where 1−Φ underflows naive computation.
+	if got := StdNormalTail(10); got == 0 || got > 1e-20 {
+		t.Errorf("Tail(10) = %v, want ~7.6e-24", got)
+	}
+}
+
+func TestNormalCDFLocationScale(t *testing.T) {
+	if got := NormalCDF(5, 5, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("NormalCDF(mean) = %v", got)
+	}
+	if got := NormalCDF(7, 5, 2); math.Abs(got-StdNormalCDF(1)) > 1e-12 {
+		t.Errorf("NormalCDF(+1σ) = %v", got)
+	}
+}
+
+func TestNormalFreqProbBehaviour(t *testing.T) {
+	// Degenerate variance collapses to a step function at minCount − 0.5.
+	if NormalFreqProb(10, 0, 10) != 1 {
+		t.Error("esup ≥ m with zero variance must give 1")
+	}
+	if NormalFreqProb(9, 0, 10) != 0 {
+		t.Error("esup < m with zero variance must give 0")
+	}
+	// Increasing esup increases the tail.
+	prev := -1.0
+	for _, esup := range []float64{5, 8, 10, 12, 15} {
+		fp := NormalFreqProb(esup, 4, 10)
+		if fp < prev {
+			t.Fatalf("tail not monotone in esup at %v", esup)
+		}
+		prev = fp
+	}
+	// Centered case: esup = minCount − 0.5 gives exactly 1/2.
+	if got := NormalFreqProb(9.5, 4, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("centered tail = %v", got)
+	}
+}
+
+func TestStdNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-8, 0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1 - 1e-8} {
+		z := StdNormalQuantile(p)
+		if got := StdNormalCDF(z); math.Abs(got-p) > 1e-9 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, got)
+		}
+	}
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if !math.IsNaN(StdNormalQuantile(p)) {
+			t.Errorf("quantile(%v) should be NaN", p)
+		}
+	}
+}
+
+func TestRegGammaComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := rng.Float64()*50 + 0.01
+		x := rng.Float64() * 100
+		p, q := RegLowerGamma(a, x), RegUpperGamma(a, x)
+		if math.Abs(p+q-1) > 1e-10 {
+			t.Fatalf("P+Q = %v at a=%v x=%v", p+q, a, x)
+		}
+		if p < 0 || p > 1 || q < 0 || q > 1 {
+			t.Fatalf("out of range: P=%v Q=%v at a=%v x=%v", p, q, a, x)
+		}
+	}
+}
+
+func TestRegGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegLowerGamma(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Edge cases.
+	if RegLowerGamma(2, 0) != 0 || RegUpperGamma(2, 0) != 1 {
+		t.Error("x=0 edge wrong")
+	}
+	if !math.IsNaN(RegLowerGamma(-1, 2)) || !math.IsNaN(RegUpperGamma(0, 2)) {
+		t.Error("invalid a must give NaN")
+	}
+}
+
+// Property: Φ is monotone non-decreasing.
+func TestStdNormalCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return StdNormalCDF(lo) <= StdNormalCDF(hi)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package rules derives association rules from mined frequent itemsets —
+// the classical downstream step of frequent-itemset mining (Agrawal,
+// Imieliński, Swami 1993, the paper's reference [7]) lifted to uncertain
+// data: supports are expected supports, so confidence becomes expected
+// confidence econf(X ⇒ Y) = esup(X ∪ Y) / esup(X).
+//
+// Rule generation follows the ap-genrules scheme: for each frequent itemset
+// Z, consequents grow level-wise, and the anti-monotonicity of confidence
+// in the consequent (moving an item from antecedent to consequent can only
+// lower the numerator's share) prunes the enumeration.
+//
+// The generator works on any ResultSet whose semantics guarantees subset
+// closure — both of the paper's definitions do (expected support and
+// frequent probability are anti-monotone), so every subset of a reported
+// itemset is itself reported and its expected support is available without
+// re-scanning the database.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"umine/internal/core"
+)
+
+// Rule is one association rule Antecedent ⇒ Consequent over an uncertain
+// database, with the uncertain analogues of the classical measures.
+type Rule struct {
+	// Antecedent and Consequent are disjoint, non-empty itemsets.
+	Antecedent core.Itemset
+	Consequent core.Itemset
+	// ESup is the expected support of Antecedent ∪ Consequent.
+	ESup float64
+	// Confidence is the expected confidence esup(X∪Y)/esup(X).
+	Confidence float64
+	// Lift is Confidence / (esup(Y)/N): how much more often the consequent
+	// co-occurs with the antecedent than its base rate predicts.
+	Lift float64
+}
+
+// String renders the rule in the usual arrow form.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (esup %.3f, conf %.3f, lift %.3f)",
+		r.Antecedent, r.Consequent, r.ESup, r.Confidence, r.Lift)
+}
+
+// Config controls rule generation.
+type Config struct {
+	// MinConfidence is the expected-confidence threshold in (0, 1].
+	MinConfidence float64
+	// MaxConsequent bounds the consequent size (0 = unbounded).
+	MaxConsequent int
+}
+
+// Generate derives all association rules with expected confidence at least
+// cfg.MinConfidence from the result set. The result set must come from a
+// mining run (canonical order, subset-closed); an itemset whose subset is
+// missing yields an error, because confidences would silently be wrong.
+func Generate(rs *core.ResultSet, cfg Config) ([]Rule, error) {
+	if cfg.MinConfidence <= 0 || cfg.MinConfidence > 1 {
+		return nil, fmt.Errorf("rules: MinConfidence %v outside (0,1]", cfg.MinConfidence)
+	}
+	if rs.N <= 0 {
+		return nil, fmt.Errorf("rules: result set has no transaction count")
+	}
+	var out []Rule
+	for _, r := range rs.Results {
+		if len(r.Itemset) < 2 {
+			continue
+		}
+		rules, err := genForItemset(rs, r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rules...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if c := out[i].Antecedent.Compare(out[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return out[i].Consequent.Compare(out[j].Consequent) < 0
+	})
+	return out, nil
+}
+
+// genForItemset runs ap-genrules on one frequent itemset: consequents start
+// at size 1 and grow while confidence stays above the threshold.
+func genForItemset(rs *core.ResultSet, r core.Result, cfg Config) ([]Rule, error) {
+	z := r.Itemset
+	var out []Rule
+	// Level 1 consequents: single items.
+	var level []core.Itemset
+	for _, it := range z {
+		level = append(level, core.NewItemset(it))
+	}
+	for size := 1; len(level) > 0 && size < len(z); size++ {
+		if cfg.MaxConsequent > 0 && size > cfg.MaxConsequent {
+			break
+		}
+		var kept []core.Itemset
+		for _, y := range level {
+			x := minus(z, y)
+			xr, ok := rs.Lookup(x)
+			if !ok {
+				return nil, fmt.Errorf("rules: result set not subset-closed: %v missing (needed for %v)", x, z)
+			}
+			if xr.ESup <= 0 {
+				continue
+			}
+			conf := r.ESup / xr.ESup
+			if conf > 1 {
+				conf = 1 // float guard: esup(Z) ≤ esup(X) mathematically
+			}
+			if conf+core.Eps < cfg.MinConfidence {
+				continue // and by anti-monotonicity no superset-consequent survives
+			}
+			kept = append(kept, y)
+			yr, ok := rs.Lookup(y)
+			lift := 0.0
+			if ok && yr.ESup > 0 {
+				lift = conf / (yr.ESup / float64(rs.N))
+			}
+			out = append(out, Rule{Antecedent: x, Consequent: y, ESup: r.ESup, Confidence: conf, Lift: lift})
+		}
+		level = growConsequents(kept, z)
+	}
+	return out, nil
+}
+
+// growConsequents joins same-size surviving consequents sharing a prefix,
+// keeping only candidates all of whose size-k subsets survived (the Apriori
+// join on consequents).
+func growConsequents(kept []core.Itemset, z core.Itemset) []core.Itemset {
+	if len(kept) < 2 {
+		return nil
+	}
+	surviving := make(map[string]bool, len(kept))
+	for _, y := range kept {
+		surviving[y.Key()] = true
+	}
+	var next []core.Itemset
+	for i := 0; i < len(kept); i++ {
+		for j := i + 1; j < len(kept); j++ {
+			a, b := kept[i], kept[j]
+			if !samePrefix(a, b) || a[len(a)-1] >= b[len(b)-1] {
+				continue
+			}
+			cand := a.Extend(b[len(b)-1])
+			if len(cand) >= len(z) {
+				continue
+			}
+			if !allSubsetsSurvive(cand, surviving) {
+				continue
+			}
+			next = append(next, cand)
+		}
+	}
+	return next
+}
+
+func samePrefix(a, b core.Itemset) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsSurvive(cand core.Itemset, surviving map[string]bool) bool {
+	sub := make(core.Itemset, 0, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != drop {
+				sub = append(sub, it)
+			}
+		}
+		if !surviving[core.Itemset(sub).Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// minus returns z \ y; both must be canonical, y ⊆ z.
+func minus(z, y core.Itemset) core.Itemset {
+	out := make(core.Itemset, 0, len(z)-len(y))
+	j := 0
+	for _, it := range z {
+		if j < len(y) && y[j] == it {
+			j++
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}

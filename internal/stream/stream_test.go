@@ -1,0 +1,290 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"umine/internal/algo/uapriori"
+	"umine/internal/core"
+	"umine/internal/core/coretest"
+	"umine/internal/prob"
+)
+
+func newTestWindow(t *testing.T, size int, sem core.Semantics) *Window {
+	t.Helper()
+	th := core.Thresholds{MinESup: 0.4, MinSup: 0.4, PFT: 0.7}
+	w, err := NewWindow(Config{Size: size, Thresholds: th, Semantics: sem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(Config{Size: 0, Thresholds: core.Thresholds{MinESup: 0.5}}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewWindow(Config{Size: 4, Thresholds: core.Thresholds{MinESup: -1}}); err == nil {
+		t.Error("invalid thresholds accepted")
+	}
+	if _, err := NewWindow(Config{Size: 4, Thresholds: core.Thresholds{MinESup: 0.5}, RefreshEvery: 10}); err == nil {
+		t.Error("refresh without miner accepted")
+	}
+}
+
+// TestIncrementalMatchesBatch: after any sequence of pushes, the running
+// sums of every watched itemset must match a from-scratch computation over
+// the window snapshot.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	w := newTestWindow(t, 16, core.ExpectedSupport)
+	watch := []core.Itemset{
+		core.NewItemset(0),
+		core.NewItemset(1, 2),
+		core.NewItemset(0, 3, 4),
+	}
+	for _, x := range watch {
+		w.Watch(x)
+	}
+	for step := 0; step < 200; step++ {
+		var units []core.Unit
+		for it := 0; it < 6; it++ {
+			if rng.Float64() < 0.5 {
+				units = append(units, core.Unit{Item: core.Item(it), Prob: 0.1 + 0.9*rng.Float64()})
+			}
+		}
+		if _, err := w.Push(units); err != nil {
+			t.Fatal(err)
+		}
+		db := w.Snapshot()
+		for _, x := range watch {
+			wantE, wantV := db.ESupVar(x)
+			gotE, ok := w.ESup(x)
+			if !ok {
+				t.Fatalf("step %d: %v not watched", step, x)
+			}
+			if math.Abs(gotE-wantE) > 1e-9 {
+				t.Fatalf("step %d %v: incremental esup %v, batch %v", step, x, gotE, wantE)
+			}
+			pos := w.index[x.Key()]
+			if math.Abs(w.watch[pos].varsum-wantV) > 1e-9 {
+				t.Fatalf("step %d %v: incremental var %v, batch %v", step, x, w.watch[pos].varsum, wantV)
+			}
+		}
+	}
+	if w.N() != 16 {
+		t.Fatalf("window holds %d, want 16", w.N())
+	}
+	if w.Arrived() != 200 {
+		t.Fatalf("arrived %d, want 200", w.Arrived())
+	}
+}
+
+// TestWatchMidStream: watching after pushes must initialize sums from the
+// current window contents.
+func TestWatchMidStream(t *testing.T) {
+	w := newTestWindow(t, 8, core.ExpectedSupport)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Push([]core.Unit{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 0.4}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Watch(core.NewItemset(0, 1))
+	got, ok := w.ESup(core.NewItemset(0, 1))
+	if !ok || math.Abs(got-5*0.2) > 1e-12 {
+		t.Fatalf("mid-stream watch esup = %v, want 1.0", got)
+	}
+	// Duplicate watch is a no-op.
+	w.Watch(core.NewItemset(0, 1))
+	if len(w.watch) != 1 {
+		t.Fatalf("duplicate watch grew the list to %d", len(w.watch))
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	w := newTestWindow(t, 4, core.ExpectedSupport)
+	a, b := core.NewItemset(0), core.NewItemset(1)
+	w.Watch(a)
+	w.Watch(b)
+	w.Unwatch(a)
+	if _, ok := w.ESup(a); ok {
+		t.Error("unwatched itemset still queryable")
+	}
+	if _, ok := w.ESup(b); !ok {
+		t.Error("unrelated itemset lost")
+	}
+	w.Unwatch(a) // absent: no-op
+	if got := w.Watched(); len(got) != 1 || !got[0].Equal(b) {
+		t.Fatalf("Watched() = %v", got)
+	}
+}
+
+// TestEvictionExactness: a window of size 3 over the paper's 4 transactions
+// must report the expected support of the last 3 transactions only.
+func TestEvictionExactness(t *testing.T) {
+	w := newTestWindow(t, 3, core.ExpectedSupport)
+	w.Watch(core.NewItemset(coretest.A))
+	for _, tx := range coretest.PaperDB().Transactions {
+		if _, err := w.Push(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Last three transactions of Table 1: A appears with 0.8, 0.5, 0 (T4
+	// has no A) → esup 1.3.
+	got, _ := w.ESup(core.NewItemset(coretest.A))
+	if math.Abs(got-1.3) > 1e-12 {
+		t.Fatalf("windowed esup(A) = %v, want 1.3", got)
+	}
+}
+
+func TestFrequentExpectedSupport(t *testing.T) {
+	w := newTestWindow(t, 4, core.ExpectedSupport)
+	for _, x := range []core.Itemset{
+		core.NewItemset(coretest.A),
+		core.NewItemset(coretest.C),
+		core.NewItemset(coretest.D),
+	} {
+		w.Watch(x)
+	}
+	for _, tx := range coretest.PaperDB().Transactions {
+		if _, err := w.Push(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full window = Table 1; min_esup 0.4 → threshold 1.6: A (2.1) and
+	// C (2.6) qualify, D (1.2) does not.
+	got := w.Frequent()
+	if len(got) != 2 {
+		t.Fatalf("Frequent() = %v, want A and C", got)
+	}
+	if !got[0].Itemset.Equal(core.NewItemset(coretest.A)) || !got[1].Itemset.Equal(core.NewItemset(coretest.C)) {
+		t.Fatalf("Frequent() = %v", got)
+	}
+}
+
+// TestFreqProbMatchesNormalApprox: the windowed frequent probability must
+// equal the §3.3.2 formula computed from the snapshot.
+func TestFreqProbMatchesNormalApprox(t *testing.T) {
+	w := newTestWindow(t, 4, core.Probabilistic)
+	x := core.NewItemset(coretest.A)
+	w.Watch(x)
+	for _, tx := range coretest.PaperDB().Transactions {
+		if _, err := w.Push(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := w.Snapshot()
+	esup, varsum := db.ESupVar(x)
+	msc := core.Thresholds{MinSup: 0.4, PFT: 0.7}.MinSupCount(db.N())
+	want := 1 - prob.StdNormalCDF((float64(msc)-0.5-esup)/math.Sqrt(varsum))
+	got, ok := w.FreqProb(x)
+	if !ok || math.Abs(got-want) > 1e-12 {
+		t.Fatalf("windowed freq prob %v, formula %v", got, want)
+	}
+	if _, ok := w.FreqProb(core.NewItemset(coretest.B)); ok {
+		t.Error("unwatched itemset answered")
+	}
+}
+
+// TestRefreshDiscoversNewPatterns: periodic re-mining must pick up itemsets
+// that became frequent after the watch list was built.
+func TestRefreshDiscoversNewPatterns(t *testing.T) {
+	th := core.Thresholds{MinESup: 0.5}
+	w, err := NewWindow(Config{
+		Size:         8,
+		Thresholds:   th,
+		Semantics:    core.ExpectedSupport,
+		RefreshEvery: 8,
+		Miner:        &uapriori.Miner{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: item 0 dominates.
+	for i := 0; i < 8; i++ {
+		refreshed, err := w.Push([]core.Unit{{Item: 0, Prob: 0.9}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 7) != refreshed {
+			t.Fatalf("push %d: refreshed = %v", i, refreshed)
+		}
+	}
+	if _, ok := w.ESup(core.NewItemset(0)); !ok {
+		t.Fatal("refresh did not discover item 0")
+	}
+	// Phase 2: the stream shifts to items 1+2.
+	for i := 0; i < 8; i++ {
+		if _, err := w.Push([]core.Unit{{Item: 1, Prob: 0.9}, {Item: 2, Prob: 0.8}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	watched := map[string]bool{}
+	for _, x := range w.Watched() {
+		watched[x.Key()] = true
+	}
+	if !watched[core.NewItemset(1, 2).Key()] {
+		t.Fatalf("refresh missed the new pattern {1,2}; watching %v", w.Watched())
+	}
+	if watched[core.NewItemset(0).Key()] {
+		t.Fatalf("stale pattern {0} survived a full window turnover; watching %v", w.Watched())
+	}
+}
+
+func TestPushRejectsBadUnits(t *testing.T) {
+	w := newTestWindow(t, 4, core.ExpectedSupport)
+	if _, err := w.Push([]core.Unit{{Item: 0, Prob: 1.5}}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := w.Push([]core.Unit{{Item: 0, Prob: -0.2}}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestSnapshotOrder(t *testing.T) {
+	w := newTestWindow(t, 3, core.ExpectedSupport)
+	for i := 0; i < 5; i++ {
+		p := 0.1 + 0.1*float64(i)
+		if _, err := w.Push([]core.Unit{{Item: 0, Prob: p}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := w.Snapshot()
+	if db.N() != 3 {
+		t.Fatalf("snapshot N = %d", db.N())
+	}
+	// Oldest surviving first: pushes 3, 4, 5 → probs 0.3, 0.4, 0.5.
+	for i, want := range []float64{0.3, 0.4, 0.5} {
+		if got := db.Transactions[i][0].Prob; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("snapshot[%d] prob %v, want %v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkWindowPush(b *testing.B) {
+	th := core.Thresholds{MinESup: 0.4}
+	w, err := NewWindow(Config{Size: 1024, Thresholds: th, Semantics: core.ExpectedSupport})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		w.Watch(core.NewItemset(core.Item(i), core.Item(i+1)))
+	}
+	rng := rand.New(rand.NewSource(1))
+	txs := make([][]core.Unit, 256)
+	for i := range txs {
+		for it := 0; it < 80; it++ {
+			if rng.Float64() < 0.25 {
+				txs[i] = append(txs[i], core.Unit{Item: core.Item(it), Prob: rng.Float64()*0.9 + 0.1})
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Push(txs[i%len(txs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

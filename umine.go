@@ -1,0 +1,197 @@
+// Package umine is a Go reproduction of "Mining Frequent Itemsets over
+// Uncertain Databases" (Tong, Chen, Cheng, Yu; PVLDB 5(11), 2012): a uniform
+// implementation platform for the eight representative frequent-itemset
+// mining algorithms over uncertain transaction databases, plus the datasets,
+// measurement layer and benchmark harness of the paper's experimental study.
+//
+// # Model
+//
+// An uncertain transaction database UDB is a list of transactions; each
+// transaction is a set of (item, probability) units, the probability being
+// the chance the item truly appears in that transaction (the attribute-level
+// existential-uncertainty model of §2). The support of an itemset X is then
+// a random variable following the Poisson-Binomial distribution with one
+// trial per transaction, success probability Pr(X ⊆ T_j) = Π_{x∈X} p_j(x).
+//
+// The paper's two frequentness definitions are both supported:
+//
+//   - expected support (Definitions 1–2): X is frequent iff
+//     esup(X) = Σ_j Pr(X ⊆ T_j) ≥ N·min_esup;
+//   - frequent probability (Definitions 3–4): X is frequent iff
+//     Pr{sup(X) ≥ N·min_sup} > pft.
+//
+// # Algorithms
+//
+// Ten miner configurations are registered (the paper's eight algorithms,
+// with the Chernoff-pruned and unpruned exact variants counted separately):
+//
+//	expected support:  UApriori, UFP-growth, UH-Mine
+//	exact prob.:       DPNB, DPB, DCNB, DCB
+//	approximate prob.: PDUApriori, NDUApriori, NDUH-Mine
+//
+// Construct one with NewMiner and run it with Mine or Measure:
+//
+//	m, _ := umine.NewMiner("UApriori")
+//	rs, _ := m.Mine(db, umine.Thresholds{MinESup: 0.5})
+//	for _, r := range rs.Results {
+//	    fmt.Println(r.Itemset, r.ESup)
+//	}
+//
+// Subpackages of internal/ hold the implementations; this package is the
+// stable public surface used by the examples, the CLI tools and the
+// benchmark harness.
+package umine
+
+import (
+	"io"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/dataset"
+	"umine/internal/eval"
+	"umine/internal/exp"
+)
+
+// Core data-model types, re-exported.
+type (
+	// Item is a dense item identifier in [0, NumItems).
+	Item = core.Item
+	// Itemset is a canonical (sorted, duplicate-free) set of items.
+	Itemset = core.Itemset
+	// Unit is one (item, probability) entry of an uncertain transaction.
+	Unit = core.Unit
+	// Transaction is a canonical uncertain transaction.
+	Transaction = core.Transaction
+	// Database is an immutable uncertain transaction database.
+	Database = core.Database
+	// Thresholds carries min_esup / min_sup / pft.
+	Thresholds = core.Thresholds
+	// Semantics selects between the two frequentness definitions.
+	Semantics = core.Semantics
+	// Result is one mined itemset with its frequentness measures.
+	Result = core.Result
+	// ResultSet is a mining outcome in canonical itemset order.
+	ResultSet = core.ResultSet
+	// MiningStats counts algorithm work (candidates, prunes, scans).
+	MiningStats = core.MiningStats
+	// Miner is the uniform interface implemented by all algorithms.
+	Miner = core.Miner
+	// Measurement is a timed, memory-profiled mining run.
+	Measurement = eval.Measurement
+	// Accuracy is the precision/recall comparison of §4.4.
+	Accuracy = eval.Accuracy
+)
+
+// Semantics values.
+const (
+	// ExpectedSupport is Definition 2 (esup(X) ≥ N × min_esup).
+	ExpectedSupport = core.ExpectedSupport
+	// Probabilistic is Definition 4 (Pr{sup(X) ≥ N·min_sup} > pft).
+	Probabilistic = core.Probabilistic
+)
+
+// NewItemset builds a canonical itemset from the given items.
+func NewItemset(items ...Item) Itemset { return core.NewItemset(items...) }
+
+// NewDatabase normalizes raw transactions into a Database.
+func NewDatabase(name string, raw [][]Unit) (*Database, error) {
+	return core.NewDatabase(name, raw)
+}
+
+// MustNewDatabase is NewDatabase panicking on error, for literal data.
+func MustNewDatabase(name string, raw [][]Unit) *Database {
+	return core.MustNewDatabase(name, raw)
+}
+
+// NewMiner constructs a fresh miner by algorithm name. Valid names are
+// returned by Algorithms.
+func NewMiner(name string) (Miner, error) { return algo.New(name) }
+
+// Algorithms lists all registered algorithm names in the paper's order.
+func Algorithms() []string { return algo.Names() }
+
+// Mine is the one-call convenience: construct the named miner and run it.
+func Mine(algorithm string, db *Database, th Thresholds) (*ResultSet, error) {
+	m, err := algo.New(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine(db, th)
+}
+
+// Measure runs one mining execution under the paper's uniform measurement
+// layer (wall-clock time, sampled peak heap, retained heap).
+func Measure(algorithm string, db *Database, th Thresholds) (Measurement, error) {
+	m, err := algo.New(algorithm)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return eval.Run(m, db, th), nil
+}
+
+// CompareSets computes precision and recall of an approximate result set
+// against an exact one (§4.4).
+func CompareSets(approx, exact *ResultSet) Accuracy { return eval.CompareSets(approx, exact) }
+
+// GenerateProfile generates an uncertain database shaped like one of the
+// paper's Table 6 benchmarks ("connect", "accident", "kosarak", "gazelle")
+// at the given scale of its published size, with the Table 7 default
+// Gaussian probabilities. See package umine/internal/dataset for the full
+// generator surface (custom assigners, the Quest synthetic generator, IO).
+func GenerateProfile(name string, scale float64, seed int64) (*Database, error) {
+	p, ok := dataset.Profiles[name]
+	if !ok {
+		return nil, &UnknownProfileError{Name: name}
+	}
+	return p.GenerateUncertain(scale, seed), nil
+}
+
+// ProfileNames lists the Table 6 benchmark profile names.
+func ProfileNames() []string {
+	out := make([]string, 0, len(dataset.Profiles))
+	for _, n := range []string{"connect", "accident", "kosarak", "gazelle"} {
+		if _, ok := dataset.Profiles[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// UnknownProfileError reports a profile name not in ProfileNames.
+type UnknownProfileError struct{ Name string }
+
+func (e *UnknownProfileError) Error() string {
+	return "umine: unknown benchmark profile " + e.Name
+}
+
+// ReadUncertain parses an uncertain transaction database from its text
+// format: one transaction per line, space-separated item:prob units.
+func ReadUncertain(r io.Reader, name string) (*Database, error) {
+	return dataset.ReadUncertain(r, name)
+}
+
+// WriteUncertain writes db in the text format accepted by ReadUncertain.
+func WriteUncertain(w io.Writer, db *Database) error {
+	return dataset.WriteUncertain(w, db)
+}
+
+// Experiments lists the ids of every reproducible figure panel and table of
+// the paper's Section 4; RunExperiment executes one.
+func Experiments() []string { return exp.IDs() }
+
+// RunExperiment runs a paper experiment by id at the default laptop-scale
+// configuration and returns its printable report.
+func RunExperiment(id string) (string, error) {
+	e, ok := exp.Lookup(id)
+	if !ok {
+		return "", &UnknownExperimentError{ID: id}
+	}
+	return e.Run(exp.DefaultConfig()).String(), nil
+}
+
+// UnknownExperimentError reports an experiment id not in Experiments.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "umine: unknown experiment " + e.ID
+}

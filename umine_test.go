@@ -1,0 +1,219 @@
+package umine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// table1 is the paper's running example database.
+func table1(t testing.TB) *Database {
+	t.Helper()
+	const (
+		A Item = iota
+		B
+		C
+		D
+		E
+		F
+	)
+	db, err := NewDatabase("table1", [][]Unit{
+		{{Item: A, Prob: 0.8}, {Item: B, Prob: 0.2}, {Item: C, Prob: 0.9}, {Item: D, Prob: 0.7}, {Item: F, Prob: 0.8}},
+		{{Item: A, Prob: 0.8}, {Item: B, Prob: 0.7}, {Item: C, Prob: 0.9}, {Item: E, Prob: 0.5}},
+		{{Item: A, Prob: 0.5}, {Item: C, Prob: 0.8}, {Item: E, Prob: 0.8}, {Item: F, Prob: 0.3}},
+		{{Item: B, Prob: 0.5}, {Item: D, Prob: 0.5}, {Item: F, Prob: 0.7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestMinePaperExample1(t *testing.T) {
+	db := table1(t)
+	rs, err := Mine("UApriori", db, Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("Example 1 expects {A} and {C}, got %d itemsets", rs.Len())
+	}
+	a, ok := rs.Lookup(NewItemset(0))
+	if !ok || math.Abs(a.ESup-2.1) > 1e-9 {
+		t.Errorf("esup(A) = %v, want 2.1", a.ESup)
+	}
+	c, ok := rs.Lookup(NewItemset(2))
+	if !ok || math.Abs(c.ESup-2.6) > 1e-9 {
+		t.Errorf("esup(C) = %v, want 2.6", c.ESup)
+	}
+}
+
+func TestMineProbabilisticOnPaperDB(t *testing.T) {
+	db := table1(t)
+	rs, err := Mine("DCB", db, Thresholds{MinSup: 0.5, PFT: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := rs.Lookup(NewItemset(0))
+	if !ok {
+		t.Fatal("{A} should be probabilistic frequent")
+	}
+	// Pr{sup(A) ≥ 2} from Table 1's probabilities (0.8, 0.8, 0.5): 0.80.
+	if math.Abs(a.FreqProb-0.80) > 1e-9 {
+		t.Errorf("Pr{sup(A) ≥ 2} = %v, want 0.80", a.FreqProb)
+	}
+}
+
+func TestAllAlgorithmsRunThroughFacade(t *testing.T) {
+	db := table1(t)
+	if len(Algorithms()) != 11 {
+		t.Fatalf("Algorithms() returned %d names, want 11", len(Algorithms()))
+	}
+	for _, name := range Algorithms() {
+		m, err := NewMiner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := Thresholds{MinESup: 0.5}
+		if m.Semantics() == Probabilistic {
+			th = Thresholds{MinSup: 0.5, PFT: 0.7}
+		}
+		rs, err := m.Mine(db, th)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rs.Len() == 0 {
+			t.Errorf("%s returned no itemsets on the paper example", name)
+		}
+		if rs.Algorithm != name {
+			t.Errorf("result set labelled %q, want %q", rs.Algorithm, name)
+		}
+	}
+}
+
+func TestNewMinerUnknown(t *testing.T) {
+	if _, err := NewMiner("FPMax"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Mine("FPMax", table1(t), Thresholds{MinESup: 0.5}); err == nil {
+		t.Fatal("Mine with unknown algorithm accepted")
+	}
+}
+
+func TestMeasureReturnsResults(t *testing.T) {
+	db := table1(t)
+	m, err := Measure("UH-Mine", db, Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if m.Results.Len() != 2 {
+		t.Fatalf("measured run found %d itemsets, want 2", m.Results.Len())
+	}
+	if m.Elapsed <= 0 {
+		t.Error("non-positive elapsed time")
+	}
+}
+
+func TestGenerateProfileFacade(t *testing.T) {
+	for _, name := range ProfileNames() {
+		db, err := GenerateProfile(name, 0.001, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.N() == 0 {
+			t.Errorf("%s: empty generated database", name)
+		}
+		if err := db.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	_, err := GenerateProfile("mushroom", 0.001, 7)
+	var unknown *UnknownProfileError
+	if !errors.As(err, &unknown) || unknown.Name != "mushroom" {
+		t.Fatalf("unknown profile error = %v", err)
+	}
+}
+
+func TestUncertainIORoundTripFacade(t *testing.T) {
+	db := table1(t)
+	var buf bytes.Buffer
+	if err := WriteUncertain(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUncertain(&buf, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != db.N() {
+		t.Fatalf("round trip changed N: %d vs %d", back.N(), db.N())
+	}
+	rs1, err := Mine("UApriori", db, Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := Mine("UApriori", back, Thresholds{MinESup: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs1.Len() != rs2.Len() {
+		t.Fatalf("round trip changed mining results: %d vs %d", rs1.Len(), rs2.Len())
+	}
+}
+
+func TestCompareSetsFacade(t *testing.T) {
+	db := table1(t)
+	exact, err := Mine("DCB", db, Thresholds{MinSup: 0.5, PFT: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Mine("NDUH-Mine", db, Thresholds{MinSup: 0.5, PFT: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := CompareSets(approx, exact)
+	if acc.Precision < 0 || acc.Precision > 1 || acc.Recall < 0 || acc.Recall > 1 {
+		t.Fatalf("accuracy out of range: %+v", acc)
+	}
+}
+
+func TestExperimentsRegistryFacade(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, want := range []string{"fig4a", "fig5a", "fig6a", "table8", "table9", "table10"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+	_, err := RunExperiment("fig99z")
+	var unknown *UnknownExperimentError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("unknown experiment error = %v", err)
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := RunExperiment("table10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "UApriori") || !strings.Contains(out, "winner") {
+		t.Fatalf("unexpected table10 report:\n%s", out)
+	}
+}
