@@ -1,0 +1,38 @@
+# Local targets mirroring .github/workflows/ci.yml job-for-job, so a green
+# `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build fmt vet test race bench ci
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## fmt: fail when any file needs gofmt (CI parity); run `gofmt -w .` to fix
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## test: the full suite (tier-1 verify), no shortcuts
+test:
+	$(GO) test ./...
+
+## race: the CI race job — short mode keeps it to a couple of minutes
+race:
+	$(GO) test -race -short ./...
+
+## bench: benchmark smoke run — one iteration each, so perf code keeps compiling and running
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+## ci: everything the pipeline runs
+ci: build fmt vet race bench

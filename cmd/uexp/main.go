@@ -29,6 +29,7 @@ func main() {
 		budget  = flag.Duration("budget", 20*time.Second, "per-point soft time budget (paper's 1-hour cutoff analogue)")
 		verbose = flag.Bool("v", false, "verbose per-point notes")
 		format  = flag.String("format", "text", "report format: text, csv")
+		workers = flag.Int("workers", 0, "max goroutines per measured miner (0/1 = serial, the paper's platform; -1 = all CPUs); results are identical at every setting")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.PointBudget = *budget
 	cfg.Verbose = *verbose
+	cfg.Workers = *workers
 
 	switch {
 	case *list:

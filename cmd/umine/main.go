@@ -15,11 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 
 	"umine"
-	"umine/internal/algo/uapriori"
 )
 
 func main() {
@@ -35,7 +35,7 @@ func main() {
 		top      = flag.Int("top", 0, "print only the top K itemsets by expected support (0 = all)")
 		stats    = flag.Bool("stats", false, "print mining statistics (candidates, prunes, scans)")
 		format   = flag.String("format", "text", "output format: text, csv, json")
-		workers  = flag.Int("workers", 0, "UApriori only: shard the counting pass over this many goroutines")
+		workers  = flag.Int("workers", 0, "max goroutines for any algorithm's parallel phases (0/1 = serial, -1 = all CPUs); results are identical at every setting")
 	)
 	flag.Parse()
 
@@ -44,22 +44,13 @@ func main() {
 		fatal(err)
 	}
 
-	if *workers > 1 && *algoName != "UApriori" {
-		fatal(fmt.Errorf("-workers applies to UApriori only"))
-	}
 	th := umine.Thresholds{MinESup: *minESup, MinSup: *minSup, PFT: *pft}
-	if *workers > 1 {
-		// The parallel counting pass is an extension; route through the
-		// concrete miner rather than the registry.
-		m := &uapriori.Miner{Workers: *workers}
-		rs, err := m.Mine(db, th)
-		if err != nil {
-			fatal(err)
-		}
-		printResults(db, rs, nil, *format, *top, *stats)
-		return
+	// Warn before mining starts (long runs should not bury the note), but
+	// only for valid names — typos get the unknown-algorithm error instead.
+	if (*workers > 1 || *workers < 0) && slices.Contains(umine.Algorithms(), *algoName) && !umine.SupportsWorkers(*algoName) {
+		fmt.Fprintf(os.Stderr, "umine: note: %s has no parallel phase; -workers is ignored and the run is serial\n", *algoName)
 	}
-	meas, err := umine.Measure(*algoName, db, th)
+	meas, err := umine.MeasureWith(*algoName, db, th, umine.Options{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -70,7 +61,7 @@ func main() {
 }
 
 // printResults renders one mining outcome; meas adds the measurement line
-// when available (the -workers path mines without the measurement layer).
+// when available.
 func printResults(db *umine.Database, rs *umine.ResultSet, meas *umine.Measurement, format string, top int, stats bool) {
 	switch format {
 	case "csv":

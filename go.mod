@@ -1,0 +1,3 @@
+module umine
+
+go 1.24

@@ -33,7 +33,15 @@ import (
 )
 
 // PDUApriori is the Poisson distribution-based approximate miner (§3.3.1).
-type PDUApriori struct{}
+type PDUApriori struct {
+	// Workers bounds the goroutines of the shared counting pass and the
+	// per-candidate tests (0 or 1 = serial; negative = GOMAXPROCS).
+	// Results are identical for every worker count.
+	Workers int
+}
+
+// SetWorkers implements core.ParallelMiner.
+func (m *PDUApriori) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner.
 func (m *PDUApriori) Name() string { return "PDUApriori" }
@@ -52,6 +60,9 @@ func (m *PDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 	lambda := prob.InversePoissonLambda(msc, th.PFT)
 	cfg := apriori.Config{
 		ESupPrune: lambda,
+		Workers:   m.Workers,
+		// The λ-threshold test is pure, so it may run on the pool.
+		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if c.ESup >= lambda-core.Eps {
 				return core.Result{Itemset: c.Items, ESup: c.ESup, Var: c.Var, FreqProb: math.NaN()}, true
@@ -72,7 +83,15 @@ func (m *PDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 
 // NDUApriori is the Normal distribution-based approximate miner in the
 // Apriori framework (§3.3.2).
-type NDUApriori struct{}
+type NDUApriori struct {
+	// Workers bounds the goroutines of the shared counting pass and the
+	// per-candidate Normal-tail tests (0 or 1 = serial; negative =
+	// GOMAXPROCS). Results are identical for every worker count.
+	Workers int
+}
+
+// SetWorkers implements core.ParallelMiner.
+func (m *NDUApriori) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner.
 func (m *NDUApriori) Name() string { return "NDUApriori" }
@@ -87,6 +106,9 @@ func (m *NDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 	}
 	msc := th.MinSupCount(db.N())
 	cfg := apriori.Config{
+		Workers: m.Workers,
+		// The Normal-tail test is pure, so it may run on the pool.
+		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			fp := prob.NormalFreqProb(c.ESup, c.Var, msc)
 			if fp > th.PFT+core.Eps {
@@ -108,7 +130,15 @@ func (m *NDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 
 // NDUHMine is the paper's new algorithm (§3.3.3): the Normal approximation
 // mounted on the UH-Mine depth-first hyper-structure.
-type NDUHMine struct{}
+type NDUHMine struct {
+	// Workers bounds the goroutines of the engine's first-level prefix
+	// fan-out (0 or 1 = serial; negative = GOMAXPROCS). Results are
+	// identical for every worker count.
+	Workers int
+}
+
+// SetWorkers implements core.ParallelMiner.
+func (m *NDUHMine) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner.
 func (m *NDUHMine) Name() string { return "NDUH-Mine" }
@@ -123,6 +153,7 @@ func (m *NDUHMine) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet,
 	}
 	msc := th.MinSupCount(db.N())
 	engine := &uhmine.Engine{
+		Workers: m.Workers,
 		// No esup floor: the Normal tail decides directly. (A frequent
 		// itemset can have esup slightly below msc when its variance is
 		// high, so an msc floor would lose results.)

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"umine/internal/core"
+	"umine/internal/parallel"
 )
 
 // Candidate is one itemset being evaluated at the current level, with the
@@ -49,14 +50,23 @@ type Config struct {
 	// Decide test can never accept an itemset with esup below the
 	// threshold. Zero disables it.
 	ESupPrune float64
-	// Workers shards the counting pass over this many goroutines (0 or 1 =
-	// serial). Per-candidate aggregates are accumulated per shard and
-	// merged in shard order, so probability vectors stay in transaction
-	// order; expected supports may differ from the serial run only by
-	// floating-point summation order (≤ a few ULPs). This is an extension
-	// beyond the paper's single-threaded platform — benchmarks comparing
-	// algorithm families keep it off.
+	// Workers bounds the goroutines used by the counting pass and (with
+	// ParallelDecide) the per-candidate frequentness tests: 0 or 1 =
+	// serial, negative = GOMAXPROCS (see umine/internal/parallel). The
+	// counting pass shards the transaction list into fixed chunks whose
+	// layout depends only on the database size and merges per-chunk
+	// aggregates in chunk order, so results are bit-identical for every
+	// worker count; probability vectors stay in global transaction order.
+	// This is an extension beyond the paper's single-threaded platform —
+	// benchmarks comparing algorithm families keep it off.
 	Workers int
+	// ParallelDecide marks Decide as safe for concurrent calls, letting the
+	// framework evaluate candidates' frequentness on the worker pool when
+	// Workers allows. A Decide that mutates shared state (e.g. stats
+	// counters) must synchronize internally (atomics). Outcomes are
+	// collected into per-candidate slots and appended in candidate order,
+	// so results and the next level's seeds are identical to a serial run.
+	ParallelDecide bool
 }
 
 // Run executes the level-wise mining loop and returns results in canonical
@@ -93,12 +103,35 @@ func Run(db *core.Database, cfg Config) ([]core.Result, core.MiningStats) {
 
 // decide applies cfg.Decide to every counted candidate, appending accepted
 // results and returning the frequent itemsets that seed the next level.
+// With ParallelDecide the tests run on the worker pool — each candidate's
+// verification is independent, which is where the exact miners spend almost
+// all of their time — but outcomes land in per-candidate slots and are
+// appended in candidate order, so the output matches the serial path.
 func decide(cands []Candidate, cfg Config, results *[]core.Result) []core.Itemset {
 	var frequent []core.Itemset
-	for i := range cands {
+	if !cfg.ParallelDecide || parallel.Resolve(cfg.Workers) == 1 {
+		// Serial path appends in place — no per-candidate outcome slots, so
+		// the paper-faithful single-threaded runs keep their old footprint.
+		for i := range cands {
+			res, keep := cfg.Decide(&cands[i])
+			if keep {
+				*results = append(*results, res)
+				frequent = append(frequent, cands[i].Items)
+			}
+		}
+		return frequent
+	}
+	type outcome struct {
+		res  core.Result
+		keep bool
+	}
+	outs := parallel.Map(cfg.Workers, cands, func(i int, _ Candidate) outcome {
 		res, keep := cfg.Decide(&cands[i])
-		if keep {
-			*results = append(*results, res)
+		return outcome{res, keep}
+	})
+	for i, o := range outs {
+		if o.keep {
+			*results = append(*results, o.res)
 			frequent = append(frequent, cands[i].Items)
 		}
 	}

@@ -1,10 +1,10 @@
 package apriori
 
 import (
-	"sync"
 	"unsafe"
 
 	"umine/internal/core"
+	"umine/internal/parallel"
 )
 
 // The counting pass. Candidates of one level are organized into a prefix
@@ -89,81 +89,130 @@ func candidateBytes(cands []Candidate, collectProbs bool) int64 {
 	for i := range cands {
 		size += int64(unsafe.Sizeof(cands[i])) + int64(len(cands[i].Items))*4
 		if collectProbs {
-			size += int64(cap(cands[i].Probs)) * 8
+			// len, not cap: append-growth slack depends on whether vectors
+			// grew element-wise (serial) or in chunk batches (parallel),
+			// and the tracked peak must be identical for every worker
+			// count.
+			size += int64(len(cands[i].Probs)) * 8
 		}
 	}
 	return size
 }
 
-// count dispatches one counting pass to the serial or sharded
-// implementation according to cfg.Workers.
+// count runs one counting pass on the shared parallel layer. The chunk
+// layout is a function of the database size alone (parallel.ChunkSizeFor),
+// and per-chunk aggregates merge in chunk order, so the pass returns
+// bit-identical aggregates for every cfg.Workers value ≥ 1: the worker
+// count only decides how many goroutines claim chunks, never how the
+// floating-point sums associate.
 func count(db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) {
-	if cfg.Workers <= 1 || len(db.Transactions) < 2*cfg.Workers {
-		countLevel(db, cands, k, cfg.CollectProbs, stats)
-		return
-	}
-	countLevelParallel(db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
+	countChunked(db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
 }
 
-// shardAccum holds one worker's per-candidate aggregates.
+// shardAccum holds one chunk's per-candidate aggregates.
 type shardAccum struct {
 	esup, varsup []float64
 	probs        [][]float64
 }
 
-// countLevelParallel shards the transaction list over workers goroutines.
-// Every worker walks its shard against the shared trie (read-only during
-// the walk) into its own accumulators; shards are merged in shard order
-// afterwards, so probability vectors remain in global transaction order.
-func countLevelParallel(db *core.Database, cands []Candidate, k int, collectProbs bool, workers int, stats *core.MiningStats) {
+// countChunked is the chunk-sharded counting pass behind count. Every chunk
+// walks its contiguous transaction range against the shared trie (read-only
+// during the walk) into per-chunk accumulators; chunks merge in chunk order,
+// so probability vectors remain in global transaction order. A single-chunk
+// layout (small databases) accumulates directly into the candidates —
+// bit-identical to the serial reference countLevel.
+//
+// PeakTrackedBytes stays the algorithm's structures (trie + candidates):
+// the transient accumulators are execution-layer overhead, visible to the
+// eval heap sampler but excluded here so the paper-style memory reports —
+// and the per-level peaks — are identical for every worker count.
+func countChunked(db *core.Database, cands []Candidate, k int, collectProbs bool, workers int, stats *core.MiningStats) {
 	if len(cands) == 0 {
+		return
+	}
+	n := len(db.Transactions)
+	size := parallel.ChunkSizeFor(n)
+	nc := parallel.NumChunks(n, size)
+	if nc <= 1 {
+		countLevel(db, cands, k, collectProbs, stats)
 		return
 	}
 	trie := buildTrie(cands)
 	stats.DBScans++
-
-	accums := make([]shardAccum, workers)
-	var wg sync.WaitGroup
-	chunk := (len(db.Transactions) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(db.Transactions) {
-			hi = len(db.Transactions)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := &accums[w]
-			acc.esup = make([]float64, len(cands))
-			acc.varsup = make([]float64, len(cands))
-			if collectProbs {
-				acc.probs = make([][]float64, len(cands))
-			}
-			for _, tx := range db.Transactions[lo:hi] {
-				if len(tx) < k {
-					continue
-				}
-				walkTrie(trie, tx, 0, 1, func(leaf int, p float64) {
-					acc.esup[leaf] += p
-					acc.varsup[leaf] += p * (1 - p)
-					if collectProbs {
-						acc.probs[leaf] = append(acc.probs[leaf], p)
-					}
-				})
-			}
-		}(w, lo, hi)
+	if parallel.Resolve(workers) == 1 {
+		countChunkedSerial(db, trie, cands, k, collectProbs, size, nc)
+	} else {
+		countChunkedParallel(db, trie, cands, k, collectProbs, workers, size, nc)
 	}
-	wg.Wait()
+	stats.TrackPeak(trieBytes(trie) + candidateBytes(cands, collectProbs))
+}
 
-	for w := range accums {
-		acc := &accums[w]
-		if acc.esup == nil {
-			continue
+// countChunkedSerial executes the chunked reduction inline: chunks run in
+// order, each accumulating into one reused scratch pair that folds into the
+// candidates after every chunk. The fold order — per-chunk partial added in
+// chunk order, including zero partials for untouched candidates — matches
+// countChunkedParallel's merge exactly, so the two paths are bit-identical;
+// the scratch is the only extra memory over the pre-chunking serial pass.
+// Probability vectors append directly (chunks in order ⇒ transaction
+// order), with no per-chunk copies.
+func countChunkedSerial(db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, size, nc int) {
+	esup := make([]float64, len(cands))
+	varsup := make([]float64, len(cands))
+	n := len(db.Transactions)
+	for c := 0; c < nc; c++ {
+		lo, hi := c*size, (c+1)*size
+		if hi > n {
+			hi = n
 		}
+		for _, tx := range db.Transactions[lo:hi] {
+			if len(tx) < k {
+				continue
+			}
+			walkTrie(trie, tx, 0, 1, func(leaf int, p float64) {
+				esup[leaf] += p
+				varsup[leaf] += p * (1 - p)
+				if collectProbs {
+					cands[leaf].Probs = append(cands[leaf].Probs, p)
+				}
+			})
+		}
+		for ci := range cands {
+			cands[ci].ESup += esup[ci]
+			cands[ci].Var += varsup[ci]
+			esup[ci], varsup[ci] = 0, 0
+		}
+	}
+}
+
+// countChunkedParallel materializes one accumulator per chunk (chunks
+// complete out of order on the pool) and merges them in chunk order.
+// Per-chunk probability vectors are released as soon as they are merged,
+// so the copies do not all outlive the merge.
+func countChunkedParallel(db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, workers, size, nc int) {
+	accums := make([]shardAccum, nc)
+	parallel.DoChunks(workers, len(db.Transactions), size, func(c, lo, hi int) {
+		acc := &accums[c]
+		acc.esup = make([]float64, len(cands))
+		acc.varsup = make([]float64, len(cands))
+		if collectProbs {
+			acc.probs = make([][]float64, len(cands))
+		}
+		for _, tx := range db.Transactions[lo:hi] {
+			if len(tx) < k {
+				continue
+			}
+			walkTrie(trie, tx, 0, 1, func(leaf int, p float64) {
+				acc.esup[leaf] += p
+				acc.varsup[leaf] += p * (1 - p)
+				if collectProbs {
+					acc.probs[leaf] = append(acc.probs[leaf], p)
+				}
+			})
+		}
+	})
+
+	for c := range accums {
+		acc := &accums[c]
 		for ci := range cands {
 			cands[ci].ESup += acc.esup[ci]
 			cands[ci].Var += acc.varsup[ci]
@@ -171,8 +220,8 @@ func countLevelParallel(db *core.Database, cands []Candidate, k int, collectProb
 				cands[ci].Probs = append(cands[ci].Probs, acc.probs[ci]...)
 			}
 		}
+		*acc = shardAccum{}
 	}
-	stats.TrackPeak(trieBytes(trie) + candidateBytes(cands, collectProbs))
 }
 
 // walkTrie walks one transaction against the candidate trie, invoking visit

@@ -10,24 +10,24 @@ import (
 	"umine/internal/dataset"
 )
 
-// TestParallelCountMatchesSerial: sharded counting must reproduce the
-// serial aggregates up to summation order, and keep probability vectors in
-// global transaction order.
-func TestParallelCountMatchesSerial(t *testing.T) {
+// TestChunkedCountMatchesSerial: the chunked counting pass must reproduce
+// the serial aggregates up to summation order, and keep probability vectors
+// in global transaction order.
+func TestChunkedCountMatchesSerial(t *testing.T) {
 	db := dataset.Accident.GenerateUncertain(0.001, 23)
-	for _, workers := range []int{2, 3, 8} {
+	for _, workers := range []int{1, 2, 3, 8} {
 		serial := pairCandidates(db, 256)
 		var sStats core.MiningStats
 		countLevel(db, serial, 2, true, &sStats)
 
-		parallel := cloneCandidates(serial)
+		chunked := cloneCandidates(serial)
 		var pStats core.MiningStats
-		countLevelParallel(db, parallel, 2, true, workers, &pStats)
+		countChunked(db, chunked, 2, true, workers, &pStats)
 
 		for i := range serial {
-			s, p := serial[i], parallel[i]
+			s, p := serial[i], chunked[i]
 			if math.Abs(s.ESup-p.ESup) > 1e-9 || math.Abs(s.Var-p.Var) > 1e-9 {
-				t.Fatalf("workers=%d %v: serial (%v, %v) vs parallel (%v, %v)",
+				t.Fatalf("workers=%d %v: serial (%v, %v) vs chunked (%v, %v)",
 					workers, s.Items, s.ESup, s.Var, p.ESup, p.Var)
 			}
 			if len(s.Probs) != len(p.Probs) {
@@ -44,8 +44,40 @@ func TestParallelCountMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestChunkedCountWorkerIndependent: the chunk layout depends only on the
+// database, so aggregates must be bit-identical across worker counts —
+// including 1, the serial execution of the same chunked reduction.
+func TestChunkedCountWorkerIndependent(t *testing.T) {
+	db := dataset.Accident.GenerateUncertain(0.001, 23)
+	base := pairCandidates(db, 256)
+	ref := cloneCandidates(base)
+	var refStats core.MiningStats
+	countChunked(db, ref, 2, true, 1, &refStats)
+	for _, workers := range []int{2, 5, runtime.GOMAXPROCS(0)} {
+		got := cloneCandidates(base)
+		var stats core.MiningStats
+		countChunked(db, got, 2, true, workers, &stats)
+		for i := range ref {
+			if ref[i].ESup != got[i].ESup || ref[i].Var != got[i].Var {
+				t.Fatalf("workers=%d %v: (%v, %v) vs 1-worker (%v, %v)",
+					workers, ref[i].Items, got[i].ESup, got[i].Var, ref[i].ESup, ref[i].Var)
+			}
+			if len(ref[i].Probs) != len(got[i].Probs) {
+				t.Fatalf("workers=%d %v: prob vector lengths %d vs %d",
+					workers, ref[i].Items, len(ref[i].Probs), len(got[i].Probs))
+			}
+			for j := range ref[i].Probs {
+				if ref[i].Probs[j] != got[i].Probs[j] {
+					t.Fatalf("workers=%d %v: prob %d differs", workers, ref[i].Items, j)
+				}
+			}
+		}
+	}
+}
+
 // TestRunWithWorkersMatchesSerial: the full level-wise loop with sharded
-// counting returns the same result set as the serial loop.
+// counting and a parallel decide step returns the same result set as the
+// serial loop.
 func TestRunWithWorkersMatchesSerial(t *testing.T) {
 	db := dataset.Gazelle.GenerateUncertain(0.01, 29)
 	decide := func(minCount float64) func(c *Candidate) (core.Result, bool) {
@@ -58,7 +90,7 @@ func TestRunWithWorkersMatchesSerial(t *testing.T) {
 	}
 	minCount := 0.01 * float64(db.N())
 	serial, _ := Run(db, Config{Decide: decide(minCount)})
-	parallel, _ := Run(db, Config{Decide: decide(minCount), Workers: 4})
+	parallel, _ := Run(db, Config{Decide: decide(minCount), Workers: 4, ParallelDecide: true})
 	if len(serial) != len(parallel) {
 		t.Fatalf("serial %d results, parallel %d", len(serial), len(parallel))
 	}
@@ -97,11 +129,7 @@ func BenchmarkParallelCounting(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				work := cloneCandidates(cands)
 				var stats core.MiningStats
-				if workers == 1 {
-					countLevel(db, work, 2, false, &stats)
-				} else {
-					countLevelParallel(db, work, 2, false, workers, &stats)
-				}
+				countChunked(db, work, 2, false, workers, &stats)
 			}
 		})
 	}

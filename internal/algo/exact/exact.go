@@ -21,6 +21,7 @@ package exact
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"umine/internal/algo/apriori"
 	"umine/internal/core"
@@ -54,7 +55,17 @@ type Miner struct {
 	Method Method
 	// Chernoff enables the Lemma 1 pruning (the "B" variants).
 	Chernoff bool
+	// Workers bounds the goroutines used by the counting pass and the
+	// per-candidate frequent-probability verification (0 or 1 = serial, the
+	// paper's platform; negative = GOMAXPROCS). Each candidate's DP
+	// recurrence or DC convolution is independent, so verification — the
+	// dominant cost of the exact family — shards embarrassingly; results
+	// are identical for every worker count.
+	Workers int
 }
+
+// SetWorkers implements core.ParallelMiner.
+func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner, using the paper's experiment labels:
 // DPNB, DPB, DCNB, DCB.
@@ -75,18 +86,22 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
 	msc := th.MinSupCount(db.N())
-	var stats core.MiningStats
 
 	freqProb := m.freqProbFunc(msc)
 
+	// Decide runs on the worker pool (ParallelDecide), so its two counters
+	// are atomics, folded into the run stats afterwards.
+	var chernoffPruned, exactEvals atomic.Int64
 	cfg := apriori.Config{
-		CollectProbs: true,
+		CollectProbs:   true,
+		Workers:        m.Workers,
+		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if m.Chernoff && prob.ChernoffInfrequent(c.ESup, msc, th.PFT) {
-				stats.ChernoffPruned++
+				chernoffPruned.Add(1)
 				return core.Result{}, false
 			}
-			stats.ExactEvaluations++
+			exactEvals.Add(1)
 			fp := freqProb(c.Probs)
 			if fp > th.PFT+core.Eps {
 				return core.Result{Itemset: c.Items, ESup: c.ESup, Var: c.Var, FreqProb: fp}, true
@@ -95,7 +110,8 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 		},
 	}
 	results, runStats := apriori.Run(db, cfg)
-	runStats.Add(stats)
+	runStats.ChernoffPruned += int(chernoffPruned.Load())
+	runStats.ExactEvaluations += int(exactEvals.Load())
 	return &core.ResultSet{
 		Algorithm:  m.Name(),
 		Semantics:  core.Probabilistic,

@@ -69,11 +69,22 @@ var registry = []Entry{
 	{"MCSampling", ApproxFamily, func() core.Miner { return &sampling.Miner{} }},
 }
 
-// New returns a fresh miner by registry name.
+// New returns a fresh miner by registry name, configured for serial
+// execution (the paper's single-threaded platform).
 func New(name string) (core.Miner, error) {
+	return NewWith(name, core.Options{})
+}
+
+// NewWith returns a fresh miner by registry name with the cross-cutting
+// execution options applied. Options a miner does not support (e.g. Workers
+// on a purely serial miner) are ignored — every miner returns an identical
+// ResultSet for every Options value.
+func NewWith(name string, opts core.Options) (core.Miner, error) {
 	for _, e := range registry {
 		if e.Name == name {
-			return e.New(), nil
+			m := e.New()
+			core.ApplyOptions(m, opts)
+			return m, nil
 		}
 	}
 	return nil, fmt.Errorf("algo: unknown algorithm %q (known: %v)", name, Names())
@@ -82,6 +93,15 @@ func New(name string) (core.Miner, error) {
 // MustNew is New panicking on unknown names; for tables of experiments.
 func MustNew(name string) core.Miner {
 	m, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MustNewWith is NewWith panicking on unknown names.
+func MustNewWith(name string, opts core.Options) core.Miner {
+	m, err := NewWith(name, opts)
 	if err != nil {
 		panic(err)
 	}

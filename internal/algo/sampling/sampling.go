@@ -63,7 +63,16 @@ type Miner struct {
 	DisableChernoff bool
 	// Seed makes runs reproducible; the zero seed is a valid fixed seed.
 	Seed int64
+	// Workers bounds the goroutines of the shared counting pass (0 or 1 =
+	// serial; negative = GOMAXPROCS). The Monte-Carlo decide step itself
+	// stays serial: its candidates share one sequential RNG stream, and
+	// keeping that stream in candidate order is what makes runs
+	// reproducible — so results are identical for every worker count.
+	Workers int
 }
+
+// SetWorkers implements core.ParallelMiner.
+func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string { return "MCSampling" }
@@ -104,6 +113,9 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 
 	cfg := apriori.Config{
 		CollectProbs: true,
+		// Workers shards the counting pass only; ParallelDecide stays off
+		// because Decide consumes the shared RNG stream in candidate order.
+		Workers: m.Workers,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if !m.DisableChernoff && prob.ChernoffInfrequent(c.ESup, msc, th.PFT) {
 				stats.ChernoffPruned++

@@ -23,10 +23,15 @@ type Miner struct {
 	// classical Apriori pruning (for ablation benchmarks).
 	DisableDecrementalPrune bool
 	// Workers shards the counting pass over this many goroutines (0 or 1 =
-	// serial, the paper's single-threaded platform). Results are identical
-	// up to floating-point summation order.
+	// serial, the paper's single-threaded platform; negative = GOMAXPROCS).
+	// Results are identical for every worker count: the shared layer's
+	// chunk layout depends only on the database size and merges in chunk
+	// order.
 	Workers int
 }
+
+// SetWorkers implements core.ParallelMiner.
+func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string { return "UApriori" }
@@ -41,6 +46,8 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 	}
 	minCount := th.MinESupCount(db.N())
 	cfg := apriori.Config{
+		// The expected-support test is pure, so it may run on the pool too.
+		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if c.ESup >= minCount-core.Eps {
 				return core.Result{Itemset: c.Items, ESup: c.ESup, Var: c.Var}, true

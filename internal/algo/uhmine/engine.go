@@ -17,9 +17,11 @@ package uhmine
 
 import (
 	"sort"
+	"sync"
 	"unsafe"
 
 	"umine/internal/core"
+	"umine/internal/parallel"
 )
 
 // Decide is the per-itemset frequentness test: given the (canonical)
@@ -52,8 +54,19 @@ type Engine struct {
 	// it to N·min_esup; probabilistic semantics may use a safe lower bound
 	// (or leave 0 and let Decide filter).
 	ItemFloor float64
-	// Decide is the frequentness test. Required.
+	// Decide is the frequentness test. Required. With Workers > 1 it is
+	// called concurrently from the first-level fan-out, so it must be safe
+	// for concurrent use (the threshold tests of UH-Mine and NDUH-Mine are
+	// pure functions of their arguments).
 	Decide Decide
+	// Workers bounds the goroutines used for the first-level prefix
+	// fan-out: every frequent singleton roots an independent depth-first
+	// subtree, so subtrees mine concurrently into per-prefix accumulators
+	// that merge in frequency-rank (canonical head-table) order. 0 or 1 =
+	// serial, the paper's platform; negative = GOMAXPROCS. Results are
+	// identical for every worker count: each subtree's computation is
+	// untouched, only who executes it changes.
+	Workers int
 }
 
 // Mine runs the engine and returns results in canonical order plus work
@@ -121,29 +134,56 @@ func (e *Engine) Mine(db *core.Database) ([]core.Result, core.MiningStats) {
 		top[i] = occ{row: int32(i), pos: 0, acc: 1}
 	}
 
-	m := &mineState{
-		engine:  e,
-		rows:    rows,
-		items:   items,
-		esupBuf: make([]float64, len(items)),
-		varBuf:  make([]float64, len(items)),
-		results: results,
-		stats:   &stats,
-		liveOcc: int64(len(top)) * int64(unsafe.Sizeof(occ{})),
-	}
-	m.stats.TrackPeak(structBytes + m.liveOcc)
+	topBytes := int64(len(top)) * int64(unsafe.Sizeof(occ{}))
+	stats.TrackPeak(structBytes + topBytes)
+
 	// Singletons were already decided and reported above; descend directly
-	// into each frequent item's head table.
-	for r := range items {
-		sub := collectOcc(rows, top, int32(r))
-		subBytes := int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
-		m.liveOcc += subBytes
-		m.stats.TrackPeak(structBytes + m.liveOcc)
-		m.mine([]core.Item{items[r]}, sub, structBytes)
-		m.liveOcc -= subBytes
+	// into each frequent item's head table. Every frequent singleton roots
+	// an independent depth-first subtree, so the first level fans out over
+	// the shared worker pool with fully per-prefix state (scratch buffers,
+	// result list, counters, live-occurrence accounting). Subtree outputs
+	// merge in frequency-rank order below, so the result list — and, after
+	// the canonical sort, the ResultSet — is identical for every worker
+	// count. Peak memory stays accounted per subtree, the serial platform's
+	// model, keeping the Figure 4-style memory reports comparable across
+	// worker counts.
+	type subtree struct {
+		results []core.Result
+		stats   core.MiningStats
 	}
-	core.SortResults(m.results)
-	return m.results, stats
+	// Scratch buffers are pooled per worker, not allocated per subtree:
+	// mine zeroes every touched entry before returning (the touchedRanks
+	// contract), so a reused pair is indistinguishable from a fresh one and
+	// the steady-state allocation count stays O(workers).
+	type scratch struct{ esup, varsup []float64 }
+	scratchPool := sync.Pool{New: func() any {
+		return &scratch{esup: make([]float64, len(items)), varsup: make([]float64, len(items))}
+	}}
+	subtrees := parallel.Map(e.Workers, items, func(r int, _ core.Item) subtree {
+		sc := scratchPool.Get().(*scratch)
+		defer scratchPool.Put(sc)
+		var st core.MiningStats
+		m := &mineState{
+			engine:  e,
+			rows:    rows,
+			items:   items,
+			esupBuf: sc.esup,
+			varBuf:  sc.varsup,
+			stats:   &st,
+			liveOcc: topBytes,
+		}
+		sub := collectOcc(rows, top, int32(r))
+		m.liveOcc += int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
+		st.TrackPeak(structBytes + m.liveOcc)
+		m.mine([]core.Item{items[r]}, sub, structBytes)
+		return subtree{results: m.results, stats: st}
+	})
+	for _, t := range subtrees {
+		results = append(results, t.results...)
+		stats.Add(t.stats)
+	}
+	core.SortResults(results)
+	return results, stats
 }
 
 type mineState struct {

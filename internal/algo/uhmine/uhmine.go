@@ -8,7 +8,15 @@ import (
 
 // Miner is the expected-support UH-Mine algorithm (paper §3.1.3). The zero
 // value is ready to use.
-type Miner struct{}
+type Miner struct {
+	// Workers bounds the goroutines of the engine's first-level prefix
+	// fan-out (0 or 1 = serial, the paper's platform; negative =
+	// GOMAXPROCS). Results are identical for every worker count.
+	Workers int
+}
+
+// SetWorkers implements core.ParallelMiner.
+func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string { return "UH-Mine" }
@@ -24,6 +32,7 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 	minCount := th.MinESupCount(db.N())
 	engine := &Engine{
 		ItemFloor: minCount,
+		Workers:   m.Workers,
 		Decide: func(items core.Itemset, esup, varsup float64) (core.Result, bool) {
 			if esup >= minCount-core.Eps {
 				return core.Result{Itemset: items, ESup: esup, Var: varsup}, true

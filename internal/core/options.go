@@ -1,0 +1,35 @@
+package core
+
+// Options carries the cross-cutting execution knobs shared by every miner.
+// The zero value reproduces the paper's single-threaded uniform platform.
+type Options struct {
+	// Workers bounds the number of goroutines a miner may use for its
+	// parallel phases: 0 or 1 means serial (the paper's platform), n > 1
+	// means at most n workers, and any negative value means GOMAXPROCS.
+	//
+	// Parallel execution is deterministic: a miner must return an identical
+	// ResultSet for every Workers value (shard decompositions depend only on
+	// the input, and shard merges happen in canonical order).
+	Workers int
+}
+
+// ParallelMiner is implemented by miners whose execution can be sharded
+// over a bounded worker pool. Miners without a parallel phase simply do not
+// implement it; callers apply Options best-effort via ApplyOptions.
+type ParallelMiner interface {
+	Miner
+	// SetWorkers installs the Options.Workers knob.
+	SetWorkers(workers int)
+}
+
+// ApplyOptions installs opts on the miner when it supports them and reports
+// whether anything was applied. Unsupported knobs are silently ignored —
+// serial execution is always a valid interpretation of any Options value.
+func ApplyOptions(m Miner, opts Options) bool {
+	pm, ok := m.(ParallelMiner)
+	if !ok {
+		return false
+	}
+	pm.SetWorkers(opts.Workers)
+	return true
+}

@@ -42,8 +42,14 @@ type Measurement struct {
 // small runs.
 const memSampleInterval = 200 * time.Microsecond
 
-// Run executes one measured mining run.
-func Run(m core.Miner, db *core.Database, th core.Thresholds) Measurement {
+// Run executes one measured mining run. Optional Options are applied to the
+// miner best-effort before mining (miners without the corresponding knob run
+// serially and unchanged); results are identical for every Workers value, so
+// options only affect Elapsed and the heap measurements.
+func Run(m core.Miner, db *core.Database, th core.Thresholds, opts ...core.Options) Measurement {
+	for _, o := range opts {
+		core.ApplyOptions(m, o)
+	}
 	runtime.GC()
 	var base runtime.MemStats
 	runtime.ReadMemStats(&base)

@@ -21,6 +21,13 @@ type Config struct {
 	PointBudget time.Duration
 	// Verbose enables progress notes on the report.
 	Verbose bool
+	// Workers bounds the goroutines each measured miner may use (0 or 1 =
+	// serial, the paper's single-threaded platform; negative = GOMAXPROCS).
+	// Results are identical for every value — the knob only changes wall
+	// clock — so paper-figure reproductions stay faithful while running as
+	// fast as the host allows. The ablation-parallel experiment ignores it
+	// and sweeps worker counts itself.
+	Workers int
 }
 
 // DefaultConfig is the laptop-friendly configuration used by tests, benches

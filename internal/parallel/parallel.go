@@ -1,0 +1,142 @@
+// Package parallel is the shared parallel-execution layer of the platform:
+// a bounded worker pool plus sharded map/merge helpers used by every miner
+// family (the apriori counting pass, the exact miners' per-candidate
+// verification, UH-Mine's first-level prefix fan-out).
+//
+// The paper's uniform platform is single-threaded; parallel execution is an
+// extension, so the layer is built around two invariants that keep the
+// extension observationally equivalent to the serial platform:
+//
+//   - determinism: work decomposition never depends on the worker count.
+//     Chunk layouts are a function of the input size alone, and all merge
+//     helpers combine shard results in shard (= input) order, so a run with
+//     W workers produces bit-identical results to a run with 1 worker;
+//   - boundedness: at most Resolve(workers) goroutines execute tasks at any
+//     moment, however many tasks are submitted. Tasks are claimed from an
+//     atomic counter, so uneven task costs (e.g. skewed prefix subtrees in
+//     UH-Mine) balance automatically.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers knob into a concrete goroutine count:
+// 0 and 1 mean serial (the paper's platform), n > 1 means n workers, and
+// any negative value means GOMAXPROCS.
+func Resolve(workers int) int {
+	switch {
+	case workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case workers <= 1:
+		return 1
+	default:
+		return workers
+	}
+}
+
+// Do runs n independent tasks on a bounded pool of Resolve(workers)
+// goroutines (never more than n). Tasks are claimed in index order from an
+// atomic counter; with workers <= 1 the tasks run inline, in order, with no
+// goroutines. Do returns when every task has finished.
+//
+// Tasks must be independent: they may not assume any ordering between each
+// other beyond "claimed in index order", and must write results to
+// index-addressed slots (or otherwise synchronize) themselves.
+func Do(workers, n int, task func(i int)) {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in on the bounded pool and returns the
+// results in input order. fn receives the element index and value; it must
+// be safe for concurrent use when workers > 1.
+func Map[T, R any](workers int, in []T, fn func(i int, v T) R) []R {
+	out := make([]R, len(in))
+	Do(workers, len(in), func(i int) {
+		out[i] = fn(i, in[i])
+	})
+	return out
+}
+
+// DefaultChunk is the fixed chunk granularity used by DoChunks callers that
+// shard a transaction scan. It is a compromise between scheduling overhead
+// (larger is cheaper) and load balance (smaller is fairer); because chunk
+// layout must not depend on the worker count, it cannot adapt to one.
+const DefaultChunk = 1024
+
+// Shard-count bounds for ChunkSizeFor: at most maxShards chunks (bounding
+// per-shard accumulator memory) and at least minChunk elements per chunk
+// (bounding scheduling overhead on small inputs).
+const (
+	maxShards = 64
+	minChunk  = 512
+)
+
+// ChunkSizeFor returns the fixed chunk size used to shard a scan over n
+// elements: ⌈n/maxShards⌉ but never below minChunk. The size depends only
+// on n — never on the worker count — so the induced chunk layout, and hence
+// any chunk-ordered merge of per-chunk partial aggregates, is identical for
+// every Workers value.
+func ChunkSizeFor(n int) int {
+	size := (n + maxShards - 1) / maxShards
+	if size < minChunk {
+		size = minChunk
+	}
+	return size
+}
+
+// NumChunks returns how many fixed-size chunks cover [0, n): ⌈n/size⌉
+// (zero when n is zero). The layout depends only on n and size — never on
+// the worker count — so per-chunk shard results can be merged in chunk
+// order with identical outcomes for every worker count, including 1.
+func NumChunks(n, size int) int {
+	if size <= 0 {
+		size = DefaultChunk
+	}
+	return (n + size - 1) / size
+}
+
+// DoChunks splits [0, n) into NumChunks(n, size) contiguous fixed-size
+// chunks and processes them on the bounded pool. The task receives the
+// chunk index and the half-open range [lo, hi) it covers.
+func DoChunks(workers, n, size int, task func(chunk, lo, hi int)) {
+	if size <= 0 {
+		size = DefaultChunk
+	}
+	nc := NumChunks(n, size)
+	Do(workers, nc, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		task(c, lo, hi)
+	})
+}

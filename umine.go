@@ -37,6 +37,33 @@
 //	    fmt.Println(r.Itemset, r.ESup)
 //	}
 //
+// # Parallel execution
+//
+// The paper's platform is single-threaded; this reproduction adds a uniform
+// parallel-execution layer as an extension. Every miner accepts an Options
+// value whose Workers field bounds the goroutines used for its parallel
+// phases (0 or 1 = serial, n > 1 = at most n workers, negative =
+// GOMAXPROCS):
+//
+//	m, _ := umine.NewMinerWith("DCB", umine.Options{Workers: 8})
+//	rs, _ := m.Mine(db, umine.Thresholds{MinSup: 0.3, PFT: 0.9})
+//
+// or, on the command line, via the -workers flag shared by the umine and
+// uexp tools:
+//
+//	umine -algo DCB -min_sup 0.3 -pft 0.9 -profile accident -workers 8
+//	uexp -run ablation-parallel -workers 4
+//
+// Parallelism is deterministic by construction: work decompositions depend
+// only on the input (never the worker count) and shard merges happen in
+// canonical order, so a run with Workers=N returns a ResultSet identical to
+// Workers=1 for every registered miner. What parallelizes per family: the
+// Apriori-framework miners shard the counting pass over fixed transaction
+// chunks, the exact miners (DPNB/DPB/DCNB/DCB) additionally verify each
+// candidate's frequent probability concurrently — the dominant cost of the
+// whole platform — and the UH-Mine-structure miners fan the first-level
+// prefix subtrees out over the pool.
+//
 // Subpackages of internal/ hold the implementations; this package is the
 // stable public surface used by the examples, the CLI tools and the
 // benchmark harness.
@@ -76,6 +103,9 @@ type (
 	MiningStats = core.MiningStats
 	// Miner is the uniform interface implemented by all algorithms.
 	Miner = core.Miner
+	// Options carries cross-cutting execution knobs (Workers); the zero
+	// value is the paper's single-threaded platform.
+	Options = core.Options
 	// Measurement is a timed, memory-profiled mining run.
 	Measurement = eval.Measurement
 	// Accuracy is the precision/recall comparison of §4.4.
@@ -107,12 +137,35 @@ func MustNewDatabase(name string, raw [][]Unit) *Database {
 // returned by Algorithms.
 func NewMiner(name string) (Miner, error) { return algo.New(name) }
 
+// NewMinerWith constructs a fresh miner by algorithm name with the given
+// execution options applied. Options a miner does not support are ignored;
+// results are identical for every Options value.
+func NewMinerWith(name string, opts Options) (Miner, error) { return algo.NewWith(name, opts) }
+
+// SupportsWorkers reports whether the named algorithm has a parallel phase
+// controlled by Options.Workers. Miners without one (e.g. UFP-growth)
+// always run serially, silently ignoring the knob; callers can use this to
+// tell the difference. Unknown names report false.
+func SupportsWorkers(algorithm string) bool {
+	m, err := algo.New(algorithm)
+	if err != nil {
+		return false
+	}
+	_, ok := m.(core.ParallelMiner)
+	return ok
+}
+
 // Algorithms lists all registered algorithm names in the paper's order.
 func Algorithms() []string { return algo.Names() }
 
 // Mine is the one-call convenience: construct the named miner and run it.
 func Mine(algorithm string, db *Database, th Thresholds) (*ResultSet, error) {
-	m, err := algo.New(algorithm)
+	return MineWith(algorithm, db, th, Options{})
+}
+
+// MineWith is Mine with execution options (e.g. a Workers bound).
+func MineWith(algorithm string, db *Database, th Thresholds, opts Options) (*ResultSet, error) {
+	m, err := algo.NewWith(algorithm, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +175,12 @@ func Mine(algorithm string, db *Database, th Thresholds) (*ResultSet, error) {
 // Measure runs one mining execution under the paper's uniform measurement
 // layer (wall-clock time, sampled peak heap, retained heap).
 func Measure(algorithm string, db *Database, th Thresholds) (Measurement, error) {
-	m, err := algo.New(algorithm)
+	return MeasureWith(algorithm, db, th, Options{})
+}
+
+// MeasureWith is Measure with execution options (e.g. a Workers bound).
+func MeasureWith(algorithm string, db *Database, th Thresholds, opts Options) (Measurement, error) {
+	m, err := algo.NewWith(algorithm, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
