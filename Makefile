@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci
+.PHONY: all build fmt vet test race bench smoke-server bench-server ci
 
 all: build
 
@@ -34,5 +34,13 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+## smoke-server: boot userve, register a profile over HTTP, mine, ingest, assert 200s
+smoke-server:
+	sh scripts/smoke_userve.sh
+
+## bench-server: closed-loop load benchmark at 1/8/64 clients; writes BENCH_server.json
+bench-server:
+	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json
+
 ## ci: everything the pipeline runs
-ci: build fmt vet race bench
+ci: build fmt vet race bench smoke-server bench-server

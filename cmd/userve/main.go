@@ -1,0 +1,164 @@
+// Command userve runs the uncertain-frequent-itemset mining service: a
+// long-lived HTTP server over the platform's dataset registry, result cache
+// and bounded parallel mining pool (see umine/internal/server).
+//
+// Serve mode:
+//
+//	userve -addr :8380 -preload gazelle:0.02
+//	curl -s localhost:8380/healthz
+//	curl -s -X POST localhost:8380/mine -d '{"dataset":"gazelle","algorithm":"UApriori","min_esup":0.005}'
+//
+// Load-benchmark mode (writes BENCH_server.json and exits):
+//
+//	userve -loadbench -bench_out BENCH_server.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"umine"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8380", "listen address")
+		workers      = flag.Int("workers", 0, "default per-request mining parallelism (0/1 = serial, -1 = all CPUs)")
+		maxInflight  = flag.Int("max_inflight", 0, "max concurrent mining jobs (0 = 2×GOMAXPROCS, negative = unbounded)")
+		cacheEntries = flag.Int("cache", 0, "result-cache capacity in entries (0 = default 256, negative = disabled)")
+		timeout      = flag.Duration("timeout", 0, "default per-request timeout (0 = none)")
+		preload      = flag.String("preload", "", "comma-separated profiles to register at boot: name[:scale[:seed]] (e.g. gazelle:0.02,connect:0.002)")
+		window       = flag.Int("window", 0, "sliding-window retention (in transactions) for preloaded datasets (0 = unbounded)")
+
+		loadbench     = flag.Bool("loadbench", false, "run the closed-loop load benchmark instead of serving, write the report and exit")
+		benchOut      = flag.String("bench_out", "BENCH_server.json", "load benchmark report file")
+		benchProfile  = flag.String("bench_profile", "gazelle", "load benchmark dataset profile")
+		benchScale    = flag.Float64("bench_scale", 0.05, "load benchmark profile scale")
+		benchAlgo     = flag.String("bench_algo", "UApriori", "load benchmark algorithm")
+		benchMinESup  = flag.Float64("bench_min_esup", 0.003, "load benchmark min_esup")
+		benchClients  = flag.String("bench_clients", "1,8,64", "load benchmark concurrency levels")
+		benchRequests = flag.Int("bench_requests", 128, "load benchmark requests per level")
+	)
+	flag.Parse()
+
+	if *loadbench {
+		if err := runLoadBench(*benchOut, *benchProfile, *benchScale, *benchAlgo, *benchMinESup, *benchClients, *benchRequests, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	srv := umine.NewServer(umine.ServerConfig{
+		DefaultWorkers: *workers,
+		MaxInFlight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
+	})
+	if err := preloadProfiles(srv, *preload, *window); err != nil {
+		fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "userve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	fmt.Printf("userve: listening on %s (%d datasets preloaded)\n", *addr, len(srv.Datasets()))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	// Shutdown makes ListenAndServe return immediately; wait for the drain
+	// (bounded by the 5s grace period) before exiting.
+	<-drained
+}
+
+// preloadProfiles registers each name[:scale[:seed]] spec as a dataset under
+// its profile name.
+func preloadProfiles(srv *umine.Server, specs string, window int) error {
+	if specs == "" {
+		return nil
+	}
+	for _, spec := range strings.Split(specs, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		name := parts[0]
+		scale, seed := 0.01, int64(42)
+		var err error
+		if len(parts) > 1 {
+			if scale, err = strconv.ParseFloat(parts[1], 64); err != nil {
+				return fmt.Errorf("userve: bad scale in -preload spec %q", spec)
+			}
+		}
+		if len(parts) > 2 {
+			if seed, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+				return fmt.Errorf("userve: bad seed in -preload spec %q", spec)
+			}
+		}
+		var opts umine.RegisterOptions
+		if window > 0 {
+			opts.Window = &umine.WindowOptions{Size: window}
+		}
+		info, err := srv.RegisterProfile(name, name, scale, seed, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("userve: preloaded %s: N=%d items=%d\n", info.Name, info.NumTrans, info.NumItems)
+	}
+	return nil
+}
+
+// runLoadBench executes the benchmark and writes the report.
+func runLoadBench(out, profile string, scale float64, alg string, minESup float64, clients string, requests, workers int) error {
+	var levels []int
+	for _, f := range strings.Split(clients, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c <= 0 {
+			return fmt.Errorf("userve: bad -bench_clients %q", clients)
+		}
+		levels = append(levels, c)
+	}
+	report, err := umine.RunServerLoadBench(umine.LoadBenchConfig{
+		Profile:   profile,
+		Scale:     scale,
+		Algorithm: alg,
+		MinESup:   minESup,
+		Levels:    levels,
+		Requests:  requests,
+		Workers:   workers,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("userve: wrote %s\n", out)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "userve:", err)
+	os.Exit(1)
+}

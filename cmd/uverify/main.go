@@ -10,6 +10,10 @@
 //
 //	uverify -input small.udb -min_sup 0.3 -pft 0.7
 //	uverify -random 30x8 -density 0.5 -seed 7 -min_esup 0.2
+//
+// The -workers flag (shared with umine/uexp) runs each miner's parallel
+// phases on a bounded pool; results are identical at every setting, so the
+// verification doubles as a parallel-correctness check.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		minESup = flag.Float64("min_esup", 0.2, "expected-support threshold to verify at")
 		minSup  = flag.Float64("min_sup", 0.3, "probabilistic support threshold to verify at")
 		pft     = flag.Float64("pft", 0.7, "probabilistic frequentness threshold")
+		workers = flag.Int("workers", 0, "max goroutines for any algorithm's parallel phases (0/1 = serial, -1 = all CPUs); results are identical at every setting")
 	)
 	flag.Parse()
 
@@ -59,6 +64,7 @@ func main() {
 	failures := 0
 	for _, e := range algo.Entries() {
 		m := e.New()
+		core.ApplyOptions(m, core.Options{Workers: *workers})
 		var rs *core.ResultSet
 		var err error
 		if m.Semantics() == core.ExpectedSupport {

@@ -102,28 +102,9 @@ func ReadUncertain(r io.Reader, name string) (*core.Database, error) {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		var units []core.Unit
-		if line != "" {
-			fields := strings.Fields(line)
-			units = make([]core.Unit, 0, len(fields))
-			for _, f := range fields {
-				colon := strings.IndexByte(f, ':')
-				if colon <= 0 || colon == len(f)-1 {
-					return nil, fmt.Errorf("dataset: %s line %d: bad unit %q (want item:prob)", name, lineNo, f)
-				}
-				item, err := strconv.ParseUint(f[:colon], 10, 32)
-				if err != nil {
-					return nil, fmt.Errorf("dataset: %s line %d: bad item in %q: %w", name, lineNo, f, err)
-				}
-				p, err := strconv.ParseFloat(f[colon+1:], 64)
-				if err != nil {
-					return nil, fmt.Errorf("dataset: %s line %d: bad probability in %q: %w", name, lineNo, f, err)
-				}
-				if p <= 0 || p > 1 || p != p {
-					return nil, fmt.Errorf("dataset: %s line %d: probability %v outside (0,1]", name, lineNo, p)
-				}
-				units = append(units, core.Unit{Item: core.Item(item), Prob: p})
-			}
+		units, err := ParseUnits(line)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s line %d: %w", name, lineNo, err)
 		}
 		raw = append(raw, units)
 	}
@@ -135,6 +116,35 @@ func ReadUncertain(r io.Reader, name string) (*core.Database, error) {
 		return nil, fmt.Errorf("dataset: %s: %w", name, err)
 	}
 	return db, nil
+}
+
+// ParseUnits parses one transaction line of the item:prob text format into
+// raw units; an empty line is an empty transaction. It is the single parser
+// behind ReadUncertain and the server's ingest surface, so the two accept
+// exactly the same lines (probabilities in (0, 1]; zero-probability units
+// rejected).
+func ParseUnits(line string) ([]core.Unit, error) {
+	fields := strings.Fields(line)
+	units := make([]core.Unit, 0, len(fields))
+	for _, f := range fields {
+		colon := strings.IndexByte(f, ':')
+		if colon <= 0 || colon == len(f)-1 {
+			return nil, fmt.Errorf("bad unit %q (want item:prob)", f)
+		}
+		item, err := strconv.ParseUint(f[:colon], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad item in %q: %w", f, err)
+		}
+		p, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability in %q: %w", f, err)
+		}
+		if p <= 0 || p > 1 || p != p {
+			return nil, fmt.Errorf("probability %v outside (0,1]", p)
+		}
+		units = append(units, core.Unit{Item: core.Item(item), Prob: p})
+	}
+	return units, nil
 }
 
 // WriteUncertain serializes an uncertain database in item:prob format with

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"umine/internal/core"
+	"umine/internal/dataset"
+)
+
+// The HTTP/JSON surface. /mine responds with exactly the document
+// core.ResultSet.WriteJSON produces — byte-identical to serializing a direct
+// MineWith call — so existing downstream tooling (ReadResultsJSON, notebook
+// loaders) consumes server responses unchanged; request metadata (cache
+// outcome, dataset version, latency) travels in X-Umine-* headers instead of
+// a response envelope.
+
+// Header names carrying per-response metadata.
+const (
+	headerCache   = "X-Umine-Cache"
+	headerVersion = "X-Umine-Dataset-Version"
+	headerElapsed = "X-Umine-Elapsed"
+)
+
+// maxRequestBytes caps every POST body before decoding, so one oversized
+// inline dataset or ingest batch cannot buffer the server into OOM. 64 MB
+// comfortably fits the biggest Table 6 profile in text form.
+const maxRequestBytes = 64 << 20
+
+// decodeJSON decodes a size-capped request body into v, writing the error
+// response (413 for oversize, 400 otherwise) itself when it fails.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	GET  /healthz   liveness
+//	GET  /stats     counters (requests, cache hits/filters/misses, ...)
+//	GET  /datasets  registered datasets
+//	POST /datasets  register {"name", "profile","scale","seed"} or {"name","text"}
+//	POST /ingest    {"dataset", "transactions": ["item:prob item:prob", ...]}
+//	POST /mine      {"dataset","algorithm","min_esup","min_sup","pft",...}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /mine", s.handleMine)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.Datasets()})
+}
+
+// registerRequest is the POST /datasets body. Exactly one of Profile or Text
+// must be set.
+type registerRequest struct {
+	Name string `json:"name"`
+	// Profile generates a Table 6 benchmark profile at Scale (default 0.01)
+	// with Seed.
+	Profile string  `json:"profile,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// Text is an inline database in the item:prob format (one transaction
+	// per line).
+	Text string `json:"text,omitempty"`
+	// WindowSize > 0 bounds retention to a sliding window; RefreshEvery and
+	// RefreshAlgorithm optionally enable periodic re-discovery over it, at
+	// the window thresholds below (which must fit the refresh algorithm's
+	// semantics — min_esup for expected-support miners, min_sup + pft for
+	// probabilistic ones; mismatches are rejected at registration).
+	WindowSize       int     `json:"window_size,omitempty"`
+	RefreshEvery     int     `json:"refresh_every,omitempty"`
+	RefreshAlgorithm string  `json:"refresh_algorithm,omitempty"`
+	WindowMinESup    float64 `json:"window_min_esup,omitempty"`
+	WindowMinSup     float64 `json:"window_min_sup,omitempty"`
+	WindowPFT        float64 `json:"window_pft,omitempty"`
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset name"))
+		return
+	}
+	var opts RegisterOptions
+	if req.WindowSize > 0 {
+		wo := &WindowOptions{
+			Size:             req.WindowSize,
+			RefreshEvery:     req.RefreshEvery,
+			RefreshAlgorithm: req.RefreshAlgorithm,
+		}
+		if req.WindowMinESup > 0 || req.WindowMinSup > 0 {
+			wo.Thresholds = core.Thresholds{
+				MinESup: req.WindowMinESup,
+				MinSup:  req.WindowMinSup,
+				PFT:     req.WindowPFT,
+			}
+		}
+		opts.Window = wo
+	}
+	var (
+		info DatasetInfo
+		err  error
+	)
+	switch {
+	case req.Profile != "" && req.Text != "":
+		writeError(w, http.StatusBadRequest, fmt.Errorf("profile and text are mutually exclusive"))
+		return
+	case req.Profile != "":
+		scale := req.Scale
+		if scale == 0 {
+			scale = 0.01
+		}
+		info, err = s.RegisterProfile(req.Name, req.Profile, scale, req.Seed, opts)
+	case req.Text != "":
+		info, err = s.RegisterUncertain(req.Name, strings.NewReader(req.Text), opts)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need profile or text"))
+		return
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// ingestRequest is the POST /ingest body; transactions are item:prob lines.
+type ingestRequest struct {
+	Dataset      string   `json:"dataset"`
+	Transactions []string `json:"transactions"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	raw, err := parseTransactionLines(req.Transactions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.Ingest(req.Dataset, raw)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// mineRequestJSON is the POST /mine body.
+type mineRequestJSON struct {
+	Dataset   string  `json:"dataset"`
+	Algorithm string  `json:"algorithm"`
+	MinESup   float64 `json:"min_esup,omitempty"`
+	MinSup    float64 `json:"min_sup,omitempty"`
+	PFT       float64 `json:"pft,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	NoCache   bool    `json:"no_cache,omitempty"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req mineRequestJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Mine(r.Context(), MineRequest{
+		Dataset:   req.Dataset,
+		Algorithm: req.Algorithm,
+		Thresholds: core.Thresholds{
+			MinESup: req.MinESup,
+			MinSup:  req.MinSup,
+			PFT:     req.PFT,
+		},
+		Workers: req.Workers,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		NoCache: req.NoCache,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(headerCache, resp.Cache)
+	w.Header().Set(headerVersion, strconv.FormatUint(resp.DatasetVersion, 10))
+	w.Header().Set(headerElapsed, resp.Elapsed.String())
+	// The body is exactly WriteJSON's document — bit-identical to
+	// serializing the equivalent direct MineWith call.
+	if err := resp.Results.WriteJSON(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// parseTransactionLines parses item:prob lines with the same parser (and
+// validation) as the text format ReadUncertain accepts; "#" comment lines
+// are skipped there too, so they are skipped here.
+func parseTransactionLines(lines []string) ([][]core.Unit, error) {
+	out := make([][]core.Unit, 0, len(lines))
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		units, err := dataset.ParseUnits(line)
+		if err != nil {
+			return nil, fmt.Errorf("transaction %d: %w", i, err)
+		}
+		out = append(out, units)
+	}
+	return out, nil
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateDataset):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errFlightPanic):
+		// A server-side crash, not a client mistake.
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"umine/internal/core"
+)
+
+// httpFixture boots the handler over a real listener with one registered
+// dataset.
+func httpFixture(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, testDB(t))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := httpFixture(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPMineBitIdentical is the acceptance criterion over the wire: a
+// cached-hit /mine body equals the serialization of a direct MineWith call,
+// byte for byte.
+func TestHTTPMineBitIdentical(t *testing.T) {
+	s, ts := httpFixture(t)
+	th := core.Thresholds{MinESup: 0.1}
+	req := mineRequestJSON{Dataset: "d", Algorithm: "UApriori", MinESup: th.MinESup}
+
+	resp1, body1 := post(t, ts.URL+"/mine", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first mine: %d %s", resp1.StatusCode, body1)
+	}
+	if k := resp1.Header.Get(headerCache); k != CacheMiss {
+		t.Fatalf("first mine: %s=%q, want %q", headerCache, k, CacheMiss)
+	}
+	resp2, body2 := post(t, ts.URL+"/mine", req)
+	if k := resp2.Header.Get(headerCache); k != CacheHit {
+		t.Fatalf("second mine: %s=%q, want %q", headerCache, k, CacheHit)
+	}
+
+	d, _ := s.reg.get("d")
+	db, _ := d.snapshot()
+	want := marshal(t, directMine(t, "UApriori", db, th))
+	if !bytes.Equal(body1, want) || !bytes.Equal(body2, want) {
+		t.Errorf("/mine bodies differ from direct MineWith serialization\nmiss: %s\nhit:  %s\nwant: %s", body1, body2, want)
+	}
+}
+
+func TestHTTPRegisterMineIngestFlow(t *testing.T) {
+	_, ts := httpFixture(t)
+
+	// Register a generated profile.
+	resp, body := post(t, ts.URL+"/datasets", registerRequest{Name: "g", Profile: "gazelle", Scale: 0.005, Seed: 1})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+
+	// List shows both datasets.
+	_, body = get(t, ts.URL+"/datasets")
+	var list struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 2 {
+		t.Fatalf("datasets: %+v", list.Datasets)
+	}
+
+	// Mine the generated profile.
+	resp, body = post(t, ts.URL+"/mine", mineRequestJSON{Dataset: "g", Algorithm: "UH-Mine", MinESup: 0.01})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+	if v := resp.Header.Get(headerVersion); v != "0" {
+		t.Fatalf("version header %q, want 0", v)
+	}
+	var doc struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		t.Fatal("mine returned no results")
+	}
+
+	// Ingest bumps the version; the next mine sees it.
+	resp, body = post(t, ts.URL+"/ingest", ingestRequest{Dataset: "g", Transactions: []string{"0:0.9 1:0.5", "2:1.0"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	var ing IngestResult
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Version != 1 || ing.Added != 2 {
+		t.Fatalf("ingest result %+v", ing)
+	}
+	resp, _ = post(t, ts.URL+"/mine", mineRequestJSON{Dataset: "g", Algorithm: "UH-Mine", MinESup: 0.01})
+	if v := resp.Header.Get(headerVersion); v != "1" {
+		t.Fatalf("post-ingest version header %q, want 1", v)
+	}
+	if k := resp.Header.Get(headerCache); k != CacheMiss {
+		t.Fatalf("post-ingest cache header %q, want %q", k, CacheMiss)
+	}
+
+	// Stats reflect the traffic.
+	_, body = get(t, ts.URL+"/stats")
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 || st.Datasets != 2 || st.Ingests != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := httpFixture(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"unknown dataset", "/mine", mineRequestJSON{Dataset: "nope", Algorithm: "UApriori", MinESup: 0.1}, http.StatusNotFound},
+		{"unknown algorithm", "/mine", mineRequestJSON{Dataset: "d", Algorithm: "Nope", MinESup: 0.1}, http.StatusBadRequest},
+		{"bad thresholds", "/mine", mineRequestJSON{Dataset: "d", Algorithm: "UApriori"}, http.StatusBadRequest},
+		{"duplicate dataset", "/datasets", registerRequest{Name: "d", Profile: "gazelle", Scale: 0.005}, http.StatusConflict},
+		{"unknown profile", "/datasets", registerRequest{Name: "x", Profile: "nope"}, http.StatusBadRequest},
+		{"missing source", "/datasets", registerRequest{Name: "x"}, http.StatusBadRequest},
+		{"bad ingest unit", "/ingest", ingestRequest{Dataset: "d", Transactions: []string{"zzz"}}, http.StatusBadRequest},
+		{"ingest unknown dataset", "/ingest", ingestRequest{Dataset: "nope", Transactions: []string{"0:0.5"}}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: HTTP %d (want %d): %s", c.name, resp.StatusCode, c.status, body)
+		}
+		if !strings.Contains(string(body), `"error"`) {
+			t.Errorf("%s: no error field in %s", c.name, body)
+		}
+	}
+}
+
+// TestIngestParserParity: /ingest accepts exactly what the text-format
+// reader accepts — zero probabilities rejected, "#" comment lines skipped.
+func TestIngestParserParity(t *testing.T) {
+	_, ts := httpFixture(t)
+	resp, body := post(t, ts.URL+"/ingest", ingestRequest{Dataset: "d", Transactions: []string{"0:0"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero-probability unit: HTTP %d (want 400): %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/ingest", ingestRequest{Dataset: "d", Transactions: []string{"# comment", "0:0.5"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("comment line: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var ing IngestResult
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Added != 1 {
+		t.Errorf("added %d transactions, want 1 (comment skipped)", ing.Added)
+	}
+}
+
+// TestHTTPBodyTooLarge: oversized POST bodies are rejected with 413, not
+// buffered into memory.
+func TestHTTPBodyTooLarge(t *testing.T) {
+	_, ts := httpFixture(t)
+	huge := append([]byte(`{"name":"x","text":"`), bytes.Repeat([]byte("0:0.5 "), maxRequestBytes/6+1)...)
+	huge = append(huge, []byte(`"}`)...)
+	resp, err := http.Post(ts.URL+"/datasets", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHTTPWindowedRegister(t *testing.T) {
+	_, ts := httpFixture(t)
+	resp, body := post(t, ts.URL+"/datasets", registerRequest{
+		Name: "w", Text: "0:0.9\n1:0.8\n0:0.7 1:0.6\n",
+		WindowSize: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var info DatasetInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Windowed || info.NumTrans != 2 {
+		t.Fatalf("info %+v, want windowed with 2 retained transactions", info)
+	}
+}

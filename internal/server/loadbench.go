@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/dataset"
+	"umine/internal/eval"
+)
+
+// The closed-loop load benchmark behind `userve -loadbench`: a fresh server
+// with one generated dataset is driven over real HTTP by 1/8/64 concurrent
+// clients, once with the cache bypassed (every request mines — the paper's
+// batch shape, repeated) and once warm (the serving shape). Per-request
+// latencies give p50/p99 and throughput per level; eval.Run supplies the
+// in-process single-run baseline the HTTP numbers are read against.
+
+// LoadBenchConfig parameterizes RunLoadBench. Zero fields take defaults.
+type LoadBenchConfig struct {
+	// Profile / Scale / Seed pick the generated dataset (default
+	// gazelle @ 0.05, seed 1).
+	Profile string
+	Scale   float64
+	Seed    int64
+	// Algorithm and MinESup define the benchmark query (default UApriori at
+	// min_esup 0.003 — heavy enough that mining dominates HTTP overhead,
+	// cheap enough to repeat hundreds of times).
+	Algorithm string
+	MinESup   float64
+	// Levels are the concurrent client counts (default 1, 8, 64).
+	Levels []int
+	// Requests is the total request count per level and pass (default 128;
+	// raised to the client count when smaller).
+	Requests int
+	// Workers is the per-request mining parallelism (default serial).
+	Workers int
+	// Log receives progress lines (nil discards them).
+	Log io.Writer
+}
+
+func (c *LoadBenchConfig) fillDefaults() {
+	if c.Profile == "" {
+		c.Profile = "gazelle"
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "UApriori"
+	}
+	if c.MinESup == 0 {
+		c.MinESup = 0.003
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []int{1, 8, 64}
+	}
+	if c.Requests == 0 {
+		c.Requests = 128
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+}
+
+// LoadBenchStats summarizes one pass at one concurrency level.
+type LoadBenchStats struct {
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MeanMS        float64 `json:"mean_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// LoadBenchLevel is one concurrency level: a cold pass (cache bypassed,
+// every request mines) and a hot pass (warm cache).
+type LoadBenchLevel struct {
+	Clients  int            `json:"clients"`
+	Requests int            `json:"requests"`
+	Cold     LoadBenchStats `json:"cold"`
+	Hot      LoadBenchStats `json:"hot"`
+}
+
+// LoadBenchReport is the BENCH_server.json document.
+type LoadBenchReport struct {
+	Benchmark string  `json:"benchmark"`
+	Profile   string  `json:"profile"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	Algorithm string  `json:"algorithm"`
+	MinESup   float64 `json:"min_esup"`
+	NumTrans  int     `json:"num_trans"`
+	NumItems  int     `json:"num_items"`
+	// ResultCount is the query's frequent-itemset count (sanity: non-empty).
+	ResultCount int `json:"result_count"`
+	// DirectMineMS is the eval.Run in-process single-run baseline.
+	DirectMineMS float64          `json:"direct_mine_ms"`
+	Levels       []LoadBenchLevel `json:"levels"`
+	// CacheSpeedupP50 is cold p50 / hot p50 at the first level — the
+	// headline cache win.
+	CacheSpeedupP50 float64 `json:"cache_speedup_p50"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Timestamp       string  `json:"timestamp"`
+}
+
+// WriteJSON writes the report as an indented JSON document.
+func (r *LoadBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunLoadBench boots an in-process server behind a real HTTP listener and
+// drives the benchmark query at each configured concurrency level.
+func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
+	cfg.fillDefaults()
+	p, ok := dataset.Profiles[cfg.Profile]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown benchmark profile %q", cfg.Profile)
+	}
+	db := p.GenerateUncertain(cfg.Scale, cfg.Seed)
+	fmt.Fprintf(cfg.Log, "loadbench: %s @%g: N=%d items=%d\n", cfg.Profile, cfg.Scale, db.N(), db.NumItems)
+
+	th := core.Thresholds{MinESup: cfg.MinESup}
+	m, err := algo.NewWith(cfg.Algorithm, core.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := th.Validate(m.Semantics()); err != nil {
+		return nil, err
+	}
+	meas := eval.Run(m, db, th)
+	if meas.Err != nil {
+		return nil, meas.Err
+	}
+	fmt.Fprintf(cfg.Log, "loadbench: direct %s min_esup=%g: %d itemsets in %v\n",
+		cfg.Algorithm, cfg.MinESup, meas.Results.Len(), meas.Elapsed)
+
+	// MaxInFlight is left at its default (2 × GOMAXPROCS): the bench
+	// measures the served shape, queueing included.
+	srv := New(Config{DefaultWorkers: cfg.Workers})
+	if _, err := srv.RegisterDatabase("bench", db, RegisterOptions{Source: "loadbench"}); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := func(noCache bool) []byte {
+		b, _ := json.Marshal(mineRequestJSON{
+			Dataset:   "bench",
+			Algorithm: cfg.Algorithm,
+			MinESup:   cfg.MinESup,
+			NoCache:   noCache,
+		})
+		return b
+	}
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 128
+
+	report := &LoadBenchReport{
+		Benchmark:    "server-load",
+		Profile:      cfg.Profile,
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		Algorithm:    cfg.Algorithm,
+		MinESup:      cfg.MinESup,
+		NumTrans:     db.N(),
+		NumItems:     db.NumItems,
+		ResultCount:  meas.Results.Len(),
+		DirectMineMS: float64(meas.Elapsed.Microseconds()) / 1000,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, clients := range cfg.Levels {
+		requests := cfg.Requests
+		if requests < clients {
+			requests = clients
+		}
+		cold, err := drive(client, ts.URL, body(true), clients, requests)
+		if err != nil {
+			return nil, fmt.Errorf("cold pass at %d clients: %w", clients, err)
+		}
+		// Prime once so the hot pass is all cache hits.
+		if _, err := postMine(client, ts.URL, body(false)); err != nil {
+			return nil, err
+		}
+		hot, err := drive(client, ts.URL, body(false), clients, requests)
+		if err != nil {
+			return nil, fmt.Errorf("hot pass at %d clients: %w", clients, err)
+		}
+		report.Levels = append(report.Levels, LoadBenchLevel{
+			Clients:  clients,
+			Requests: requests,
+			Cold:     cold,
+			Hot:      hot,
+		})
+		fmt.Fprintf(cfg.Log, "loadbench: %3d clients: cold p50=%.2fms p99=%.2fms %.0f req/s | hot p50=%.3fms p99=%.3fms %.0f req/s\n",
+			clients, cold.P50MS, cold.P99MS, cold.ThroughputRPS, hot.P50MS, hot.P99MS, hot.ThroughputRPS)
+	}
+
+	if len(report.Levels) > 0 && report.Levels[0].Hot.P50MS > 0 {
+		report.CacheSpeedupP50 = report.Levels[0].Cold.P50MS / report.Levels[0].Hot.P50MS
+		fmt.Fprintf(cfg.Log, "loadbench: cache-hit p50 speedup over cold mine: %.1f×\n", report.CacheSpeedupP50)
+	}
+	return report, nil
+}
+
+// drive issues requests total requests from clients concurrent goroutines
+// and aggregates per-request latencies.
+func drive(client *http.Client, url string, body []byte, clients, requests int) (LoadBenchStats, error) {
+	latencies := make([]time.Duration, requests)
+	errs := make([]error, clients)
+	var next int64
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		if i >= requests {
+			return -1
+		}
+		return i
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				t0 := time.Now()
+				if _, err := postMine(client, url, body); err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return LoadBenchStats{}, err
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	return LoadBenchStats{
+		P50MS:         ms(latencies[requests/2]),
+		P99MS:         ms(latencies[(requests*99)/100]),
+		MeanMS:        ms(sum) / float64(requests),
+		ThroughputRPS: float64(requests) / wall.Seconds(),
+	}, nil
+}
+
+// postMine posts one /mine request and checks for 200 + non-empty document.
+func postMine(client *http.Client, url string, body []byte) ([]byte, error) {
+	resp, err := client.Post(url+"/mine", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/mine: HTTP %d: %s", resp.StatusCode, out)
+	}
+	return out, nil
+}

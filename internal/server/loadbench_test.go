@@ -1,0 +1,52 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestLoadBenchSmall runs the load benchmark at a toy size: it must produce
+// a well-formed report with non-empty results and a cache-hit p50 at least
+// as fast as the cold-mine p50 (the ≥10× acceptance bar is asserted by the
+// CI bench job at the real configuration, where mining dwarfs HTTP
+// overhead; at toy size we only require directionality).
+func TestLoadBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load benchmark drives real HTTP traffic")
+	}
+	report, err := RunLoadBench(LoadBenchConfig{
+		Profile:  "gazelle",
+		Scale:    0.01,
+		Levels:   []int{1, 4},
+		Requests: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ResultCount == 0 {
+		t.Fatal("benchmark query mined no itemsets")
+	}
+	if len(report.Levels) != 2 {
+		t.Fatalf("levels: %+v", report.Levels)
+	}
+	for _, l := range report.Levels {
+		if l.Cold.P50MS <= 0 || l.Hot.P50MS <= 0 || l.Cold.ThroughputRPS <= 0 {
+			t.Errorf("level %d: degenerate stats %+v", l.Clients, l)
+		}
+	}
+	if report.CacheSpeedupP50 < 1 {
+		t.Errorf("cache-hit p50 slower than cold mine: speedup %.2f", report.CacheSpeedupP50)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round LoadBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Benchmark != "server-load" {
+		t.Errorf("benchmark label %q", round.Benchmark)
+	}
+}

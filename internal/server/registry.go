@@ -1,0 +1,387 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/dataset"
+	"umine/internal/stream"
+)
+
+// The dataset registry: databases are loaded or generated once and shared
+// read-only across every request. core.Database is immutable by contract, so
+// a query holds a consistent snapshot for its whole run while ingest swaps
+// in a new snapshot under the dataset's lock and bumps the version — readers
+// never block on miners and miners never observe a half-ingested database.
+
+// RegisterOptions controls how a dataset is registered.
+type RegisterOptions struct {
+	// Window, when non-nil, bounds the dataset's retention: ingested
+	// transactions flow through a stream.Window and queries mine its
+	// current snapshot, so the dataset holds at most Window.Size
+	// transactions (the streaming deployments of the paper's §1).
+	Window *WindowOptions
+	// Source labels the dataset's origin in DatasetInfo (e.g.
+	// "profile:gazelle@0.02"); Register* methods fill it when empty.
+	Source string
+}
+
+// WindowOptions configures sliding-window retention for a dataset.
+type WindowOptions struct {
+	// Size is the window capacity in transactions. Required.
+	Size int
+	// RefreshEvery re-mines the window and replaces its watch list after
+	// this many ingested transactions (0 disables re-discovery).
+	RefreshEvery int
+	// RefreshAlgorithm names the miner used for refresh (required when
+	// RefreshEvery > 0). Its semantics override Semantics below, and
+	// Thresholds must validate against them — a mismatch (e.g. a
+	// probabilistic refresh miner with only MinESup set) is rejected at
+	// registration rather than failing every refresh-boundary ingest.
+	RefreshAlgorithm string
+	// Thresholds and Semantics configure the window's frequentness queries
+	// and the refresh mining. Zero Thresholds default to MinESup 0.5.
+	Thresholds core.Thresholds
+	Semantics  core.Semantics
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	NumTrans int    `json:"num_trans"`
+	NumItems int    `json:"num_items"`
+	// Ingested counts transactions appended after registration.
+	Ingested int64  `json:"ingested"`
+	Source   string `json:"source,omitempty"`
+	// Windowed datasets retain at most WindowSize transactions.
+	Windowed   bool   `json:"windowed,omitempty"`
+	WindowSize int    `json:"window_size,omitempty"`
+	Watched    int    `json:"watched,omitempty"`
+	Registered string `json:"registered"`
+}
+
+// dsEntry is one registered dataset: an immutable snapshot swapped under mu.
+type dsEntry struct {
+	mu         sync.RWMutex
+	name       string
+	version    uint64
+	db         *core.Database
+	window     *stream.Window // nil unless windowed
+	windowSize int
+	ingested   int64
+	source     string
+	registered time.Time
+}
+
+// snapshot returns the current immutable database and its version.
+func (d *dsEntry) snapshot() (*core.Database, uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db, d.version
+}
+
+// info snapshots the dataset's metadata.
+func (d *dsEntry) info() DatasetInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	info := DatasetInfo{
+		Name:       d.name,
+		Version:    d.version,
+		NumTrans:   d.db.N(),
+		NumItems:   d.db.NumItems,
+		Ingested:   d.ingested,
+		Source:     d.source,
+		Registered: d.registered.UTC().Format(time.RFC3339),
+	}
+	if d.window != nil {
+		info.Windowed = true
+		info.WindowSize = d.windowSize
+		info.Watched = len(d.window.Watched())
+	}
+	return info
+}
+
+// IngestResult reports one Ingest call.
+type IngestResult struct {
+	Dataset string `json:"dataset"`
+	Version uint64 `json:"version"`
+	// N is the dataset's transaction count after the ingest (for windowed
+	// datasets, at most the window size).
+	N int `json:"n"`
+	// Added is how many transactions the call appended.
+	Added int `json:"added"`
+	// Refreshed reports whether a windowed refresh re-mine ran.
+	Refreshed bool `json:"refreshed,omitempty"`
+	// RefreshError carries a refresh re-mine failure. The ingest itself
+	// still committed (transactions applied, version bumped); only the
+	// watch-list re-discovery is stale.
+	RefreshError string `json:"refresh_error,omitempty"`
+}
+
+// ingest appends the raw transactions and swaps in a new snapshot. The whole
+// append happens under the write lock, so concurrent queries see either the
+// old snapshot or the new one, never an intermediate state — this is the
+// locking that keeps stream.Window (not itself goroutine-safe, and mutated
+// wholesale by a refresh re-mine) race-free under concurrent readers.
+//
+// Ingest is atomic over the batch: validation happens up front (an invalid
+// transaction fails the whole call with nothing applied), and once pushing
+// starts nothing aborts it — a windowed refresh re-mine failure is reported
+// via IngestResult.RefreshError with the batch still fully committed, never
+// as a half-applied "error" a client would wrongly retry.
+func (d *dsEntry) ingest(raw [][]core.Unit) (IngestResult, error) {
+	txs := make([]core.Transaction, len(raw))
+	for i, units := range raw {
+		t, err := core.NormalizeTransaction(units)
+		if err != nil {
+			return IngestResult{}, fmt.Errorf("server: ingest transaction %d: %w", i, err)
+		}
+		txs[i] = t
+	}
+	if len(txs) == 0 {
+		// A no-op write must not bump the version (and so must not wipe
+		// the dataset's cached results).
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		return IngestResult{Dataset: d.name, Version: d.version, N: d.db.N()}, nil
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	refreshed := false
+	var refreshErr error
+	if d.window != nil {
+		for _, t := range txs {
+			// txs are pre-normalized, so an error here is a refresh
+			// re-mine failure, after the push itself already applied.
+			r, err := d.window.PushCanonical(t)
+			if err != nil {
+				refreshErr = err
+			}
+			refreshed = refreshed || r
+		}
+		snap := d.window.Snapshot()
+		snap.Name = d.name
+		if snap.NumItems < d.db.NumItems {
+			snap.SetNumItems(d.db.NumItems)
+		}
+		d.db = snap
+	} else {
+		old := d.db
+		all := make([]core.Transaction, 0, len(old.Transactions)+len(txs))
+		all = append(all, old.Transactions...)
+		all = append(all, txs...)
+		numItems := old.NumItems
+		for _, t := range txs {
+			if len(t) > 0 && int(t[len(t)-1].Item) >= numItems {
+				numItems = int(t[len(t)-1].Item) + 1
+			}
+		}
+		d.db = &core.Database{Name: d.name, Transactions: all, NumItems: numItems}
+	}
+	d.version++
+	d.ingested += int64(len(txs))
+	res := IngestResult{
+		Dataset:   d.name,
+		Version:   d.version,
+		N:         d.db.N(),
+		Added:     len(txs),
+		Refreshed: refreshed,
+	}
+	if refreshErr != nil {
+		res.RefreshError = refreshErr.Error()
+	}
+	return res, nil
+}
+
+// registry holds the datasets by name.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]*dsEntry
+}
+
+func (r *registry) init() { r.m = map[string]*dsEntry{} }
+
+func (r *registry) get(name string) (*dsEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.m[name]
+	return d, ok
+}
+
+func (r *registry) add(d *dsEntry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[d.name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, d.name)
+	}
+	r.m[d.name] = d
+	return nil
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+func (r *registry) list() []*dsEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*dsEntry, 0, len(r.m))
+	for _, d := range r.m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// RegisterDatabase registers an already-built database under name. The
+// database must not be mutated afterwards (core.Database's usual contract).
+func (s *Server) RegisterDatabase(name string, db *core.Database, opts RegisterOptions) (DatasetInfo, error) {
+	if name == "" {
+		return DatasetInfo{}, fmt.Errorf("server: dataset name must be non-empty")
+	}
+	if opts.Source == "" {
+		opts.Source = "database"
+	}
+	d := &dsEntry{name: name, db: db, source: opts.Source, registered: time.Now()}
+	if opts.Window != nil {
+		w, size, err := newWindow(*opts.Window)
+		if err != nil {
+			return DatasetInfo{}, err
+		}
+		d.window = w
+		d.windowSize = size
+		// Replay the seed database through the window so retention applies
+		// from the start: only the trailing Size transactions survive.
+		// Load defers the (at most one) refresh re-mine to the end instead
+		// of re-mining every RefreshEvery arrivals of the replay.
+		if err := w.Load(db.Transactions); err != nil {
+			return DatasetInfo{}, err
+		}
+		snap := w.Snapshot()
+		snap.Name = name
+		if snap.NumItems < db.NumItems {
+			snap.SetNumItems(db.NumItems)
+		}
+		d.db = snap
+	}
+	if err := s.reg.add(d); err != nil {
+		return DatasetInfo{}, err
+	}
+	return d.info(), nil
+}
+
+// RegisterProfile generates one of the paper's Table 6 benchmark profiles at
+// the given scale and registers it.
+func (s *Server) RegisterProfile(name, profile string, scale float64, seed int64, opts RegisterOptions) (DatasetInfo, error) {
+	p, ok := dataset.Profiles[profile]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("server: unknown benchmark profile %q", profile)
+	}
+	if scale <= 0 {
+		return DatasetInfo{}, fmt.Errorf("server: profile scale %v must be positive", scale)
+	}
+	if opts.Source == "" {
+		opts.Source = fmt.Sprintf("profile:%s@%g", profile, scale)
+	}
+	db := p.GenerateUncertain(scale, seed)
+	return s.RegisterDatabase(name, db, opts)
+}
+
+// RegisterUncertain reads a database in the item:prob text format and
+// registers it.
+func (s *Server) RegisterUncertain(name string, r io.Reader, opts RegisterOptions) (DatasetInfo, error) {
+	db, err := dataset.ReadUncertain(r, name)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if opts.Source == "" {
+		opts.Source = "upload"
+	}
+	return s.RegisterDatabase(name, db, opts)
+}
+
+// Datasets lists the registered datasets sorted by name.
+func (s *Server) Datasets() []DatasetInfo {
+	entries := s.reg.list()
+	out := make([]DatasetInfo, len(entries))
+	for i, d := range entries {
+		out[i] = d.info()
+	}
+	return out
+}
+
+// Dataset returns one dataset's info by name.
+func (s *Server) Dataset(name string) (DatasetInfo, bool) {
+	d, ok := s.reg.get(name)
+	if !ok {
+		return DatasetInfo{}, false
+	}
+	return d.info(), true
+}
+
+// WindowFrequent returns the currently-frequent watched itemsets of a
+// windowed dataset (populated by its refresh re-mines), in canonical order.
+// A non-windowed dataset returns nil results.
+func (s *Server) WindowFrequent(name string) ([]core.Result, error) {
+	d, ok := s.reg.get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.window == nil {
+		return nil, nil
+	}
+	return d.window.Frequent(), nil
+}
+
+// newWindow builds the stream.Window for WindowOptions.
+func newWindow(o WindowOptions) (*stream.Window, int, error) {
+	if o.Size <= 0 {
+		return nil, 0, fmt.Errorf("server: window size %d must be positive", o.Size)
+	}
+	th := o.Thresholds
+	if th == (core.Thresholds{}) {
+		th = core.Thresholds{MinESup: 0.5}
+	}
+	cfg := stream.Config{
+		Size:         o.Size,
+		Thresholds:   th,
+		Semantics:    o.Semantics,
+		RefreshEvery: o.RefreshEvery,
+	}
+	if o.RefreshEvery > 0 {
+		if o.RefreshAlgorithm == "" {
+			return nil, 0, fmt.Errorf("server: window RefreshEvery set without RefreshAlgorithm")
+		}
+		m, err := newRefreshMiner(o.RefreshAlgorithm)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Miner = m
+		// The refresh miner defines the window's semantics; NewWindow then
+		// validates the thresholds against them, so a miner/threshold
+		// mismatch fails here instead of at the first refresh.
+		cfg.Semantics = m.Semantics()
+	}
+	w, err := stream.NewWindow(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return w, o.Size, nil
+}
+
+// newRefreshMiner constructs the batch miner a windowed dataset re-mines
+// with. Split out so registry.go does not import the algo registry twice.
+func newRefreshMiner(name string) (core.Miner, error) {
+	return algo.New(name)
+}

@@ -1,0 +1,399 @@
+// Package server turns the batch mining platform into a long-running
+// concurrent mining service: datasets are loaded (or generated) once into a
+// versioned registry and shared read-only across requests, queries run any
+// registered miner over the shared parallel pool under a bounded in-flight
+// limit, and a monotonicity-aware result cache plus singleflight coalescing
+// keep repeated and concurrent queries from re-mining.
+//
+// The paper benchmarks one-shot batch runs; a serving deployment has the
+// opposite shape — long-lived databases queried repeatedly at many
+// thresholds by many concurrent clients, with continuous ingest alongside
+// the analytical queries (the workload-co-location setting of Polynesia,
+// arXiv:2103.00798, and the concurrency-dominated regime CCBench,
+// arXiv:2009.11558, measures). Package server is that layer:
+//
+//   - registry.go — named, versioned datasets; ingest appends transactions
+//     (optionally through a bounded stream.Window) and bumps the version;
+//   - cache.go — results keyed by (dataset, version, algorithm,
+//     thresholds); a higher-threshold query is answered by filtering a
+//     cached lower-threshold result set, exploiting the anti-monotonicity
+//     of both frequentness definitions;
+//   - singleflight.go — identical concurrent queries mine once and share
+//     the result;
+//   - http.go — the HTTP/JSON surface (/datasets, /mine, /ingest,
+//     /healthz, /stats) reusing the core result-set codecs;
+//   - loadbench.go — the closed-loop load benchmark behind
+//     `userve -loadbench` and BENCH_server.json.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+)
+
+// Config parameterizes a Server. The zero value is a usable default.
+type Config struct {
+	// DefaultWorkers is the Options.Workers value applied to requests that
+	// do not set their own (0/1 = serial, n > 1 = at most n goroutines,
+	// negative = GOMAXPROCS).
+	DefaultWorkers int
+	// MaxInFlight bounds the number of mining jobs executing at once;
+	// further jobs queue on the semaphore (cache hits are never queued).
+	// 0 means 2 × GOMAXPROCS; negative means unbounded.
+	MaxInFlight int
+	// DefaultTimeout bounds each request's queueing + mining time when the
+	// request does not carry its own timeout. 0 means no timeout.
+	DefaultTimeout time.Duration
+	// CacheEntries caps the result cache (0 = default 256 entries,
+	// negative = cache disabled).
+	CacheEntries int
+}
+
+// defaultCacheEntries is the result-cache capacity when Config leaves it 0.
+const defaultCacheEntries = 256
+
+// Server is an embeddable concurrent mining service. All methods are safe
+// for concurrent use. The zero value is not usable; construct with New.
+type Server struct {
+	cfg    Config
+	reg    registry
+	cache  *resultCache
+	flight flightGroup
+	sem    chan struct{}
+	start  time.Time
+
+	// mineFn runs one mining job; tests substitute it to control timing.
+	mineFn func(algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error)
+
+	requests      atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheFiltered atomic.Uint64
+	cacheMisses   atomic.Uint64
+	coalesced     atomic.Uint64
+	uncached      atomic.Uint64
+	ingests       atomic.Uint64
+	errorCount    atomic.Uint64
+	inFlight      atomic.Int64
+}
+
+// New constructs a Server from cfg.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, start: time.Now()}
+	s.reg.init()
+	if cfg.CacheEntries >= 0 {
+		max := cfg.CacheEntries
+		if max == 0 {
+			max = defaultCacheEntries
+		}
+		s.cache = newResultCache(max)
+	}
+	slots := cfg.MaxInFlight
+	if slots == 0 {
+		slots = 2 * runtime.GOMAXPROCS(0)
+	}
+	if slots > 0 {
+		s.sem = make(chan struct{}, slots)
+	}
+	s.flight.init()
+	s.mineFn = func(algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+		m, err := algo.NewWith(algorithm, opts)
+		if err != nil {
+			return nil, err
+		}
+		return m.Mine(db, th)
+	}
+	return s
+}
+
+// ErrUnknownDataset reports a query against a dataset name that was never
+// registered.
+var ErrUnknownDataset = errors.New("server: unknown dataset")
+
+// ErrDuplicateDataset reports a registration under an already-taken name.
+var ErrDuplicateDataset = errors.New("server: dataset already registered")
+
+// Cache-outcome labels carried by MineResponse.Cache.
+const (
+	// CacheMiss: the request mined.
+	CacheMiss = "miss"
+	// CacheHit: an identical (dataset version, algorithm, thresholds)
+	// result was served from the cache.
+	CacheHit = "hit"
+	// CacheFiltered: a cached lower-threshold result set was filtered down
+	// to the queried thresholds instead of re-mining.
+	CacheFiltered = "filtered"
+	// CacheCoalesced: the request joined an identical in-flight query and
+	// shared its result.
+	CacheCoalesced = "coalesced"
+	// CacheBypassed: the request asked for NoCache and mined unconditionally.
+	CacheBypassed = "bypassed"
+)
+
+// MineRequest is one mining query against a registered dataset.
+type MineRequest struct {
+	// Dataset names a registered dataset.
+	Dataset string
+	// Algorithm is a registry name (umine.Algorithms).
+	Algorithm string
+	// Thresholds for the algorithm's semantics.
+	Thresholds core.Thresholds
+	// Workers overrides Config.DefaultWorkers when non-zero.
+	Workers int
+	// Timeout overrides Config.DefaultTimeout when non-zero. It bounds
+	// queueing and waiting on a coalesced leader; a mining job that already
+	// started is not interrupted (its result is still cached).
+	Timeout time.Duration
+	// NoCache bypasses the cache and coalescing: the request always mines.
+	// Used by the load benchmark's cold passes.
+	NoCache bool
+}
+
+// MineResponse is the outcome of one Mine call.
+type MineResponse struct {
+	// Results is the mined (or cache-served) result set; its Thresholds are
+	// the request's, so serializing it is indistinguishable from a direct
+	// MineWith call at the same thresholds.
+	Results *core.ResultSet
+	// Cache is one of the Cache* labels.
+	Cache string
+	// DatasetVersion is the dataset version the response was computed at.
+	DatasetVersion uint64
+	// Elapsed is the server-side request latency.
+	Elapsed time.Duration
+}
+
+// mineOutcome is what one singleflight execution produces.
+type mineOutcome struct {
+	rs   *core.ResultSet
+	kind string
+}
+
+// Mine answers one query, consulting the cache (exact hit or monotonic
+// filter), coalescing with identical in-flight queries, and otherwise mining
+// on the bounded pool.
+func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	d, ok := s.reg.get(req.Dataset)
+	if !ok {
+		s.errorCount.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, req.Dataset)
+	}
+	m, err := algo.New(req.Algorithm)
+	if err != nil {
+		s.errorCount.Add(1)
+		return nil, err
+	}
+	sem := m.Semantics()
+	if err := req.Thresholds.Validate(sem); err != nil {
+		s.errorCount.Add(1)
+		return nil, err
+	}
+
+	db, version := d.snapshot()
+	q := cacheQuery{
+		dataset:   req.Dataset,
+		version:   version,
+		algorithm: req.Algorithm,
+		semantics: sem,
+		th:        req.Thresholds,
+		n:         db.N(),
+	}
+
+	respond := func(rs *core.ResultSet, kind string) *MineResponse {
+		return &MineResponse{
+			Results:        adoptThresholds(rs, req.Thresholds),
+			Cache:          kind,
+			DatasetVersion: version,
+			Elapsed:        time.Since(start),
+		}
+	}
+
+	if req.NoCache {
+		rs, err := func() (*core.ResultSet, error) {
+			if err := s.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.release() // released even if the miner panics
+			return s.mineFn(req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
+		}()
+		if err != nil {
+			s.errorCount.Add(1)
+			return nil, err
+		}
+		s.uncached.Add(1)
+		return respond(rs, CacheBypassed), nil
+	}
+
+	if s.cache != nil {
+		if rs, kind, ok := s.cache.lookup(q); ok {
+			s.countCache(kind)
+			return respond(rs, kind), nil
+		}
+	}
+
+	out, shared, err := s.flight.do(ctx, q.key(), func() (mineOutcome, error) {
+		if err := s.acquire(ctx); err != nil {
+			return mineOutcome{}, err
+		}
+		defer s.release()
+		// Re-check the cache: a compatible entry (e.g. a lower-threshold
+		// mine that can be filtered) may have landed while queued.
+		if s.cache != nil {
+			if rs, kind, ok := s.cache.lookup(q); ok {
+				return mineOutcome{rs: rs, kind: kind}, nil
+			}
+		}
+		rs, err := s.mineFn(req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
+		if err != nil {
+			return mineOutcome{}, err
+		}
+		if s.cache != nil {
+			s.cache.store(q, rs)
+		}
+		return mineOutcome{rs: rs, kind: CacheMiss}, nil
+	})
+	if err != nil {
+		s.errorCount.Add(1)
+		return nil, err
+	}
+	kind := out.kind
+	if shared {
+		kind = CacheCoalesced
+	}
+	s.countCache(kind)
+	return respond(out.rs, kind), nil
+}
+
+// countCache bumps the stats counter matching a cache-outcome label.
+func (s *Server) countCache(kind string) {
+	switch kind {
+	case CacheHit:
+		s.cacheHits.Add(1)
+	case CacheFiltered:
+		s.cacheFiltered.Add(1)
+	case CacheMiss:
+		s.cacheMisses.Add(1)
+	case CacheCoalesced:
+		s.coalesced.Add(1)
+	}
+}
+
+// workers resolves a per-request Workers value against the server default.
+func (s *Server) workers(reqWorkers int) int {
+	if reqWorkers != 0 {
+		return reqWorkers
+	}
+	return s.cfg.DefaultWorkers
+}
+
+// acquire claims one in-flight mining slot, honoring ctx while queueing.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.sem == nil {
+		s.inFlight.Add(1)
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an in-flight mining slot.
+func (s *Server) release() {
+	s.inFlight.Add(-1)
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// adoptThresholds returns rs with Thresholds replaced by th (shallow copy;
+// Results are shared). Cache-served responses must carry the *request's*
+// thresholds so their serialization is bit-identical to a direct mine.
+func adoptThresholds(rs *core.ResultSet, th core.Thresholds) *core.ResultSet {
+	if rs.Thresholds == th {
+		return rs
+	}
+	out := *rs
+	out.Thresholds = th
+	return &out
+}
+
+// Ingest appends raw transactions to a dataset, bumps its version and
+// invalidates its cached results. On a windowed dataset the transactions are
+// pushed through the sliding window (evicting the oldest beyond its size and
+// triggering a configured refresh re-mine).
+func (s *Server) Ingest(name string, raw [][]core.Unit) (IngestResult, error) {
+	d, ok := s.reg.get(name)
+	if !ok {
+		return IngestResult{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	res, err := d.ingest(raw)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if res.Added > 0 {
+		if s.cache != nil {
+			s.cache.invalidate(name)
+		}
+		s.ingests.Add(1)
+	}
+	return res, nil
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Datasets      int     `json:"datasets"`
+	Requests      uint64  `json:"requests"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheFiltered uint64  `json:"cache_filtered"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	Coalesced     uint64  `json:"coalesced"`
+	Uncached      uint64  `json:"uncached"`
+	Ingests       uint64  `json:"ingests"`
+	Errors        uint64  `json:"errors"`
+	InFlight      int64   `json:"in_flight"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Datasets:      s.reg.len(),
+		Requests:      s.requests.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheFiltered: s.cacheFiltered.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Uncached:      s.uncached.Load(),
+		Ingests:       s.ingests.Load(),
+		Errors:        s.errorCount.Load(),
+		InFlight:      s.inFlight.Load(),
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}

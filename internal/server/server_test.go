@@ -1,0 +1,316 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"umine/internal/core"
+	"umine/internal/core/coretest"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	s := New(Config{})
+	db := testDB(t)
+	info, err := s.RegisterDatabase("a", db, RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "a" || info.Version != 0 || info.NumTrans != db.N() {
+		t.Fatalf("info %+v", info)
+	}
+	if _, err := s.RegisterDatabase("a", db, RegisterOptions{}); !errors.Is(err, ErrDuplicateDataset) {
+		t.Fatalf("duplicate registration: err=%v, want ErrDuplicateDataset", err)
+	}
+	if _, err := s.Mine(context.Background(), MineRequest{Dataset: "nope", Algorithm: "UApriori", Thresholds: core.Thresholds{MinESup: 0.2}}); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: err=%v, want ErrUnknownDataset", err)
+	}
+	if _, err := s.RegisterProfile("p", "gazelle", 0.005, 1, RegisterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ds := s.Datasets(); len(ds) != 2 || ds[0].Name != "a" || ds[1].Name != "p" {
+		t.Fatalf("Datasets() = %+v", ds)
+	}
+}
+
+func TestRegisterUncertain(t *testing.T) {
+	s := New(Config{})
+	text := "0:0.9 2:0.5\n1:0.8\n\n0:0.4 1:0.6 2:0.7\n"
+	info, err := s.RegisterUncertain("u", strings.NewReader(text), RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumItems != 3 {
+		t.Fatalf("NumItems %d, want 3", info.NumItems)
+	}
+}
+
+// TestWindowedRetention: a windowed dataset keeps only the trailing Size
+// transactions, from registration replay and across ingests.
+func TestWindowedRetention(t *testing.T) {
+	db := coretest.RandomDB(rand.New(rand.NewSource(3)), 30, 6, 0.6)
+	s := New(Config{})
+	info, err := s.RegisterDatabase("w", db, RegisterOptions{Window: &WindowOptions{Size: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Windowed || info.WindowSize != 10 || info.NumTrans != 10 {
+		t.Fatalf("info %+v, want windowed size 10 with 10 transactions", info)
+	}
+	res, err := s.Ingest("w", [][]core.Unit{
+		{{Item: 0, Prob: 1}},
+		{{Item: 1, Prob: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 10 || res.Version != 1 {
+		t.Fatalf("ingest result %+v, want n 10 version 1", res)
+	}
+	// The snapshot served to miners is the window's content: the two new
+	// transactions are its tail.
+	d, _ := s.reg.get("w")
+	snap, _ := d.snapshot()
+	last := snap.Transactions[len(snap.Transactions)-1]
+	if len(last) != 1 || last[0].Item != 1 {
+		t.Fatalf("window tail %v, want the last ingested transaction", last)
+	}
+}
+
+// TestWindowedRefresh: RefreshEvery re-mines the window during ingest and
+// populates the watch list behind WindowFrequent.
+func TestWindowedRefresh(t *testing.T) {
+	s := New(Config{})
+	_, err := s.RegisterDatabase("w", coretest.RandomDB(rand.New(rand.NewSource(5)), 8, 5, 0.8),
+		RegisterOptions{Window: &WindowOptions{
+			Size:             16,
+			RefreshEvery:     4,
+			RefreshAlgorithm: "UApriori",
+			Thresholds:       core.Thresholds{MinESup: 0.1},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refreshed bool
+	for i := 0; i < 8; i++ {
+		res, err := s.Ingest("w", [][]core.Unit{{{Item: 0, Prob: 0.9}, {Item: 1, Prob: 0.8}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshed = refreshed || res.Refreshed
+	}
+	if !refreshed {
+		t.Fatal("no ingest triggered a window refresh")
+	}
+	freq, err := s.WindowFrequent("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freq) == 0 {
+		t.Fatal("WindowFrequent empty after refresh re-mine")
+	}
+}
+
+// TestWindowedRefreshSemanticsValidated: a refresh algorithm whose
+// semantics do not fit the window thresholds must fail at registration,
+// not at the first refresh-boundary ingest.
+func TestWindowedRefreshSemanticsValidated(t *testing.T) {
+	s := New(Config{})
+	db := coretest.RandomDB(rand.New(rand.NewSource(2)), 6, 4, 0.7)
+	// DCB is probabilistic; MinESup-only thresholds cannot drive it.
+	_, err := s.RegisterDatabase("bad", db, RegisterOptions{Window: &WindowOptions{
+		Size:             8,
+		RefreshEvery:     2,
+		RefreshAlgorithm: "DCB",
+		Thresholds:       core.Thresholds{MinESup: 0.1},
+	}})
+	if err == nil {
+		t.Fatal("probabilistic refresh miner with expected-support thresholds accepted")
+	}
+	// With matching thresholds the same configuration registers and
+	// refreshes fine.
+	if _, err := s.RegisterDatabase("good", db, RegisterOptions{Window: &WindowOptions{
+		Size:             8,
+		RefreshEvery:     2,
+		RefreshAlgorithm: "DCB",
+		Thresholds:       core.Thresholds{MinSup: 0.2, PFT: 0.5},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Ingest("good", [][]core.Unit{
+		{{Item: 0, Prob: 0.9}},
+		{{Item: 0, Prob: 0.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Refreshed || res.RefreshError != "" {
+		t.Fatalf("ingest result %+v, want a clean refresh", res)
+	}
+}
+
+// TestWindowedConcurrency hammers a windowed dataset with concurrent
+// ingests (triggering refresh re-mines), queries and metadata reads; run
+// under -race this is the regression test for the window/query data races.
+func TestWindowedConcurrency(t *testing.T) {
+	s := New(Config{})
+	_, err := s.RegisterDatabase("w", coretest.RandomDB(rand.New(rand.NewSource(11)), 20, 6, 0.7),
+		RegisterOptions{Window: &WindowOptions{
+			Size:             24,
+			RefreshEvery:     3,
+			RefreshAlgorithm: "UApriori",
+			Thresholds:       core.Thresholds{MinESup: 0.1},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 30
+	if testing.Short() {
+		iters = 10
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	wg.Add(3)
+	go func() { // ingester: every push may trigger a refresh re-mine
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < iters; i++ {
+			tx := []core.Unit{{Item: core.Item(rng.Intn(6)), Prob: 0.5 + 0.5*rng.Float64()}}
+			if _, err := s.Ingest("w", [][]core.Unit{tx}); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	go func() { // miner: queries race against window refreshes
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_, err := s.Mine(context.Background(), MineRequest{
+				Dataset:   "w",
+				Algorithm: "UH-Mine",
+				Thresholds: core.Thresholds{
+					MinESup: 0.05 + 0.01*float64(i%5),
+				},
+			})
+			if err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	go func() { // reader: metadata + watch list
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s.Datasets()
+			if _, err := s.WindowFrequent("w"); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestMineTimeout: a request that cannot get an in-flight slot before its
+// timeout fails with DeadlineExceeded instead of queueing forever.
+func TestMineTimeout(t *testing.T) {
+	db := testDB(t)
+	s := New(Config{MaxInFlight: 1})
+	if _, err := s.RegisterDatabase("d", db, RegisterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	base := s.mineFn
+	s.mineFn = func(alg string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+		close(entered)
+		<-release
+		return base(alg, db, th, opts)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Mine(context.Background(), MineRequest{Dataset: "d", Algorithm: "UApriori", Thresholds: core.Thresholds{MinESup: 0.1}})
+		done <- err
+	}()
+	<-entered
+	// Different thresholds → no coalescing; the single slot is taken.
+	_, err := s.Mine(context.Background(), MineRequest{
+		Dataset:    "d",
+		Algorithm:  "UApriori",
+		Thresholds: core.Thresholds{MinESup: 0.2},
+		Timeout:    20 * time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued request: err=%v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonWindowedIngestKeepsOldSnapshots: an ingest must not mutate the
+// database an in-progress query is mining (copy-on-append).
+func TestNonWindowedIngestKeepsOldSnapshots(t *testing.T) {
+	db := testDB(t)
+	s := New(Config{})
+	if _, err := s.RegisterDatabase("d", db, RegisterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.reg.get("d")
+	before, v0 := d.snapshot()
+	n0 := before.N()
+	if _, err := s.Ingest("d", [][]core.Unit{{{Item: 0, Prob: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if before.N() != n0 {
+		t.Fatal("ingest mutated a held snapshot")
+	}
+	after, v1 := d.snapshot()
+	if v1 != v0+1 || after.N() != n0+1 {
+		t.Fatalf("post-ingest snapshot N=%d version=%d, want N=%d version=%d", after.N(), v1, n0+1, v0+1)
+	}
+}
+
+// TestStatsCounters sanity-checks the counter wiring end to end.
+func TestStatsCounters(t *testing.T) {
+	db := testDB(t)
+	s := newTestServer(t, db)
+	ctx := context.Background()
+	th := core.Thresholds{MinESup: 0.1}
+	req := MineRequest{Dataset: "d", Algorithm: "UApriori", Thresholds: th}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Mine(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Mine(ctx, MineRequest{Dataset: "d", Algorithm: "UApriori", Thresholds: th, NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	want := "requests=4 misses=1 hits=2 uncached=1 datasets=1"
+	got := fmt.Sprintf("requests=%d misses=%d hits=%d uncached=%d datasets=%d",
+		st.Requests, st.CacheMisses, st.CacheHits, st.Uncached, st.Datasets)
+	if got != want {
+		t.Errorf("stats %s, want %s", got, want)
+	}
+	if st.CacheEntries == 0 {
+		t.Error("cache entries not counted")
+	}
+}

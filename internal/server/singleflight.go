@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Request coalescing: identical concurrent queries (same dataset version,
+// algorithm and semantics-relevant thresholds) execute once; the followers
+// block on the leader and share its result set read-only. A follower whose
+// context expires abandons the wait — the leader keeps mining and still
+// populates the cache.
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done    chan struct{}
+	out     mineOutcome
+	err     error
+	waiters int
+}
+
+// flightGroup deduplicates concurrent executions by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func (g *flightGroup) init() { g.m = map[string]*flightCall{} }
+
+// errFlightPanic is what followers observe when their leader's fn panicked;
+// the panic itself propagates on the leader's goroutine.
+var errFlightPanic = errors.New("server: in-flight query panicked")
+
+// do executes fn once per key among concurrent callers. shared reports
+// whether this caller joined another caller's execution. Mining errors
+// propagate to every waiting caller; a leader failure that is private to
+// the leader's context (its timeout expiring while queued) is not — the
+// follower retries, becoming the new leader under its own context.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (mineOutcome, error)) (out mineOutcome, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if c, ok := g.m[key]; ok {
+			c.waiters++
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err != nil && (errors.Is(c.err, context.DeadlineExceeded) || errors.Is(c.err, context.Canceled)) {
+					continue
+				}
+				return c.out, true, c.err
+			case <-ctx.Done():
+				return mineOutcome{}, true, ctx.Err()
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		finished := false
+		func() {
+			// Clean up even if fn panics: leave the error for followers,
+			// free the key, and let the panic unwind on this goroutine —
+			// otherwise the dead call wedges every later identical query.
+			defer func() {
+				if !finished {
+					c.err = errFlightPanic
+				}
+				g.mu.Lock()
+				delete(g.m, key)
+				g.mu.Unlock()
+				close(c.done)
+			}()
+			c.out, c.err = fn()
+			finished = true
+		}()
+		return c.out, false, c.err
+	}
+}
+
+// waiting counts the followers currently attached to key's in-flight
+// execution (0 when none is in flight); the coalescing tests use it to hold
+// the leader until every follower has attached.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightFollowerRetriesAfterLeaderCtxError: a leader failing with its
+// own context error (its timeout expired while queued) must not poison the
+// followers — they retry and mine under their own contexts.
+func TestFlightFollowerRetriesAfterLeaderCtxError(t *testing.T) {
+	var g flightGroup
+	g.init()
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), "k", func() (mineOutcome, error) {
+			<-release
+			return mineOutcome{}, context.DeadlineExceeded
+		})
+		leaderDone <- err
+	}()
+	waitFor(t, func() bool {
+		return g.waiting("k") >= 0 && func() bool { g.mu.Lock(); defer g.mu.Unlock(); _, ok := g.m["k"]; return ok }()
+	})
+
+	followerDone := make(chan struct{})
+	var out mineOutcome
+	var shared bool
+	var err error
+	go func() {
+		defer close(followerDone)
+		out, shared, err = g.do(context.Background(), "k", func() (mineOutcome, error) {
+			return mineOutcome{kind: "fresh"}, nil
+		})
+	}()
+	waitFor(t, func() bool { return g.waiting("k") == 1 })
+	close(release)
+
+	if lerr := <-leaderDone; !errors.Is(lerr, context.DeadlineExceeded) {
+		t.Fatalf("leader err %v", lerr)
+	}
+	<-followerDone
+	if err != nil || out.kind != "fresh" {
+		t.Fatalf("follower: out=%+v err=%v, want a fresh mine", out, err)
+	}
+	if shared {
+		t.Error("follower reported shared after becoming the retry leader")
+	}
+}
+
+// TestFlightPanicDoesNotWedgeKey: a panicking leader must free its key (so
+// later identical queries run) and surface a real error to followers.
+func TestFlightPanicDoesNotWedgeKey(t *testing.T) {
+	var g flightGroup
+	g.init()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("leader panic did not propagate")
+			}
+		}()
+		g.do(context.Background(), "k", func() (mineOutcome, error) {
+			panic("boom")
+		})
+	}()
+	// The key is free again: the next identical query executes fn.
+	ran := false
+	out, shared, err := g.do(context.Background(), "k", func() (mineOutcome, error) {
+		ran = true
+		return mineOutcome{kind: "ok"}, nil
+	})
+	if !ran || err != nil || shared || out.kind != "ok" {
+		t.Fatalf("post-panic query: ran=%v out=%+v shared=%v err=%v", ran, out, shared, err)
+	}
+}
+
+// TestFlightPanicPropagatesErrorToFollowers: followers attached to a
+// panicking leader get errFlightPanic rather than hanging.
+func TestFlightPanicPropagatesErrorToFollowers(t *testing.T) {
+	var g flightGroup
+	g.init()
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		g.do(context.Background(), "k", func() (mineOutcome, error) {
+			<-release
+			panic("boom")
+		})
+	}()
+	waitFor(t, func() bool { g.mu.Lock(); defer g.mu.Unlock(); _, ok := g.m["k"]; return ok })
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), "k", func() (mineOutcome, error) {
+			return mineOutcome{}, nil
+		})
+		followerDone <- err
+	}()
+	waitFor(t, func() bool { return g.waiting("k") == 1 })
+	close(release)
+	if err := <-followerDone; !errors.Is(err, errFlightPanic) {
+		t.Fatalf("follower err %v, want errFlightPanic", err)
+	}
+}

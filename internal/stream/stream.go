@@ -129,6 +129,38 @@ func (w *Window) Push(units []core.Unit) (refreshed bool, err error) {
 	if err != nil {
 		return false, fmt.Errorf("stream: %w", err)
 	}
+	return w.PushCanonical(tx)
+}
+
+// PushCanonical is Push for an already-canonical transaction (one produced
+// by NormalizeTransaction, or taken from a Database), skipping the
+// redundant normalization pass — the ingest hot path of callers that
+// validate batches up front.
+func (w *Window) PushCanonical(tx core.Transaction) (refreshed bool, err error) {
+	w.push(tx)
+	if w.cfg.RefreshEvery > 0 && w.arrived%int64(w.cfg.RefreshEvery) == 0 {
+		return true, w.Refresh()
+	}
+	return false, nil
+}
+
+// Load bulk-appends already-canonical transactions (oldest first, e.g. a
+// Database's) without triggering per-arrival refresh re-mines, then runs a
+// single refresh if one is configured — the seeding counterpart of Push,
+// where only the state after the last transaction matters.
+func (w *Window) Load(txs []core.Transaction) error {
+	for _, tx := range txs {
+		w.push(tx)
+	}
+	if w.cfg.RefreshEvery > 0 && len(txs) > 0 {
+		return w.Refresh()
+	}
+	return nil
+}
+
+// push is the arrival bookkeeping shared by Push and Load: evict, insert,
+// update the watched running sums.
+func (w *Window) push(tx core.Transaction) {
 	if w.filled == w.cfg.Size {
 		old := w.ring[w.head]
 		for i := range w.watch {
@@ -155,10 +187,6 @@ func (w *Window) Push(units []core.Unit) (refreshed bool, err error) {
 		w.watch[i].varsum += p * (1 - p)
 	}
 	w.arrived++
-	if w.cfg.RefreshEvery > 0 && w.arrived%int64(w.cfg.RefreshEvery) == 0 {
-		return true, w.Refresh()
-	}
-	return false, nil
 }
 
 // N returns the number of transactions currently in the window.

@@ -288,3 +288,75 @@ func BenchmarkWindowPush(b *testing.B) {
 		}
 	}
 }
+
+// countingMiner wraps a real miner and counts Mine calls.
+type countingMiner struct {
+	inner core.Miner
+	calls int
+}
+
+func (m *countingMiner) Name() string              { return m.inner.Name() }
+func (m *countingMiner) Semantics() core.Semantics { return m.inner.Semantics() }
+func (m *countingMiner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+	m.calls++
+	return m.inner.Mine(db, th)
+}
+
+// TestLoadDefersRefresh: bulk-loading N transactions through a
+// refresh-enabled window re-mines exactly once (at the end), and leaves the
+// window in the same state as pushing them one by one.
+func TestLoadDefersRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := coretest.RandomDB(rng, 20, 5, 0.7)
+	cfg := func(m core.Miner) Config {
+		return Config{
+			Size:         8,
+			Thresholds:   core.Thresholds{MinESup: 0.1},
+			RefreshEvery: 3,
+			Miner:        m,
+		}
+	}
+	cm := &countingMiner{inner: &uapriori.Miner{}}
+	loaded, err := NewWindow(cfg(cm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Load(db.Transactions); err != nil {
+		t.Fatal(err)
+	}
+	if cm.calls != 1 {
+		t.Errorf("Load ran %d refresh re-mines, want exactly 1", cm.calls)
+	}
+
+	pushed, err := NewWindow(cfg(&uapriori.Miner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range db.Transactions {
+		if _, err := pushed.Push(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The ring contents agree; watch lists may differ only if the final
+	// push was not a refresh boundary, so compare after one explicit
+	// refresh on each.
+	if err := loaded.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pushed.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	lf, pf := loaded.Frequent(), pushed.Frequent()
+	if len(lf) != len(pf) {
+		t.Fatalf("Load window has %d frequent itemsets, Push window %d", len(lf), len(pf))
+	}
+	for i := range lf {
+		if !lf[i].Itemset.Equal(pf[i].Itemset) || math.Abs(lf[i].ESup-pf[i].ESup) > 1e-9 {
+			t.Fatalf("frequent[%d]: Load %+v vs Push %+v", i, lf[i], pf[i])
+		}
+	}
+	if loaded.N() != pushed.N() || loaded.Arrived() != pushed.Arrived() {
+		t.Fatalf("window shape diverged: Load N=%d arrived=%d, Push N=%d arrived=%d",
+			loaded.N(), loaded.Arrived(), pushed.N(), pushed.Arrived())
+	}
+}

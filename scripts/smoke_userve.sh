@@ -1,0 +1,70 @@
+#!/bin/sh
+# Smoke test for the userve mining service: boot the real binary, register a
+# generated profile over HTTP, run one /mine query and assert 200 + a
+# non-empty result set, exercise /ingest + the version bump, and shut down.
+# Mirrored by the "Server smoke" CI job; run locally via `make smoke-server`.
+set -eu
+
+ADDR="127.0.0.1:18573"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+echo "smoke: building userve"
+go build -o "$TMP/userve" ./cmd/userve
+
+"$TMP/userve" -addr "$ADDR" >"$TMP/userve.log" 2>&1 &
+SERVER_PID=$!
+
+echo "smoke: waiting for $BASE/healthz"
+i=0
+until curl -sf --max-time 2 "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "smoke: FAIL — server did not come up"
+        cat "$TMP/userve.log"
+        exit 1
+    fi
+    sleep 0.2
+done
+
+check() { # check NAME EXPECTED_STATUS BODY_FILE STATUS
+    if [ "$4" != "$2" ]; then
+        echo "smoke: FAIL — $1 returned HTTP $4 (want $2)"
+        cat "$3"
+        exit 1
+    fi
+    echo "smoke: $1 ok (HTTP $4)"
+}
+
+STATUS=$(curl -s -o "$TMP/register.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+    -H 'Content-Type: application/json' \
+    -d '{"name":"smoke","profile":"gazelle","scale":0.01,"seed":1}')
+check "register profile" 201 "$TMP/register.json" "$STATUS"
+
+STATUS=$(curl -s -o "$TMP/mine.json" -w '%{http_code}' -X POST "$BASE/mine" \
+    -H 'Content-Type: application/json' \
+    -d '{"dataset":"smoke","algorithm":"UApriori","min_esup":0.005}')
+check "/mine" 200 "$TMP/mine.json" "$STATUS"
+if ! grep -q '"itemset"' "$TMP/mine.json"; then
+    echo "smoke: FAIL — /mine returned an empty result set"
+    cat "$TMP/mine.json"
+    exit 1
+fi
+echo "smoke: /mine returned a non-empty result set"
+
+STATUS=$(curl -s -o "$TMP/ingest.json" -w '%{http_code}' -X POST "$BASE/ingest" \
+    -H 'Content-Type: application/json' \
+    -d '{"dataset":"smoke","transactions":["0:0.9 1:0.5","2:1.0"]}')
+check "/ingest" 200 "$TMP/ingest.json" "$STATUS"
+grep -q '"version": 1' "$TMP/ingest.json" || {
+    echo "smoke: FAIL — ingest did not bump the dataset version"
+    cat "$TMP/ingest.json"
+    exit 1
+}
+
+STATUS=$(curl -s -o "$TMP/stats.json" -w '%{http_code}' "$BASE/stats")
+check "/stats" 200 "$TMP/stats.json" "$STATUS"
+
+echo "smoke: PASS"

@@ -1,0 +1,49 @@
+package umine
+
+// The serving layer: a long-running concurrent mining service over the
+// batch platform (umine/internal/server). Datasets are registered once and
+// shared read-only across requests; a monotonicity-aware result cache
+// answers higher-threshold queries by filtering cached lower-threshold
+// results; identical concurrent queries coalesce into one mining job; and
+// Handler exposes the whole thing as HTTP/JSON (the cmd/userve binary is a
+// thin wrapper around it).
+
+import (
+	"umine/internal/server"
+)
+
+// Server-layer types, re-exported.
+type (
+	// Server is an embeddable concurrent mining service.
+	Server = server.Server
+	// ServerConfig parameterizes NewServer.
+	ServerConfig = server.Config
+	// MineRequest is one query against a registered dataset.
+	MineRequest = server.MineRequest
+	// MineResponse is a query outcome with cache/version metadata.
+	MineResponse = server.MineResponse
+	// RegisterOptions controls dataset registration (windowed retention).
+	RegisterOptions = server.RegisterOptions
+	// WindowOptions configures sliding-window retention for a dataset.
+	WindowOptions = server.WindowOptions
+	// DatasetInfo describes one registered dataset.
+	DatasetInfo = server.DatasetInfo
+	// IngestResult reports one ingest call.
+	IngestResult = server.IngestResult
+	// ServerStats is a snapshot of the service counters.
+	ServerStats = server.Stats
+	// LoadBenchConfig parameterizes RunServerLoadBench.
+	LoadBenchConfig = server.LoadBenchConfig
+	// LoadBenchReport is the load benchmark outcome (BENCH_server.json).
+	LoadBenchReport = server.LoadBenchReport
+)
+
+// NewServer constructs a mining service. The zero ServerConfig is a usable
+// default (cache on, in-flight mining bounded at 2 × GOMAXPROCS).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// RunServerLoadBench drives the closed-loop server load benchmark and
+// returns its report (see LoadBenchConfig for the knobs).
+func RunServerLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
+	return server.RunLoadBench(cfg)
+}

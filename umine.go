@@ -48,11 +48,22 @@
 //	m, _ := umine.NewMinerWith("DCB", umine.Options{Workers: 8})
 //	rs, _ := m.Mine(db, umine.Thresholds{MinSup: 0.3, PFT: 0.9})
 //
-// or, on the command line, via the -workers flag shared by the umine and
-// uexp tools:
+// or, on the command line, via the -workers flag shared by the umine, uexp
+// and uverify tools:
 //
 //	umine -algo DCB -min_sup 0.3 -pft 0.9 -profile accident -workers 8
 //	uexp -run ablation-parallel -workers 4
+//
+// # Serving
+//
+// Beyond one-shot batch runs, the platform embeds as a long-running
+// concurrent mining service (NewServer; the userve command is its HTTP
+// face): datasets register once and are shared read-only across requests, a
+// monotonicity-aware cache answers higher-threshold queries by filtering
+// cached lower-threshold results, identical concurrent queries coalesce
+// into one mining job, and ingest appends transactions with a version bump
+// that invalidates stale cache entries. See serve.go and
+// umine/internal/server.
 //
 // Parallelism is deterministic by construction: work decompositions depend
 // only on the input (never the worker count) and shard merges happen in
