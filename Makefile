@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench smoke-server bench-server ci
+.PHONY: all build fmt vet test race test-cancel bench smoke-server bench-server ci
 
 all: build
 
@@ -30,6 +30,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+## test-cancel: the cancellation suites (per-miner, pool, server) under the
+## race detector, twice — cancellation paths are timing-sensitive, so the
+## repeat flushes order-dependent flakes before they reach main
+test-cancel:
+	$(GO) test ./... -run Cancel -race -count=2
+
 ## bench: benchmark smoke run — one iteration each, so perf code keeps compiling and running
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -43,4 +49,4 @@ bench-server:
 	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet race bench smoke-server bench-server
+ci: build fmt vet race test-cancel bench smoke-server bench-server

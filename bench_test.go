@@ -19,6 +19,7 @@ package umine
 //	go test -bench=BenchmarkFig4Connect -benchtime=1x -v
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -166,7 +167,7 @@ func BenchmarkMiner(b *testing.B) {
 				var results int
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					rs, err := m.Mine(w.db, w.th)
+					rs, err := m.Mine(context.Background(), w.db, w.th)
 					if err != nil {
 						b.Fatal(err)
 					}

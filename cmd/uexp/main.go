@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"umine/internal/exp"
@@ -33,12 +36,19 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the in-flight measurement at its next
+	// cooperative checkpoint; the sweep records the cancellation in its
+	// notes and the tool exits nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := exp.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.PointBudget = *budget
 	cfg.Verbose = *verbose
 	cfg.Workers = *workers
+	cfg.Context = ctx
 
 	switch {
 	case *list:
@@ -58,15 +68,26 @@ func main() {
 		start := time.Now()
 		emit(e.Run(cfg), *format)
 		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		exitIfCanceled(ctx)
 	case *all:
 		for _, e := range exp.All() {
 			start := time.Now()
 			emit(e.Run(cfg), *format)
 			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			exitIfCanceled(ctx)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// exitIfCanceled stops the sweep after a signal: the canceled point is
+// already recorded in the just-emitted report's notes.
+func exitIfCanceled(ctx context.Context) {
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "uexp: canceled")
+		os.Exit(1)
 	}
 }
 

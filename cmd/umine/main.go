@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"slices"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 
 	"umine"
 )
@@ -50,14 +55,61 @@ func main() {
 	if (*workers > 1 || *workers < 0) && slices.Contains(umine.Algorithms(), *algoName) && !umine.SupportsWorkers(*algoName) {
 		fmt.Fprintf(os.Stderr, "umine: note: %s has no parallel phase; -workers is ignored and the run is serial\n", *algoName)
 	}
-	meas, err := umine.MeasureWith(*algoName, db, th, umine.Options{Workers: *workers})
+
+	// SIGINT/SIGTERM cancel the in-flight mine at its next cooperative
+	// checkpoint instead of killing the process mid-write; the Progress
+	// hook keeps the latest counter snapshot so a canceled run still
+	// reports how far it got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	snap := &progressSnapshot{}
+	meas, err := umine.MeasureContext(ctx, *algoName, db, th,
+		umine.Options{Workers: *workers, Progress: snap.observe})
+	if err == nil {
+		err = meas.Err
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fatalCanceled("umine", *algoName, err, snap)
+		}
 		fatal(err)
 	}
-	if meas.Err != nil {
-		fatal(meas.Err)
-	}
 	printResults(db, meas.Results, &meas, *format, *top, *stats)
+}
+
+// progressSnapshot retains the most recent ProgressEvent; safe for
+// concurrent use (parallel miners emit from worker goroutines).
+type progressSnapshot struct {
+	mu   sync.Mutex
+	ev   umine.ProgressEvent
+	seen bool
+}
+
+func (p *progressSnapshot) observe(ev umine.ProgressEvent) {
+	p.mu.Lock()
+	p.ev, p.seen = ev, true
+	p.mu.Unlock()
+}
+
+// last returns the latest snapshot and whether any event arrived.
+func (p *progressSnapshot) last() (umine.ProgressEvent, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ev, p.seen
+}
+
+// fatalCanceled reports a canceled mine with the partial MiningStats the
+// Progress hook captured, then exits nonzero.
+func fatalCanceled(tool, algorithm string, err error, snap *progressSnapshot) {
+	fmt.Fprintf(os.Stderr, "%s: %s mine aborted: %v\n", tool, algorithm, err)
+	if ev, ok := snap.last(); ok {
+		s := ev.Stats
+		fmt.Fprintf(os.Stderr, "%s: partial stats (last checkpoint: %s, level %d): candidates=%d pruned=%d chernoff=%d exactEvals=%d dbScans=%d\n",
+			tool, ev.Phase, ev.Level, s.CandidatesGenerated, s.CandidatesPruned, s.ChernoffPruned, s.ExactEvaluations, s.DBScans)
+	} else {
+		fmt.Fprintf(os.Stderr, "%s: canceled before the first checkpoint; no partial stats\n", tool)
+	}
+	os.Exit(1)
 }
 
 // printResults renders one mining outcome; meas adds the measurement line

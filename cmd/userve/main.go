@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,7 +68,16 @@ func main() {
 		fatal(err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// baseCtx parents every request context: canceling it aborts all
+	// in-flight mines at their next cooperative checkpoint — the hard stop
+	// behind the graceful drain below.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -77,7 +87,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "userve: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			// The grace period expired with mines still running: cancel
+			// their contexts so they abort within one chunk/candidate of
+			// work rather than being killed mid-write by process exit,
+			// then wait (bounded) for the in-flight count to drain before
+			// letting the process exit.
+			fmt.Fprintln(os.Stderr, "userve: drain timed out; canceling in-flight mining")
+			cancelBase()
+			deadline := time.Now().Add(2 * time.Second)
+			for srv.Stats().InFlight > 0 && time.Now().Before(deadline) {
+				time.Sleep(20 * time.Millisecond)
+			}
+			hs.Close()
+		}
 	}()
 
 	fmt.Printf("userve: listening on %s (%d datasets preloaded)\n", *addr, len(srv.Datasets()))

@@ -17,12 +17,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"umine/internal/algo"
 	"umine/internal/core"
@@ -61,17 +65,28 @@ func main() {
 	fmt.Printf("ground truth: %d expected-support frequent itemsets (min_esup %v), %d probabilistic (min_sup %v, pft %v)\n\n",
 		len(wantES), *minESup, len(wantPR), *minSup, *pft)
 
-	failures := 0
+	// SIGINT/SIGTERM cancel the in-flight verification mine at its next
+	// cooperative checkpoint and exit nonzero, instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	failures, completed := 0, 0
 	for _, e := range algo.Entries() {
 		m := e.New()
 		core.ApplyOptions(m, core.Options{Workers: *workers})
 		var rs *core.ResultSet
 		var err error
 		if m.Semantics() == core.ExpectedSupport {
-			rs, err = m.Mine(db, esTh)
+			rs, err = m.Mine(ctx, db, esTh)
 		} else {
-			rs, err = m.Mine(db, prTh)
+			rs, err = m.Mine(ctx, db, prTh)
 		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("\ncanceled while verifying %s (%d algorithms checked, %d failures so far)\n",
+				e.Name, completed, failures)
+			os.Exit(1)
+		}
+		completed++
 		if err != nil {
 			fmt.Printf("FAIL %-11s error: %v\n", e.Name, err)
 			failures++

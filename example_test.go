@@ -1,6 +1,7 @@
 package umine_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -104,7 +105,7 @@ func ExampleNewWindow() {
 	}
 	w.Watch(umine.NewItemset(0))
 	for _, tx := range paperDB().Transactions {
-		if _, err := w.Push(tx); err != nil {
+		if _, err := w.Push(context.Background(), tx); err != nil {
 			panic(err)
 		}
 	}

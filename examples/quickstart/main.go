@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,9 +67,9 @@ func main() {
 		}
 		var out *umine.ResultSet
 		if m.Semantics() == umine.ExpectedSupport {
-			out, err = m.Mine(db, umine.Thresholds{MinESup: 0.5})
+			out, err = m.Mine(context.Background(), db, umine.Thresholds{MinESup: 0.5})
 		} else {
-			out, err = m.Mine(db, umine.Thresholds{MinSup: 0.5, PFT: 0.7})
+			out, err = m.Mine(context.Background(), db, umine.Thresholds{MinSup: 0.5, PFT: 0.7})
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -71,7 +71,7 @@ func main() {
 
 	// Ingest bumps the dataset version and invalidates its cached results.
 	fmt.Println("\n— ingest: version bump invalidates the cache —")
-	res, err := srv.Ingest("gazelle", [][]umine.Unit{
+	res, err := srv.Ingest(ctx, "gazelle", [][]umine.Unit{
 		{{Item: 0, Prob: 0.9}, {Item: 1, Prob: 0.8}},
 	})
 	if err != nil {

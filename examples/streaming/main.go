@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 		if i >= 1500 {
 			active = newPattern
 		}
-		if _, err := w.Push(reading(rng, active)); err != nil {
+		if _, err := w.Push(context.Background(), reading(rng, active)); err != nil {
 			log.Fatal(err)
 		}
 		if (i+1)%500 == 0 {

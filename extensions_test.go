@@ -1,6 +1,7 @@
 package umine
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -56,7 +57,7 @@ func TestClosedMaximalTopKFacade(t *testing.T) {
 func TestSamplingMinerFacade(t *testing.T) {
 	db := table1(t)
 	m := NewSamplingMiner(0.05, 0.05, 1)
-	rs, err := m.Mine(db, Thresholds{MinSup: 0.5, PFT: 0.7})
+	rs, err := m.Mine(context.Background(), db, Thresholds{MinSup: 0.5, PFT: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package umine
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -146,7 +147,7 @@ func TestAllMinersOnDegenerateDatabases(t *testing.T) {
 			th = Thresholds{MinSup: 0.5, PFT: 0.7}
 		}
 		for _, db := range []*Database{empty, blank} {
-			rs, err := m.Mine(db, th)
+			rs, err := m.Mine(context.Background(), db, th)
 			if err != nil {
 				t.Errorf("%s on %s: %v", name, db.Name, err)
 				continue
@@ -157,7 +158,7 @@ func TestAllMinersOnDegenerateDatabases(t *testing.T) {
 		}
 		// One transaction, one item at 0.4: frequent at min 0.5 only if the
 		// miner mishandles thresholds (esup 0.4 < 0.5, Pr{sup≥1} = 0.4 < 0.7).
-		rs, err := m.Mine(single, th)
+		rs, err := m.Mine(context.Background(), single, th)
 		if err != nil {
 			t.Errorf("%s on single: %v", name, err)
 			continue

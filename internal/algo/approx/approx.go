@@ -23,6 +23,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,10 +39,15 @@ type PDUApriori struct {
 	// per-candidate tests (0 or 1 = serial; negative = GOMAXPROCS).
 	// Results are identical for every worker count.
 	Workers int
+	// Progress observes the run per level (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *PDUApriori) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *PDUApriori) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *PDUApriori) Name() string { return "PDUApriori" }
@@ -52,7 +58,7 @@ func (m *PDUApriori) Semantics() core.Semantics { return core.Probabilistic }
 // Mine implements core.Miner. The frequent probability of results is NaN:
 // the Poisson reduction decides frequentness without producing per-itemset
 // probabilities.
-func (m *PDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *PDUApriori) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.Probabilistic); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
@@ -61,6 +67,8 @@ func (m *PDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 	cfg := apriori.Config{
 		ESupPrune: lambda,
 		Workers:   m.Workers,
+		Name:      m.Name(),
+		Progress:  m.Progress,
 		// The λ-threshold test is pure, so it may run on the pool.
 		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
@@ -70,7 +78,10 @@ func (m *PDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 			return core.Result{}, false
 		},
 	}
-	results, stats := apriori.Run(db, cfg)
+	results, stats, err := apriori.Run(ctx, db, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &core.ResultSet{
 		Algorithm:  m.Name(),
 		Semantics:  core.Probabilistic,
@@ -88,10 +99,15 @@ type NDUApriori struct {
 	// per-candidate Normal-tail tests (0 or 1 = serial; negative =
 	// GOMAXPROCS). Results are identical for every worker count.
 	Workers int
+	// Progress observes the run per level (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *NDUApriori) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *NDUApriori) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *NDUApriori) Name() string { return "NDUApriori" }
@@ -100,13 +116,15 @@ func (m *NDUApriori) Name() string { return "NDUApriori" }
 func (m *NDUApriori) Semantics() core.Semantics { return core.Probabilistic }
 
 // Mine implements core.Miner.
-func (m *NDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *NDUApriori) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.Probabilistic); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
 	msc := th.MinSupCount(db.N())
 	cfg := apriori.Config{
-		Workers: m.Workers,
+		Workers:  m.Workers,
+		Name:     m.Name(),
+		Progress: m.Progress,
 		// The Normal-tail test is pure, so it may run on the pool.
 		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
@@ -117,7 +135,10 @@ func (m *NDUApriori) Mine(db *core.Database, th core.Thresholds) (*core.ResultSe
 			return core.Result{}, false
 		},
 	}
-	results, stats := apriori.Run(db, cfg)
+	results, stats, err := apriori.Run(ctx, db, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &core.ResultSet{
 		Algorithm:  m.Name(),
 		Semantics:  core.Probabilistic,
@@ -135,10 +156,15 @@ type NDUHMine struct {
 	// fan-out (0 or 1 = serial; negative = GOMAXPROCS). Results are
 	// identical for every worker count.
 	Workers int
+	// Progress observes the run per prefix subtree (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *NDUHMine) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *NDUHMine) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *NDUHMine) Name() string { return "NDUH-Mine" }
@@ -147,13 +173,15 @@ func (m *NDUHMine) Name() string { return "NDUH-Mine" }
 func (m *NDUHMine) Semantics() core.Semantics { return core.Probabilistic }
 
 // Mine implements core.Miner.
-func (m *NDUHMine) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *NDUHMine) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.Probabilistic); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
 	msc := th.MinSupCount(db.N())
 	engine := &uhmine.Engine{
-		Workers: m.Workers,
+		Workers:  m.Workers,
+		Name:     m.Name(),
+		Progress: m.Progress,
 		// No esup floor: the Normal tail decides directly. (A frequent
 		// itemset can have esup slightly below msc when its variance is
 		// high, so an msc floor would lose results.)
@@ -165,7 +193,10 @@ func (m *NDUHMine) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet,
 			return core.Result{}, false
 		},
 	}
-	results, stats := engine.Mine(db)
+	results, stats, err := engine.Mine(ctx, db)
+	if err != nil {
+		return nil, err
+	}
 	return &core.ResultSet{
 		Algorithm:  m.Name(),
 		Semantics:  core.Probabilistic,

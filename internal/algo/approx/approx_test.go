@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,11 +36,11 @@ func TestNDUAprioriAndNDUHMineAgree(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		db := coretest.RandomDB(rng, 30+rng.Intn(100), 8, 0.3+0.4*rng.Float64())
 		th := core.Thresholds{MinSup: 0.1 + 0.3*rng.Float64(), PFT: 0.2 + 0.7*rng.Float64()}
-		a, err := (&NDUApriori{}).Mine(db, th)
+		a, err := (&NDUApriori{}).Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := (&NDUHMine{}).Mine(db, th)
+		b, err := (&NDUHMine{}).Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestPDUAprioriReductionEquivalence(t *testing.T) {
 		db := coretest.RandomDB(rng, 40, 6, 0.5)
 		th := core.Thresholds{MinSup: 0.2 + 0.2*rng.Float64(), PFT: 0.3 + 0.6*rng.Float64()}
 		msc := th.MinSupCount(db.N())
-		rs, err := (&PDUApriori{}).Mine(db, th)
+		rs, err := (&PDUApriori{}).Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestPDUAprioriReductionEquivalence(t *testing.T) {
 
 func TestPDUAprioriFreqProbIsNaN(t *testing.T) {
 	db := coretest.PaperDB()
-	rs, err := (&PDUApriori{}).Mine(db, core.Thresholds{MinSup: 0.25, PFT: 0.5})
+	rs, err := (&PDUApriori{}).Mine(context.Background(), db, core.Thresholds{MinSup: 0.25, PFT: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPDUAprioriFreqProbIsNaN(t *testing.T) {
 func TestApproximationQualityOnLargeDB(t *testing.T) {
 	db := dataset.Accident.GenerateUncertain(0.004, 42) // ~1360 transactions
 	th := core.Thresholds{MinSup: 0.2, PFT: 0.9}
-	exactRS, err := (&exact.Miner{Method: exact.DC, Chernoff: true}).Mine(db, th)
+	exactRS, err := (&exact.Miner{Method: exact.DC, Chernoff: true}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestApproximationQualityOnLargeDB(t *testing.T) {
 		t.Fatal("exact miner found nothing; workload too hard")
 	}
 	for _, m := range []core.Miner{&NDUApriori{}, &NDUHMine{}, &PDUApriori{}} {
-		rs, err := m.Mine(db, th)
+		rs, err := m.Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestNormalFreqProbValuesNearExact(t *testing.T) {
 	db := dataset.Accident.GenerateUncertain(0.003, 7)
 	th := core.Thresholds{MinSup: 0.25, PFT: 0.5}
 	msc := th.MinSupCount(db.N())
-	rs, err := (&NDUApriori{}).Mine(db, th)
+	rs, err := (&NDUApriori{}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 			{MinSup: 0.5, PFT: 1},
 			{MinSup: 2, PFT: 0.5},
 		} {
-			if _, err := m.Mine(db, th); err == nil {
+			if _, err := m.Mine(context.Background(), db, th); err == nil {
 				t.Errorf("%s accepted %+v", m.Name(), th)
 			}
 		}
@@ -211,7 +212,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 func TestEmptyDatabase(t *testing.T) {
 	empty := core.MustNewDatabase("empty", nil)
 	for _, m := range []core.Miner{&PDUApriori{}, &NDUApriori{}, &NDUHMine{}} {
-		rs, err := m.Mine(empty, core.Thresholds{MinSup: 0.5, PFT: 0.9})
+		rs, err := m.Mine(context.Background(), empty, core.Thresholds{MinSup: 0.5, PFT: 0.9})
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
@@ -227,7 +228,7 @@ func TestEmptyDatabase(t *testing.T) {
 // threshold or far below — borderline itemsets are rare).
 func TestFreqProbSaturation(t *testing.T) {
 	db := dataset.Connect.GenerateUncertain(0.05, 9) // ~3380 transactions
-	rs, err := (&NDUApriori{}).Mine(db, core.Thresholds{MinSup: 0.5, PFT: 0.9})
+	rs, err := (&NDUApriori{}).Mine(context.Background(), db, core.Thresholds{MinSup: 0.5, PFT: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}

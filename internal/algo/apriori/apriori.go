@@ -15,6 +15,7 @@
 package apriori
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -67,11 +68,24 @@ type Config struct {
 	// collected into per-candidate slots and appended in candidate order,
 	// so results and the next level's seeds are identical to a serial run.
 	ParallelDecide bool
+	// Name labels ProgressEvents with the concrete miner's registry name
+	// (the framework is shared by five algorithms).
+	Name string
+	// Progress, when non-nil, receives one PhaseLevel event per completed
+	// level (candidates counted and decided) and a final PhaseDone event.
+	// Observation never changes results. See core.ProgressFunc.
+	Progress core.ProgressFunc
 }
 
 // Run executes the level-wise mining loop and returns results in canonical
 // order together with the work counters.
-func Run(db *core.Database, cfg Config) ([]core.Result, core.MiningStats) {
+//
+// Cancellation: the context is checked between counting chunks and between
+// candidate verifications (the two places a level spends its time), so a
+// cancellation aborts the run within one chunk/candidate of work; Run then
+// returns ctx.Err() with whatever counters had accumulated. A run that
+// completes is bit-identical to one under a never-canceled context.
+func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, core.MiningStats, error) {
 	var stats core.MiningStats
 	var results []core.Result
 
@@ -81,10 +95,17 @@ func Run(db *core.Database, cfg Config) ([]core.Result, core.MiningStats) {
 		cands[i].Items = core.Itemset{core.Item(i)}
 	}
 	stats.CandidatesGenerated += len(cands)
-	count(db, cands, 1, cfg, &stats)
+	if err := count(ctx, db, cands, 1, cfg, &stats); err != nil {
+		return nil, stats, err
+	}
 
-	frequent := decide(cands, cfg, &results)
+	frequent, err := decide(ctx, cands, cfg, &results)
+	if err != nil {
+		return nil, stats, err
+	}
 	esups := rememberESups(nil, cands)
+	level := 1
+	cfg.Progress.Emit(cfg.Name, core.PhaseLevel, level, stats)
 
 	for len(frequent) >= 2 {
 		next := generate(frequent, esups, cfg.ESupPrune, &stats)
@@ -92,13 +113,21 @@ func Run(db *core.Database, cfg Config) ([]core.Result, core.MiningStats) {
 			break
 		}
 		k := len(next[0].Items)
-		count(db, next, k, cfg, &stats)
-		frequent = decide(next, cfg, &results)
+		if err := count(ctx, db, next, k, cfg, &stats); err != nil {
+			return nil, stats, err
+		}
+		frequent, err = decide(ctx, next, cfg, &results)
+		if err != nil {
+			return nil, stats, err
+		}
 		esups = rememberESups(esups, next)
+		level = k
+		cfg.Progress.Emit(cfg.Name, core.PhaseLevel, level, stats)
 	}
 
 	core.SortResults(results)
-	return results, stats
+	cfg.Progress.Emit(cfg.Name, core.PhaseDone, level, stats)
+	return results, stats, nil
 }
 
 // decide applies cfg.Decide to every counted candidate, appending accepted
@@ -107,35 +136,51 @@ func Run(db *core.Database, cfg Config) ([]core.Result, core.MiningStats) {
 // verification is independent, which is where the exact miners spend almost
 // all of their time — but outcomes land in per-candidate slots and are
 // appended in candidate order, so the output matches the serial path.
-func decide(cands []Candidate, cfg Config, results *[]core.Result) []core.Itemset {
+// Cancellation lands between candidates on both paths.
+func decide(ctx context.Context, cands []Candidate, cfg Config, results *[]core.Result) ([]core.Itemset, error) {
 	var frequent []core.Itemset
 	if !cfg.ParallelDecide || parallel.Resolve(cfg.Workers) == 1 {
 		// Serial path appends in place — no per-candidate outcome slots, so
 		// the paper-faithful single-threaded runs keep their old footprint.
+		// The per-candidate context check is a non-blocking channel poll —
+		// noise next to even the cheapest Decide, and what bounds the
+		// cancellation latency of the exact miners' seconds-long tests to a
+		// single candidate.
+		done := ctx.Done()
 		for i := range cands {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			res, keep := cfg.Decide(&cands[i])
 			if keep {
 				*results = append(*results, res)
 				frequent = append(frequent, cands[i].Items)
 			}
 		}
-		return frequent
+		return frequent, nil
 	}
 	type outcome struct {
 		res  core.Result
 		keep bool
 	}
-	outs := parallel.Map(cfg.Workers, cands, func(i int, _ Candidate) outcome {
+	outs, err := parallel.MapCtx(ctx, cfg.Workers, cands, func(i int, _ Candidate) outcome {
 		res, keep := cfg.Decide(&cands[i])
 		return outcome{res, keep}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, o := range outs {
 		if o.keep {
 			*results = append(*results, o.res)
 			frequent = append(frequent, cands[i].Items)
 		}
 	}
-	return frequent
+	return frequent, nil
 }
 
 // rememberESups records candidate expected supports for subset-bound

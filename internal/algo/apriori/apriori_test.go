@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func TestRunMatchesBruteForce(t *testing.T) {
 		db := coretest.RandomDB(rng, 20, 6, 0.5)
 		minESup := 0.1 + 0.4*rng.Float64()
 		minCount := float64(db.N()) * minESup
-		results, _ := Run(db, Config{Decide: expectedSupportDecide(minCount)})
+		results, _, _ := Run(context.Background(), db, Config{Decide: expectedSupportDecide(minCount)})
 		want := coretest.BruteForceExpected(db, minESup)
 		if len(results) != len(want) {
 			t.Fatalf("got %d, want %d", len(results), len(want))
@@ -41,7 +42,7 @@ func TestRunMatchesBruteForce(t *testing.T) {
 func TestCollectProbsMatchesTxProbs(t *testing.T) {
 	db := coretest.PaperDB()
 	var seen []*Candidate
-	Run(db, Config{
+	Run(context.Background(), db, Config{
 		CollectProbs: true,
 		Decide: func(c *Candidate) (core.Result, bool) {
 			cc := *c
@@ -136,7 +137,7 @@ func TestGenerateESupBound(t *testing.T) {
 
 func TestEmptyLevelOneTerminates(t *testing.T) {
 	db := core.MustNewDatabase("tiny", [][]core.Unit{{{Item: 0, Prob: 0.1}}})
-	results, stats := Run(db, Config{Decide: expectedSupportDecide(5)})
+	results, stats, _ := Run(context.Background(), db, Config{Decide: expectedSupportDecide(5)})
 	if len(results) != 0 {
 		t.Fatal("unexpected results")
 	}

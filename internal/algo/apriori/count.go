@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"context"
 	"unsafe"
 
 	"umine/internal/core"
@@ -104,9 +105,11 @@ func candidateBytes(cands []Candidate, collectProbs bool) int64 {
 // and per-chunk aggregates merge in chunk order, so the pass returns
 // bit-identical aggregates for every cfg.Workers value ≥ 1: the worker
 // count only decides how many goroutines claim chunks, never how the
-// floating-point sums associate.
-func count(db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) {
-	countChunked(db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
+// floating-point sums associate. Cancellation lands between chunks; on a
+// non-nil error the candidates' aggregates are partial and must be
+// discarded.
+func count(ctx context.Context, db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) error {
+	return countChunked(ctx, db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
 }
 
 // shardAccum holds one chunk's per-candidate aggregates.
@@ -126,25 +129,35 @@ type shardAccum struct {
 // the transient accumulators are execution-layer overhead, visible to the
 // eval heap sampler but excluded here so the paper-style memory reports —
 // and the per-level peaks — are identical for every worker count.
-func countChunked(db *core.Database, cands []Candidate, k int, collectProbs bool, workers int, stats *core.MiningStats) {
+func countChunked(ctx context.Context, db *core.Database, cands []Candidate, k int, collectProbs bool, workers int, stats *core.MiningStats) error {
 	if len(cands) == 0 {
-		return
+		return ctx.Err()
 	}
 	n := len(db.Transactions)
 	size := parallel.ChunkSizeFor(n)
 	nc := parallel.NumChunks(n, size)
 	if nc <= 1 {
+		// Single-chunk layouts (≤ one chunk of transactions) are already
+		// within the "one chunk of work" cancellation bound.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		countLevel(db, cands, k, collectProbs, stats)
-		return
+		return nil
 	}
 	trie := buildTrie(cands)
 	stats.DBScans++
+	var err error
 	if parallel.Resolve(workers) == 1 {
-		countChunkedSerial(db, trie, cands, k, collectProbs, size, nc)
+		err = countChunkedSerial(ctx, db, trie, cands, k, collectProbs, size, nc)
 	} else {
-		countChunkedParallel(db, trie, cands, k, collectProbs, workers, size, nc)
+		err = countChunkedParallel(ctx, db, trie, cands, k, collectProbs, workers, size, nc)
+	}
+	if err != nil {
+		return err
 	}
 	stats.TrackPeak(trieBytes(trie) + candidateBytes(cands, collectProbs))
+	return nil
 }
 
 // countChunkedSerial executes the chunked reduction inline: chunks run in
@@ -155,11 +168,19 @@ func countChunked(db *core.Database, cands []Candidate, k int, collectProbs bool
 // the scratch is the only extra memory over the pre-chunking serial pass.
 // Probability vectors append directly (chunks in order ⇒ transaction
 // order), with no per-chunk copies.
-func countChunkedSerial(db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, size, nc int) {
+func countChunkedSerial(ctx context.Context, db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, size, nc int) error {
 	esup := make([]float64, len(cands))
 	varsup := make([]float64, len(cands))
 	n := len(db.Transactions)
+	done := ctx.Done()
 	for c := 0; c < nc; c++ {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		lo, hi := c*size, (c+1)*size
 		if hi > n {
 			hi = n
@@ -182,15 +203,16 @@ func countChunkedSerial(db *core.Database, trie *trieNode, cands []Candidate, k 
 			esup[ci], varsup[ci] = 0, 0
 		}
 	}
+	return nil
 }
 
 // countChunkedParallel materializes one accumulator per chunk (chunks
 // complete out of order on the pool) and merges them in chunk order.
 // Per-chunk probability vectors are released as soon as they are merged,
 // so the copies do not all outlive the merge.
-func countChunkedParallel(db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, workers, size, nc int) {
+func countChunkedParallel(ctx context.Context, db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, workers, size, nc int) error {
 	accums := make([]shardAccum, nc)
-	parallel.DoChunks(workers, len(db.Transactions), size, func(c, lo, hi int) {
+	err := parallel.DoChunksCtx(ctx, workers, len(db.Transactions), size, func(c, lo, hi int) {
 		acc := &accums[c]
 		acc.esup = make([]float64, len(cands))
 		acc.varsup = make([]float64, len(cands))
@@ -210,6 +232,9 @@ func countChunkedParallel(db *core.Database, trie *trieNode, cands []Candidate, 
 			})
 		}
 	})
+	if err != nil {
+		return err
+	}
 
 	for c := range accums {
 		acc := &accums[c]
@@ -222,6 +247,7 @@ func countChunkedParallel(db *core.Database, trie *trieNode, cands []Candidate, 
 		}
 		*acc = shardAccum{}
 	}
+	return nil
 }
 
 // walkTrie walks one transaction against the candidate trie, invoking visit

@@ -1,6 +1,7 @@
 package apriori
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -22,7 +23,7 @@ func TestChunkedCountMatchesSerial(t *testing.T) {
 
 		chunked := cloneCandidates(serial)
 		var pStats core.MiningStats
-		countChunked(db, chunked, 2, true, workers, &pStats)
+		countChunked(context.Background(), db, chunked, 2, true, workers, &pStats)
 
 		for i := range serial {
 			s, p := serial[i], chunked[i]
@@ -52,11 +53,11 @@ func TestChunkedCountWorkerIndependent(t *testing.T) {
 	base := pairCandidates(db, 256)
 	ref := cloneCandidates(base)
 	var refStats core.MiningStats
-	countChunked(db, ref, 2, true, 1, &refStats)
+	countChunked(context.Background(), db, ref, 2, true, 1, &refStats)
 	for _, workers := range []int{2, 5, runtime.GOMAXPROCS(0)} {
 		got := cloneCandidates(base)
 		var stats core.MiningStats
-		countChunked(db, got, 2, true, workers, &stats)
+		countChunked(context.Background(), db, got, 2, true, workers, &stats)
 		for i := range ref {
 			if ref[i].ESup != got[i].ESup || ref[i].Var != got[i].Var {
 				t.Fatalf("workers=%d %v: (%v, %v) vs 1-worker (%v, %v)",
@@ -89,8 +90,8 @@ func TestRunWithWorkersMatchesSerial(t *testing.T) {
 		}
 	}
 	minCount := 0.01 * float64(db.N())
-	serial, _ := Run(db, Config{Decide: decide(minCount)})
-	parallel, _ := Run(db, Config{Decide: decide(minCount), Workers: 4, ParallelDecide: true})
+	serial, _, _ := Run(context.Background(), db, Config{Decide: decide(minCount)})
+	parallel, _, _ := Run(context.Background(), db, Config{Decide: decide(minCount), Workers: 4, ParallelDecide: true})
 	if len(serial) != len(parallel) {
 		t.Fatalf("serial %d results, parallel %d", len(serial), len(parallel))
 	}
@@ -112,7 +113,7 @@ func TestParallelTinyDatabaseFallsBack(t *testing.T) {
 	db := core.MustNewDatabase("tiny", raw)
 	cands := []Candidate{{Items: core.NewItemset(0)}, {Items: core.NewItemset(1)}}
 	var stats core.MiningStats
-	count(db, cands, 1, Config{Workers: 8}, &stats)
+	count(context.Background(), db, cands, 1, Config{Workers: 8}, &stats)
 	if math.Abs(cands[0].ESup-0.75) > 1e-12 || math.Abs(cands[1].ESup-0.5) > 1e-12 {
 		t.Fatalf("tiny parallel counts wrong: %+v", cands)
 	}
@@ -129,7 +130,7 @@ func BenchmarkParallelCounting(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				work := cloneCandidates(cands)
 				var stats core.MiningStats
-				countChunked(db, work, 2, false, workers, &stats)
+				countChunked(context.Background(), db, work, 2, false, workers, &stats)
 			}
 		})
 	}

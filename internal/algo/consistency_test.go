@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -75,7 +76,7 @@ func TestExpectedSupportFamilyAgrees(t *testing.T) {
 			th := core.Thresholds{MinESup: minESup}
 			var ref *core.ResultSet
 			for _, name := range ByFamily(ExpectedSupportFamily) {
-				rs, err := MustNew(name).Mine(db, th)
+				rs, err := MustNew(name).Mine(context.Background(), db, th)
 				if err != nil {
 					t.Fatalf("%s on %s: %v", name, db.Name, err)
 				}
@@ -119,7 +120,7 @@ func TestExactFamilyAgrees(t *testing.T) {
 		for _, th := range ths {
 			var ref *core.ResultSet
 			for _, name := range ByFamily(ExactFamily) {
-				rs, err := MustNew(name).Mine(db, th)
+				rs, err := MustNew(name).Mine(context.Background(), db, th)
 				if err != nil {
 					t.Fatalf("%s on %s: %v", name, db.Name, err)
 				}
@@ -153,11 +154,11 @@ func TestBridgeBetweenDefinitions(t *testing.T) {
 	}
 	db := dataset.Connect.GenerateUncertain(0.01, 7)
 	th := core.Thresholds{MinSup: 0.4, PFT: 0.9}
-	exactRS, err := MustNew("DCB").Mine(db, th)
+	exactRS, err := MustNew("DCB").Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
-	approxRS, err := MustNew("NDUH-Mine").Mine(db, th)
+	approxRS, err := MustNew("NDUH-Mine").Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestRandomizedCrossFamilyProperty(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		db := coretest.RandomDB(rng, 25, 6, 0.5)
 		th := core.Thresholds{MinSup: 0.25, PFT: 0.6}
-		rs, err := MustNew("DCB").Mine(db, th)
+		rs, err := MustNew("DCB").Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}

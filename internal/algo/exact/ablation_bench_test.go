@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,7 +23,7 @@ func BenchmarkAblationChernoff(b *testing.B) {
 				var stats core.MiningStats
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					rs, err := m.Mine(db, th)
+					rs, err := m.Mine(context.Background(), db, th)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -20,6 +20,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -62,10 +63,15 @@ type Miner struct {
 	// dominant cost of the exact family — shards embarrassingly; results
 	// are identical for every worker count.
 	Workers int
+	// Progress observes the run per level (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner, using the paper's experiment labels:
 // DPNB, DPB, DCNB, DCB.
@@ -80,8 +86,10 @@ func (m *Miner) Name() string {
 // Semantics implements core.Miner.
 func (m *Miner) Semantics() core.Semantics { return core.Probabilistic }
 
-// Mine implements core.Miner.
-func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+// Mine implements core.Miner. Cancellation lands between candidate
+// verifications — the per-candidate DP/DC computation is the dominant cost
+// of the whole platform, so that is exactly where aborting matters.
+func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.Probabilistic); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
@@ -96,6 +104,7 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 		CollectProbs:   true,
 		Workers:        m.Workers,
 		ParallelDecide: true,
+		Name:           m.Name(),
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if m.Chernoff && prob.ChernoffInfrequent(c.ESup, msc, th.PFT) {
 				chernoffPruned.Add(1)
@@ -109,7 +118,20 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 			return core.Result{}, false
 		},
 	}
-	results, runStats := apriori.Run(db, cfg)
+	if m.Progress != nil {
+		// Fold the atomics into the framework's snapshot so level events
+		// carry the family-specific counters too.
+		fn := m.Progress
+		cfg.Progress = func(ev core.ProgressEvent) {
+			ev.Stats.ChernoffPruned += int(chernoffPruned.Load())
+			ev.Stats.ExactEvaluations += int(exactEvals.Load())
+			fn(ev)
+		}
+	}
+	results, runStats, err := apriori.Run(ctx, db, cfg)
+	if err != nil {
+		return nil, err
+	}
 	runStats.ChernoffPruned += int(chernoffPruned.Load())
 	runStats.ExactEvaluations += int(exactEvals.Load())
 	return &core.ResultSet{

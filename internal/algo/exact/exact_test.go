@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func TestPaperExample2(t *testing.T) {
 	db := coretest.PaperDB()
 	th := core.Thresholds{MinSup: 0.5, PFT: 0.7}
 	for _, m := range allMiners() {
-		rs, err := m.Mine(db, th)
+		rs, err := m.Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestAgainstBruteForceRandom(t *testing.T) {
 		pft := 0.1 + 0.8*rng.Float64()
 		want := coretest.BruteForceProbabilistic(db, minSup, pft)
 		for _, m := range allMiners() {
-			rs, err := m.Mine(db, core.Thresholds{MinSup: minSup, PFT: pft})
+			rs, err := m.Mine(context.Background(), db, core.Thresholds{MinSup: minSup, PFT: pft})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,11 +98,11 @@ func TestDPAndDCAgreeOnLargerData(t *testing.T) {
 	rng := rand.New(rand.NewSource(502))
 	db := coretest.RandomDB(rng, 300, 8, 0.4)
 	th := core.Thresholds{MinSup: 0.15, PFT: 0.8}
-	dp, err := (&Miner{Method: DP}).Mine(db, th)
+	dp, err := (&Miner{Method: DP}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dc, err := (&Miner{Method: DC}).Mine(db, th)
+	dc, err := (&Miner{Method: DC}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +129,11 @@ func TestChernoffVariantsReturnIdenticalResults(t *testing.T) {
 		db := coretest.RandomDB(rng, 60, 7, 0.5)
 		th := core.Thresholds{MinSup: 0.3, PFT: 0.85}
 		for _, method := range []Method{DP, DC} {
-			plain, err := (&Miner{Method: method}).Mine(db, th)
+			plain, err := (&Miner{Method: method}).Mine(context.Background(), db, th)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pruned, err := (&Miner{Method: method, Chernoff: true}).Mine(db, th)
+			pruned, err := (&Miner{Method: method, Chernoff: true}).Mine(context.Background(), db, th)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -153,11 +154,11 @@ func TestChernoffReducesExactEvaluations(t *testing.T) {
 	rng := rand.New(rand.NewSource(504))
 	db := coretest.RandomDB(rng, 200, 10, 0.3)
 	th := core.Thresholds{MinSup: 0.4, PFT: 0.9}
-	plain, err := (&Miner{Method: DC}).Mine(db, th)
+	plain, err := (&Miner{Method: DC}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := (&Miner{Method: DC, Chernoff: true}).Mine(db, th)
+	pruned, err := (&Miner{Method: DC, Chernoff: true}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 	}
 	for _, m := range allMiners() {
 		for _, th := range bad {
-			if _, err := m.Mine(db, th); err == nil {
+			if _, err := m.Mine(context.Background(), db, th); err == nil {
 				t.Errorf("%s accepted %+v", m.Name(), th)
 			}
 		}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"testing"
@@ -47,7 +48,7 @@ func TestWorkerCountDeterminism(t *testing.T) {
 			}
 			var ref *core.ResultSet
 			for _, w := range workerCounts {
-				rs, err := MustNewWith(name, core.Options{Workers: w}).Mine(db, th)
+				rs, err := MustNewWith(name, core.Options{Workers: w}).Mine(context.Background(), db, th)
 				if err != nil {
 					t.Fatalf("%s on %s (workers=%d): %v", name, db.Name, w, err)
 				}

@@ -43,30 +43,52 @@ func (f Family) String() string {
 	}
 }
 
-// Entry describes one registered algorithm.
+// Entry describes one registered algorithm: its identity plus the
+// capability metadata callers consult without constructing a miner
+// (cf. SupportsWorkers — previously answered by building a throwaway
+// instance and type-asserting it).
 type Entry struct {
 	Name   string
 	Family Family
+	// Parallel reports whether the miner has a parallel phase controlled by
+	// Options.Workers (implements core.ParallelMiner). Kept in the table —
+	// and cross-checked against the constructed type by
+	// TestRegistryCapabilityMetadata — so capability queries cost a table
+	// scan, not an allocation.
+	Parallel bool
 	// New constructs a fresh miner instance (miners are stateless but kept
 	// per-run for clarity).
 	New func() core.Miner
 }
 
 var registry = []Entry{
-	{"UApriori", ExpectedSupportFamily, func() core.Miner { return &uapriori.Miner{} }},
-	{"UFP-growth", ExpectedSupportFamily, func() core.Miner { return &ufpgrowth.Miner{} }},
-	{"UH-Mine", ExpectedSupportFamily, func() core.Miner { return &uhmine.Miner{} }},
-	{"DPNB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DP} }},
-	{"DPB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DP, Chernoff: true} }},
-	{"DCNB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DC} }},
-	{"DCB", ExactFamily, func() core.Miner { return &exact.Miner{Method: exact.DC, Chernoff: true} }},
-	{"PDUApriori", ApproxFamily, func() core.Miner { return &approx.PDUApriori{} }},
-	{"NDUApriori", ApproxFamily, func() core.Miner { return &approx.NDUApriori{} }},
-	{"NDUH-Mine", ApproxFamily, func() core.Miner { return &approx.NDUHMine{} }},
+	{"UApriori", ExpectedSupportFamily, true, func() core.Miner { return &uapriori.Miner{} }},
+	// UFP-growth's conditional-tree walk is the one fully serial family.
+	{"UFP-growth", ExpectedSupportFamily, false, func() core.Miner { return &ufpgrowth.Miner{} }},
+	{"UH-Mine", ExpectedSupportFamily, true, func() core.Miner { return &uhmine.Miner{} }},
+	{"DPNB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DP} }},
+	{"DPB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DP, Chernoff: true} }},
+	{"DCNB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DC} }},
+	{"DCB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DC, Chernoff: true} }},
+	{"PDUApriori", ApproxFamily, true, func() core.Miner { return &approx.PDUApriori{} }},
+	{"NDUApriori", ApproxFamily, true, func() core.Miner { return &approx.NDUApriori{} }},
+	{"NDUH-Mine", ApproxFamily, true, func() core.Miner { return &approx.NDUHMine{} }},
 	// MCSampling is an extension beyond the paper's eight algorithms: the
 	// possible-world sampling estimator of the paper's reference [11]
 	// (Calders et al., PAKDD 2010). See internal/algo/sampling.
-	{"MCSampling", ApproxFamily, func() core.Miner { return &sampling.Miner{} }},
+	{"MCSampling", ApproxFamily, true, func() core.Miner { return &sampling.Miner{} }},
+}
+
+// SupportsWorkers reports whether the named algorithm has a parallel phase
+// controlled by Options.Workers, from the registry's capability metadata
+// (no miner is constructed). Unknown names report false.
+func SupportsWorkers(name string) bool {
+	for _, e := range registry {
+		if e.Name == name {
+			return e.Parallel
+		}
+	}
+	return false
 }
 
 // New returns a fresh miner by registry name, configured for serial

@@ -1,0 +1,31 @@
+package algo
+
+import (
+	"testing"
+
+	"umine/internal/core"
+)
+
+// TestRegistryCapabilityMetadata cross-checks the registry's declared
+// capability flags against the constructed miner types, so the cheap
+// metadata path (SupportsWorkers) can never drift from the implementation.
+func TestRegistryCapabilityMetadata(t *testing.T) {
+	for _, e := range Entries() {
+		m := e.New()
+		_, isParallel := m.(core.ParallelMiner)
+		if e.Parallel != isParallel {
+			t.Errorf("%s: registry declares Parallel=%v but the miner type says %v", e.Name, e.Parallel, isParallel)
+		}
+		if got := SupportsWorkers(e.Name); got != isParallel {
+			t.Errorf("SupportsWorkers(%q) = %v, want %v", e.Name, got, isParallel)
+		}
+		// Every registered miner must stream progress: the serving layer and
+		// the CLIs rely on the hook for liveness and partial stats.
+		if _, ok := m.(core.ObservableMiner); !ok {
+			t.Errorf("%s: does not implement core.ObservableMiner", e.Name)
+		}
+	}
+	if SupportsWorkers("NoSuchMiner") {
+		t.Error("SupportsWorkers on an unknown name must report false")
+	}
+}

@@ -30,6 +30,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -69,10 +70,15 @@ type Miner struct {
 	// keeping that stream in candidate order is what makes runs
 	// reproducible — so results are identical for every worker count.
 	Workers int
+	// Progress observes the run per level (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string { return "MCSampling" }
@@ -98,7 +104,7 @@ func (m *Miner) WorldBudget() int {
 }
 
 // Mine implements core.Miner.
-func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.Probabilistic); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
@@ -116,6 +122,7 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 		// Workers shards the counting pass only; ParallelDecide stays off
 		// because Decide consumes the shared RNG stream in candidate order.
 		Workers: m.Workers,
+		Name:    m.Name(),
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if !m.DisableChernoff && prob.ChernoffInfrequent(c.ESup, msc, th.PFT) {
 				stats.ChernoffPruned++
@@ -128,7 +135,22 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 			return core.Result{}, false
 		},
 	}
-	results, runStats := apriori.Run(db, cfg)
+	if m.Progress != nil {
+		// Fold the Decide closure's family-specific counter into the
+		// framework's snapshots, so streamed events (and the CLIs' partial
+		// stats on cancellation) report the Chernoff pruning work. Decide
+		// and the level-boundary emissions share the mining goroutine
+		// (ParallelDecide is off), so the read is unsynchronized but safe.
+		fn := m.Progress
+		cfg.Progress = func(ev core.ProgressEvent) {
+			ev.Stats.ChernoffPruned += stats.ChernoffPruned
+			fn(ev)
+		}
+	}
+	results, runStats, err := apriori.Run(ctx, db, cfg)
+	if err != nil {
+		return nil, err
+	}
 	runStats.Add(stats)
 	return &core.ResultSet{
 		Algorithm:  m.Name(),

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -38,7 +39,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 		{MinSup: 0.5, PFT: 1},
 		{MinSup: 1.5, PFT: 0.5},
 	} {
-		if _, err := m.Mine(db, th); err == nil {
+		if _, err := m.Mine(context.Background(), db, th); err == nil {
 			t.Errorf("thresholds %+v accepted", th)
 		}
 	}
@@ -47,7 +48,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 func TestPaperExample2(t *testing.T) {
 	db := coretest.PaperDB()
 	m := &Miner{}
-	rs, err := m.Mine(db, core.Thresholds{MinSup: 0.5, PFT: 0.7})
+	rs, err := m.Mine(context.Background(), db, core.Thresholds{MinSup: 0.5, PFT: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestAgreesWithExactMinerOnProfile(t *testing.T) {
 	db := dataset.Gazelle.GenerateUncertain(0.01, 3)
 	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
 	m := &Miner{Seed: 5}
-	got, err := m.Mine(db, th)
+	got, err := m.Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ func TestAgreesWithExactMinerOnProfile(t *testing.T) {
 func TestDeterministicWithFixedSeed(t *testing.T) {
 	db := dataset.Gazelle.GenerateUncertain(0.005, 4)
 	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
-	a, err := (&Miner{Seed: 9}).Mine(db, th)
+	a, err := (&Miner{Seed: 9}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (&Miner{Seed: 9}).Mine(db, th)
+	b, err := (&Miner{Seed: 9}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,11 +180,11 @@ func TestDeterministicWithFixedSeed(t *testing.T) {
 func TestChernoffAblationConsistent(t *testing.T) {
 	db := dataset.Gazelle.GenerateUncertain(0.005, 4)
 	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
-	with, err := (&Miner{Seed: 9}).Mine(db, th)
+	with, err := (&Miner{Seed: 9}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := (&Miner{Seed: 9, DisableChernoff: true}).Mine(db, th)
+	without, err := (&Miner{Seed: 9, DisableChernoff: true}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"testing"
 
 	"umine/internal/core"
@@ -23,7 +24,7 @@ func TestLargeDBFreqProbSaturation(t *testing.T) {
 	th := core.Thresholds{MinSup: 0.02, PFT: 0.9}
 
 	share := func(db *core.Database) (float64, int) {
-		rs, err := MustNew("DCB").Mine(db, th)
+		rs, err := MustNew("DCB").Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package uapriori
 
 import (
+	"context"
 	"fmt"
 
 	"umine/internal/algo/apriori"
@@ -28,10 +29,15 @@ type Miner struct {
 	// chunk layout depends only on the database size and merges in chunk
 	// order.
 	Workers int
+	// Progress observes the run per level (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string { return "UApriori" }
@@ -40,7 +46,7 @@ func (m *Miner) Name() string { return "UApriori" }
 func (m *Miner) Semantics() core.Semantics { return core.ExpectedSupport }
 
 // Mine implements core.Miner.
-func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.ExpectedSupport); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
@@ -59,7 +65,12 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 		cfg.ESupPrune = minCount
 	}
 	cfg.Workers = m.Workers
-	results, stats := apriori.Run(db, cfg)
+	cfg.Name = m.Name()
+	cfg.Progress = m.Progress
+	results, stats, err := apriori.Run(ctx, db, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &core.ResultSet{
 		Algorithm:  m.Name(),
 		Semantics:  core.ExpectedSupport,

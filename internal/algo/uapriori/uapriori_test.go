@@ -1,6 +1,7 @@
 package uapriori
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestPaperExample1(t *testing.T) {
 	db := coretest.PaperDB()
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestPaperDBLowerThreshold(t *testing.T) {
 	// At min_esup = 0.25 (threshold 1.0) the frequent set grows to include
 	// 2-itemsets; validate against brute force.
 	db := coretest.PaperDB()
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.25})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestAgainstBruteForceRandom(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		db := coretest.RandomDB(rng, 10+rng.Intn(30), 6, 0.4+0.4*rng.Float64())
 		minESup := 0.05 + 0.5*rng.Float64()
-		rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: minESup})
+		rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: minESup})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,11 +82,11 @@ func TestDecrementalPruneDoesNotChangeResults(t *testing.T) {
 	rng := rand.New(rand.NewSource(102))
 	for trial := 0; trial < 20; trial++ {
 		db := coretest.RandomDB(rng, 40, 8, 0.5)
-		with, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.2})
+		with, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.2})
 		if err != nil {
 			t.Fatal(err)
 		}
-		without, err := (&Miner{DisableDecrementalPrune: true}).Mine(db, core.Thresholds{MinESup: 0.2})
+		without, err := (&Miner{DisableDecrementalPrune: true}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestDecrementalPruneDoesNotChangeResults(t *testing.T) {
 func TestRejectsBadThresholds(t *testing.T) {
 	db := coretest.PaperDB()
 	for _, th := range []core.Thresholds{{MinESup: 0}, {MinESup: -0.5}, {MinESup: 2}} {
-		if _, err := (&Miner{}).Mine(db, th); err == nil {
+		if _, err := (&Miner{}).Mine(context.Background(), db, th); err == nil {
 			t.Errorf("thresholds %+v accepted", th)
 		}
 	}
@@ -108,7 +109,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 
 func TestEmptyAndDegenerateDatabases(t *testing.T) {
 	empty := core.MustNewDatabase("empty", nil)
-	rs, err := (&Miner{}).Mine(empty, core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), empty, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestEmptyAndDegenerateDatabases(t *testing.T) {
 
 	// All-empty transactions.
 	blank := core.MustNewDatabase("blank", [][]core.Unit{{}, {}, {}})
-	rs, err = (&Miner{}).Mine(blank, core.Thresholds{MinESup: 0.5})
+	rs, err = (&Miner{}).Mine(context.Background(), blank, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestEmptyAndDegenerateDatabases(t *testing.T) {
 
 	// Single certain transaction: the itemset lattice of that transaction.
 	one := core.MustNewDatabase("one", [][]core.Unit{{{Item: 0, Prob: 1}, {Item: 1, Prob: 1}}})
-	rs, err = (&Miner{}).Mine(one, core.Thresholds{MinESup: 1})
+	rs, err = (&Miner{}).Mine(context.Background(), one, core.Thresholds{MinESup: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestCertainDataMatchesClassicalApriori(t *testing.T) {
 		{{Item: 0, Prob: 1}, {Item: 2, Prob: 1}},
 		{{Item: 1, Prob: 1}, {Item: 2, Prob: 1}},
 	})
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestCertainDataMatchesClassicalApriori(t *testing.T) {
 
 func TestStatsAreTracked(t *testing.T) {
 	db := coretest.PaperDB()
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.25})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ufpgrowth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -24,11 +25,11 @@ func TestUCFPNameAndDefault(t *testing.T) {
 func TestUCFPHighPrecisionMatchesExact(t *testing.T) {
 	db := coretest.PaperDB() // probabilities have one decimal digit
 	th := core.Thresholds{MinESup: 0.2}
-	exact, err := (&Miner{}).Mine(db, th)
+	exact, err := (&Miner{}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rounded, err := (&Miner{Rounding: 6}).Mine(db, th)
+	rounded, err := (&Miner{Rounding: 6}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,12 +50,12 @@ func TestUCFPHighPrecisionMatchesExact(t *testing.T) {
 func TestUCFPBoundedESupError(t *testing.T) {
 	db := dataset.Accident.GenerateUncertain(0.001, 13)
 	th := core.Thresholds{MinESup: 0.3}
-	exact, err := (&Miner{}).Mine(db, th)
+	exact, err := (&Miner{}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, digits := range []int{1, 2} {
-		rounded, err := (&Miner{Rounding: digits}).Mine(db, th)
+		rounded, err := (&Miner{Rounding: digits}).Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,13 +83,13 @@ func TestUCFPBoundedESupError(t *testing.T) {
 func TestUCFPIncreasesSharing(t *testing.T) {
 	db := dataset.Accident.GenerateUncertain(0.001, 13)
 	th := core.Thresholds{MinESup: 0.3}
-	exact, err := (&Miner{}).Mine(db, th)
+	exact, err := (&Miner{}).Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prev := exact.Stats.PeakTrackedBytes
 	for _, digits := range []int{3, 1} {
-		rounded, err := (&Miner{Rounding: digits}).Mine(db, th)
+		rounded, err := (&Miner{Rounding: digits}).Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func TestUCFPIncreasesSharing(t *testing.T) {
 		}
 		prev = rounded.Stats.PeakTrackedBytes
 	}
-	one, _ := (&Miner{Rounding: 1}).Mine(db, th)
+	one, _ := (&Miner{Rounding: 1}).Mine(context.Background(), db, th)
 	if one.Stats.PeakTrackedBytes >= exact.Stats.PeakTrackedBytes {
 		t.Errorf("1-digit clustering did not shrink the tree: %d vs %d",
 			one.Stats.PeakTrackedBytes, exact.Stats.PeakTrackedBytes)
@@ -119,7 +120,7 @@ func BenchmarkAblationUCFP(b *testing.B) {
 			b.ReportAllocs()
 			var peak int64
 			for i := 0; i < b.N; i++ {
-				rs, err := m.Mine(db, th)
+				rs, err := m.Mine(context.Background(), db, th)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -132,7 +133,7 @@ func BenchmarkAblationUCFP(b *testing.B) {
 
 func ExampleMiner_ucfp() {
 	db := coretest.PaperDB()
-	rs, _ := (&Miner{Rounding: 1}).Mine(db, core.Thresholds{MinESup: 0.5})
+	rs, _ := (&Miner{Rounding: 1}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.5})
 	for _, r := range rs.Results {
 		fmt.Printf("%v %.1f\n", r.Itemset, r.ESup)
 	}

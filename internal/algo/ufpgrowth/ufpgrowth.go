@@ -15,6 +15,7 @@
 package ufpgrowth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -39,7 +40,13 @@ type Miner struct {
 	// to before insertion; 0 (the default) keeps exact probabilities — the
 	// plain UFP-tree.
 	Rounding int
+	// Progress observes the run per top-level conditional subtree (may be
+	// nil).
+	Progress core.ProgressFunc
 }
+
+// SetProgress implements core.ObservableMiner.
+func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string {
@@ -122,12 +129,17 @@ func (t *tree) bytes() int64 {
 	return t.nodes * perNode
 }
 
-// Mine implements core.Miner.
-func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+// Mine implements core.Miner. Cancellation lands between header items of
+// the conditional-tree walk — before each extension's chain aggregation and
+// conditional-tree construction — at every recursion depth.
+func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.ExpectedSupport); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
 	var stats core.MiningStats
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	minCount := th.MinESupCount(db.N())
 
 	// Pass 1: frequent items, ordered by descending expected support
@@ -136,6 +148,9 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 	stats.DBScans++
 	order, rank := core.FrequencyOrder(esup, minCount)
 	if len(order) == 0 {
+		// Still a completed run: the observer contract promises a final
+		// PhaseDone event even when nothing is frequent.
+		m.Progress.Emit(m.Name(), core.PhaseDone, 0, stats)
 		return m.resultSet(th, db.N(), nil, stats), nil
 	}
 
@@ -177,9 +192,16 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 		items:    order,
 		minCount: minCount,
 		stats:    &stats,
+		done:     ctx.Done(),
+		name:     m.Name(),
+		progress: m.Progress,
 	}
 	st.mine(t, nil, liveBytes)
+	if st.canceled {
+		return nil, ctx.Err()
+	}
 	core.SortResults(st.results)
+	m.Progress.Emit(m.Name(), core.PhaseDone, core.MaxItemsetLen(st.results), stats)
 	return m.resultSet(th, db.N(), st.results, stats), nil
 }
 
@@ -199,6 +221,12 @@ type mineState struct {
 	minCount float64
 	results  []core.Result
 	stats    *core.MiningStats
+	name     string
+	progress core.ProgressFunc
+	// done is the run context's cancellation channel (nil when the context
+	// cannot be canceled); canceled invalidates the partial results.
+	done     <-chan struct{}
+	canceled bool
 }
 
 // mine recursively extracts frequent extensions of prefix from tr
@@ -206,6 +234,16 @@ type mineState struct {
 // UFP-tree.
 func (st *mineState) mine(tr *tree, prefix []core.Item, liveBytes int64) {
 	for r := len(tr.headers) - 1; r >= 0; r-- {
+		// Per-header-item context check: bounds cancellation latency to one
+		// chain aggregation + conditional-tree construction at any depth.
+		if st.done != nil {
+			select {
+			case <-st.done:
+				st.canceled = true
+				return
+			default:
+			}
+		}
 		head := tr.headers[r]
 		if head == nil {
 			continue
@@ -252,6 +290,12 @@ func (st *mineState) mine(tr *tree, prefix []core.Item, liveBytes int64) {
 		st.stats.TrackPeak(liveBytes + condBytes)
 		if cond.nodes > 0 {
 			st.mine(cond, ext, liveBytes+condBytes)
+			if st.canceled {
+				return
+			}
+		}
+		if len(prefix) == 0 {
+			st.progress.Emit(st.name, core.PhaseSubtree, 1, *st.stats)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package ufpgrowth
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestPaperExample1(t *testing.T) {
 	db := coretest.PaperDB()
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestPaperFigure1Threshold(t *testing.T) {
 	// Figure 1 builds the UFP-tree at min_esup = 0.25; all six items are
 	// frequent there. Check the mined item layer matches.
 	db := coretest.PaperDB()
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.25})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestAgainstBruteForceRandom(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		db := coretest.RandomDB(rng, 10+rng.Intn(30), 6, 0.3+0.5*rng.Float64())
 		minESup := 0.05 + 0.5*rng.Float64()
-		rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: minESup})
+		rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: minESup})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestRoundedProbabilitiesShareNodes(t *testing.T) {
 	// exactly.
 	rng := rand.New(rand.NewSource(302))
 	db := coretest.RandomDBRounded(rng, 60, 5, 0.7, 2) // probs ∈ {0.5, 1.0}
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.15})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRoundedProbabilitiesShareNodes(t *testing.T) {
 }
 
 func TestEmptyAndSingleton(t *testing.T) {
-	rs, err := (&Miner{}).Mine(core.MustNewDatabase("empty", nil), core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), core.MustNewDatabase("empty", nil), core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestEmptyAndSingleton(t *testing.T) {
 		t.Fatal("results on empty database")
 	}
 	single := core.MustNewDatabase("one", [][]core.Unit{{{Item: 3, Prob: 0.9}}})
-	rs, err = (&Miner{}).Mine(single, core.Thresholds{MinESup: 0.5})
+	rs, err = (&Miner{}).Mine(context.Background(), single, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestEmptyAndSingleton(t *testing.T) {
 }
 
 func TestRejectsBadThresholds(t *testing.T) {
-	if _, err := (&Miner{}).Mine(coretest.PaperDB(), core.Thresholds{MinESup: -1}); err == nil {
+	if _, err := (&Miner{}).Mine(context.Background(), coretest.PaperDB(), core.Thresholds{MinESup: -1}); err == nil {
 		t.Fatal("negative min_esup accepted")
 	}
 }
@@ -139,7 +140,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 func TestMemoryTrackingGrowsWithConditionalTrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(303))
 	db := coretest.RandomDB(rng, 80, 8, 0.6)
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.05})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package uhmine
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"unsafe"
@@ -67,12 +68,26 @@ type Engine struct {
 	// identical for every worker count: each subtree's computation is
 	// untouched, only who executes it changes.
 	Workers int
+	// Name labels ProgressEvents with the mounting miner's registry name
+	// (UH-Mine and NDUH-Mine share the engine).
+	Name string
+	// Progress, when non-nil, receives a PhaseLevel event after the
+	// singleton pass, one PhaseSubtree event per completed first-level
+	// prefix subtree (possibly from concurrent worker goroutines — see the
+	// core.ProgressFunc contract) and a final PhaseDone event.
+	Progress core.ProgressFunc
 }
 
 // Mine runs the engine and returns results in canonical order plus work
-// counters.
-func (e *Engine) Mine(db *core.Database) ([]core.Result, core.MiningStats) {
+// counters. Cancellation lands between candidate extensions inside every
+// prefix subtree (and stops the fan-out from dispatching further subtrees),
+// so a canceled mine returns ctx.Err() within one extension's head-table
+// scan of work; a completed mine is identical to an uncancellable run.
+func (e *Engine) Mine(ctx context.Context, db *core.Database) ([]core.Result, core.MiningStats, error) {
 	var stats core.MiningStats
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 
 	// Pass 1: per-item aggregates (one scan — expectation and variance
 	// together, the paper's bridge property).
@@ -92,9 +107,11 @@ func (e *Engine) Mine(db *core.Database) ([]core.Result, core.MiningStats) {
 			kept = append(kept, it)
 		}
 	}
+	e.Progress.Emit(e.Name, core.PhaseLevel, 1, stats)
 	if len(kept) == 0 {
 		core.SortResults(results)
-		return results, stats
+		e.Progress.Emit(e.Name, core.PhaseDone, 1, stats)
+		return results, stats, nil
 	}
 	// Re-rank over kept items only, preserving frequency order.
 	keptRank := make([]int, db.NumItems)
@@ -159,7 +176,11 @@ func (e *Engine) Mine(db *core.Database) ([]core.Result, core.MiningStats) {
 	scratchPool := sync.Pool{New: func() any {
 		return &scratch{esup: make([]float64, len(items)), varsup: make([]float64, len(items))}
 	}}
-	subtrees := parallel.Map(e.Workers, items, func(r int, _ core.Item) subtree {
+	// statsBase freezes the pre-fan-out totals so concurrent subtree
+	// completions can emit consistent snapshots without sharing counters.
+	statsBase := stats
+	done := ctx.Done()
+	subtrees, err := parallel.MapCtx(ctx, e.Workers, items, func(r int, _ core.Item) subtree {
 		sc := scratchPool.Get().(*scratch)
 		defer scratchPool.Put(sc)
 		var st core.MiningStats
@@ -171,19 +192,30 @@ func (e *Engine) Mine(db *core.Database) ([]core.Result, core.MiningStats) {
 			varBuf:  sc.varsup,
 			stats:   &st,
 			liveOcc: topBytes,
+			done:    done,
 		}
 		sub := collectOcc(rows, top, int32(r))
 		m.liveOcc += int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
 		st.TrackPeak(structBytes + m.liveOcc)
 		m.mine([]core.Item{items[r]}, sub, structBytes)
+		if m.canceled {
+			return subtree{}
+		}
+		snap := statsBase
+		snap.Add(st)
+		e.Progress.Emit(e.Name, core.PhaseSubtree, 1, snap)
 		return subtree{results: m.results, stats: st}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 	for _, t := range subtrees {
 		results = append(results, t.results...)
 		stats.Add(t.stats)
 	}
 	core.SortResults(results)
-	return results, stats
+	e.Progress.Emit(e.Name, core.PhaseDone, core.MaxItemsetLen(results), stats)
+	return results, stats, nil
 }
 
 type mineState struct {
@@ -195,6 +227,11 @@ type mineState struct {
 	results []core.Result
 	stats   *core.MiningStats
 	liveOcc int64
+	// done is the run context's cancellation channel (nil when the context
+	// cannot be canceled); canceled records that the recursion
+	// short-circuited, invalidating this subtree's partial results.
+	done     <-chan struct{}
+	canceled bool
 }
 
 // extAgg is one extension's aggregates, moved out of the scratch buffers
@@ -225,6 +262,16 @@ func (m *mineState) mine(prefix []core.Item, occs []occ, baseBytes int64) {
 	}
 
 	for _, ea := range exts {
+		// The per-extension context check bounds cancellation latency to
+		// one head-table scan anywhere in the prefix recursion.
+		if m.done != nil {
+			select {
+			case <-m.done:
+				m.canceled = true
+				return
+			default:
+			}
+		}
 		r, e, v := ea.rank, ea.esup, ea.varsup
 
 		m.stats.CandidatesGenerated++

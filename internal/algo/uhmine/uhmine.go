@@ -1,6 +1,7 @@
 package uhmine
 
 import (
+	"context"
 	"fmt"
 
 	"umine/internal/core"
@@ -13,10 +14,15 @@ type Miner struct {
 	// fan-out (0 or 1 = serial, the paper's platform; negative =
 	// GOMAXPROCS). Results are identical for every worker count.
 	Workers int
+	// Progress observes the run per prefix subtree (may be nil).
+	Progress core.ProgressFunc
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetProgress implements core.ObservableMiner.
+func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string { return "UH-Mine" }
@@ -25,7 +31,7 @@ func (m *Miner) Name() string { return "UH-Mine" }
 func (m *Miner) Semantics() core.Semantics { return core.ExpectedSupport }
 
 // Mine implements core.Miner.
-func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if err := th.Validate(core.ExpectedSupport); err != nil {
 		return nil, fmt.Errorf("%w: %v", core.ErrUnsupportedThresholds, err)
 	}
@@ -33,6 +39,8 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 	engine := &Engine{
 		ItemFloor: minCount,
 		Workers:   m.Workers,
+		Name:      m.Name(),
+		Progress:  m.Progress,
 		Decide: func(items core.Itemset, esup, varsup float64) (core.Result, bool) {
 			if esup >= minCount-core.Eps {
 				return core.Result{Itemset: items, ESup: esup, Var: varsup}, true
@@ -40,7 +48,10 @@ func (m *Miner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, er
 			return core.Result{}, false
 		},
 	}
-	results, stats := engine.Mine(db)
+	results, stats, err := engine.Mine(ctx, db)
+	if err != nil {
+		return nil, err
+	}
 	return &core.ResultSet{
 		Algorithm:  m.Name(),
 		Semantics:  core.ExpectedSupport,

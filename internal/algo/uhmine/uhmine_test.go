@@ -1,6 +1,7 @@
 package uhmine
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestPaperExample1(t *testing.T) {
 	db := coretest.PaperDB()
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestAgainstBruteForceRandom(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		db := coretest.RandomDB(rng, 10+rng.Intn(30), 6, 0.3+0.5*rng.Float64())
 		minESup := 0.05 + 0.5*rng.Float64()
-		rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: minESup})
+		rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: minESup})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestSparseDataDeepPatterns(t *testing.T) {
 		{{Item: 0, Prob: 0.9}, {Item: 1, Prob: 0.9}},
 		{{Item: 0, Prob: 0.9}},
 	})
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.2})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestEngineItemFloorFiltersBeforeDecide(t *testing.T) {
 			return core.Result{Itemset: items, ESup: esup, Var: varsup}, true
 		},
 	}
-	results, _ := e.Mine(db)
+	results, _, _ := e.Mine(context.Background(), db)
 	// Items A, C pass the floor; extensions {A C} evaluated too.
 	if calls != 3 {
 		t.Fatalf("decide called %d times, want 3 (A, C, AC)", calls)
@@ -100,7 +101,7 @@ func TestEngineItemFloorFiltersBeforeDecide(t *testing.T) {
 }
 
 func TestEmptyDatabase(t *testing.T) {
-	rs, err := (&Miner{}).Mine(core.MustNewDatabase("empty", nil), core.Thresholds{MinESup: 0.5})
+	rs, err := (&Miner{}).Mine(context.Background(), core.MustNewDatabase("empty", nil), core.Thresholds{MinESup: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestEmptyDatabase(t *testing.T) {
 }
 
 func TestRejectsBadThresholds(t *testing.T) {
-	if _, err := (&Miner{}).Mine(coretest.PaperDB(), core.Thresholds{MinESup: 0}); err == nil {
+	if _, err := (&Miner{}).Mine(context.Background(), coretest.PaperDB(), core.Thresholds{MinESup: 0}); err == nil {
 		t.Fatal("min_esup 0 accepted")
 	}
 }
@@ -118,7 +119,7 @@ func TestRejectsBadThresholds(t *testing.T) {
 func TestPeakMemoryTracked(t *testing.T) {
 	rng := rand.New(rand.NewSource(202))
 	db := coretest.RandomDB(rng, 100, 10, 0.5)
-	rs, err := (&Miner{}).Mine(db, core.Thresholds{MinESup: 0.1})
+	rs, err := (&Miner{}).Mine(context.Background(), db, core.Thresholds{MinESup: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -168,7 +169,15 @@ type Miner interface {
 	// Semantics reports which frequentness definition the miner answers.
 	Semantics() Semantics
 	// Mine runs the algorithm and returns results in canonical order.
-	Mine(db *Database, th Thresholds) (*ResultSet, error)
+	//
+	// The context bounds the run: every miner checks it at cooperative
+	// checkpoints (level boundaries, between counting chunks, between
+	// candidate verifications, between prefix subtrees), so a cancellation
+	// or deadline aborts a *running* mine within one chunk/candidate of
+	// work and Mine returns ctx.Err(). A completed mine is unaffected by
+	// the checkpoints: results are bit-identical to an uncancellable run
+	// at every worker count.
+	Mine(ctx context.Context, db *Database, th Thresholds) (*ResultSet, error)
 }
 
 // ErrUnsupportedThresholds is returned by Mine when the thresholds fail
@@ -204,6 +213,18 @@ func (rs *ResultSet) Lookup(x Itemset) (Result, bool) {
 
 // Len returns the number of mined itemsets.
 func (rs *ResultSet) Len() int { return len(rs.Results) }
+
+// MaxItemsetLen returns the longest itemset length in a result slice (0
+// when empty) — the deepest mined level, used for PhaseDone event levels.
+func MaxItemsetLen(results []Result) int {
+	m := 0
+	for i := range results {
+		if len(results[i].Itemset) > m {
+			m = len(results[i].Itemset)
+		}
+	}
+	return m
+}
 
 // MaxLen returns the length of the longest mined itemset (0 when empty).
 func (rs *ResultSet) MaxLen() int {

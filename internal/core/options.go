@@ -11,6 +11,12 @@ type Options struct {
 	// ResultSet for every Workers value (shard decompositions depend only on
 	// the input, and shard merges happen in canonical order).
 	Workers int
+	// Progress, when non-nil, observes the run as it executes: miners emit
+	// ProgressEvents at their cooperative checkpoints (level boundaries,
+	// prefix-subtree completions) carrying the work counters accumulated so
+	// far. Observation is passive — installing a Progress hook never changes
+	// the mined results. See ProgressFunc for the concurrency contract.
+	Progress ProgressFunc
 }
 
 // ParallelMiner is implemented by miners whose execution can be sharded
@@ -22,14 +28,28 @@ type ParallelMiner interface {
 	SetWorkers(workers int)
 }
 
+// ObservableMiner is implemented by miners that stream ProgressEvents
+// during a run. All registered miners implement it; the interface exists so
+// ApplyOptions can install the hook without per-miner knowledge.
+type ObservableMiner interface {
+	Miner
+	// SetProgress installs the Options.Progress observer (nil disables).
+	SetProgress(fn ProgressFunc)
+}
+
 // ApplyOptions installs opts on the miner when it supports them and reports
 // whether anything was applied. Unsupported knobs are silently ignored —
-// serial execution is always a valid interpretation of any Options value.
+// serial, unobserved execution is always a valid interpretation of any
+// Options value.
 func ApplyOptions(m Miner, opts Options) bool {
-	pm, ok := m.(ParallelMiner)
-	if !ok {
-		return false
+	applied := false
+	if pm, ok := m.(ParallelMiner); ok {
+		pm.SetWorkers(opts.Workers)
+		applied = true
 	}
-	pm.SetWorkers(opts.Workers)
-	return true
+	if om, ok := m.(ObservableMiner); ok && opts.Progress != nil {
+		om.SetProgress(opts.Progress)
+		applied = true
+	}
+	return applied
 }

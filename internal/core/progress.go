@@ -1,0 +1,62 @@
+package core
+
+// Progress observability: every miner streams ProgressEvents at its
+// cooperative cancellation checkpoints, so long-running jobs can be watched
+// (and canceled from a watcher) without touching the mined results. The
+// paper's platform reports counters only after a run completes; the serving
+// deployment needs them *during* the run — a request that will blow its
+// deadline is cheaper to abort at level 3 than to discover dead at the end.
+
+// ProgressPhase labels where in its run a miner emitted an event.
+type ProgressPhase string
+
+const (
+	// PhaseLevel is a breadth-first level boundary (Apriori framework):
+	// the level's candidates are counted and decided.
+	PhaseLevel ProgressPhase = "level"
+	// PhaseSubtree is one depth-first prefix subtree completing (UH-Mine
+	// first-level fan-out, UFP-growth top-level header items).
+	PhaseSubtree ProgressPhase = "subtree"
+	// PhaseDone is the final event of a completed (uncanceled) run, with
+	// the run's total counters.
+	PhaseDone ProgressPhase = "done"
+)
+
+// ProgressEvent is one observation streamed during a mining run.
+type ProgressEvent struct {
+	// Algorithm is the emitting miner's registry name.
+	Algorithm string
+	// Phase labels the checkpoint kind.
+	Phase ProgressPhase
+	// Level is the depth the event refers to: the candidate length k for
+	// level events, the rooting prefix length (1) for subtree events, the
+	// deepest mined level for done events.
+	Level int
+	// Stats snapshots the work counters accumulated so far. For subtree
+	// events emitted from a parallel fan-out the snapshot covers the
+	// completed subtree's contribution merged into the pre-fan-out totals
+	// observed by this worker; the done event always carries the exact
+	// run totals.
+	Stats MiningStats
+}
+
+// ProgressFunc observes ProgressEvents. Contract:
+//
+//   - it is called synchronously from the mining run, so it must be fast
+//     (record and return); blocking stalls the miner;
+//   - when Options.Workers allows parallel execution it may be invoked
+//     concurrently from multiple worker goroutines and must be safe for
+//     concurrent use;
+//   - it must not retain the event's Stats beyond the call unless copied
+//     (the value is a snapshot; copying it is cheap).
+//
+// A nil ProgressFunc disables observation at zero cost.
+type ProgressFunc func(ev ProgressEvent)
+
+// Emit invokes the hook when non-nil — the one-liner miners call at their
+// checkpoints.
+func (f ProgressFunc) Emit(algorithm string, phase ProgressPhase, level int, stats MiningStats) {
+	if f != nil {
+		f(ProgressEvent{Algorithm: algorithm, Phase: phase, Level: level, Stats: stats})
+	}
+}

@@ -13,6 +13,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -42,11 +43,13 @@ type Measurement struct {
 // small runs.
 const memSampleInterval = 200 * time.Microsecond
 
-// Run executes one measured mining run. Optional Options are applied to the
+// Run executes one measured mining run under ctx: a cancellation or
+// deadline aborts the mine at its next cooperative checkpoint and surfaces
+// as Measurement.Err (= ctx.Err()). Optional Options are applied to the
 // miner best-effort before mining (miners without the corresponding knob run
 // serially and unchanged); results are identical for every Workers value, so
 // options only affect Elapsed and the heap measurements.
-func Run(m core.Miner, db *core.Database, th core.Thresholds, opts ...core.Options) Measurement {
+func Run(ctx context.Context, m core.Miner, db *core.Database, th core.Thresholds, opts ...core.Options) Measurement {
 	for _, o := range opts {
 		core.ApplyOptions(m, o)
 	}
@@ -77,7 +80,7 @@ func Run(m core.Miner, db *core.Database, th core.Thresholds, opts ...core.Optio
 	}()
 
 	start := time.Now()
-	rs, err := m.Mine(db, th)
+	rs, err := m.Mine(ctx, db, th)
 	elapsed := time.Since(start)
 
 	// Final sample before stopping (covers runs shorter than the interval).

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ type slowMiner struct {
 
 func (m *slowMiner) Name() string              { return "slow" }
 func (m *slowMiner) Semantics() core.Semantics { return core.ExpectedSupport }
-func (m *slowMiner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *slowMiner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	if m.err != nil {
 		return nil, m.err
 	}
@@ -35,7 +36,7 @@ func (m *slowMiner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet
 
 func TestRunMeasuresTimeAndMemory(t *testing.T) {
 	m := &slowMiner{alloc: 8 << 20}
-	meas := Run(m, coretest.PaperDB(), core.Thresholds{MinESup: 0.5})
+	meas := Run(context.Background(), m, coretest.PaperDB(), core.Thresholds{MinESup: 0.5})
 	if meas.Err != nil {
 		t.Fatal(meas.Err)
 	}
@@ -52,7 +53,7 @@ func TestRunMeasuresTimeAndMemory(t *testing.T) {
 
 func TestRunPropagatesError(t *testing.T) {
 	wantErr := errors.New("boom")
-	meas := Run(&slowMiner{err: wantErr}, coretest.PaperDB(), core.Thresholds{MinESup: 0.5})
+	meas := Run(context.Background(), &slowMiner{err: wantErr}, coretest.PaperDB(), core.Thresholds{MinESup: 0.5})
 	if !errors.Is(meas.Err, wantErr) {
 		t.Fatalf("err = %v", meas.Err)
 	}
@@ -114,7 +115,7 @@ func TestDiff(t *testing.T) {
 func TestRunWithRealMiner(t *testing.T) {
 	// End-to-end: measurement of an actual mining run returns consistent
 	// results.
-	meas := Run(&realMinerAdapter{}, coretest.PaperDB(), core.Thresholds{MinESup: 0.5})
+	meas := Run(context.Background(), &realMinerAdapter{}, coretest.PaperDB(), core.Thresholds{MinESup: 0.5})
 	if meas.Err != nil {
 		t.Fatal(meas.Err)
 	}
@@ -129,7 +130,7 @@ type realMinerAdapter struct{}
 
 func (m *realMinerAdapter) Name() string              { return "naive" }
 func (m *realMinerAdapter) Semantics() core.Semantics { return core.ExpectedSupport }
-func (m *realMinerAdapter) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *realMinerAdapter) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	minCount := th.MinESupCount(db.N())
 	rs := &core.ResultSet{Algorithm: m.Name()}
 	esup := db.ItemESup()

@@ -76,7 +76,7 @@ func runAblationParallel(cfg Config) *Report {
 		base := math.NaN()
 		sets, mined := 0, false
 		for wi, w := range workers {
-			m := eval.Run(algo.MustNewWith(f.algo, core.Options{Workers: w}), f.db, f.th)
+			m := eval.Run(cfg.ctx(), algo.MustNewWith(f.algo, core.Options{Workers: w}), f.db, f.th)
 			if m.Err != nil {
 				r.Cells[wi][2*fi], r.Cells[wi][2*fi+1] = math.NaN(), math.NaN()
 				r.Notes = append(r.Notes, fmt.Sprintf("%s workers=%d: %v", f.algo, w, m.Err))
@@ -105,7 +105,7 @@ func runAblationParallel(cfg Config) *Report {
 func runAblationUCFP(cfg Config) *Report {
 	db := profileDB(cfg, dataset.Accident, baseAccident)
 	th := core.Thresholds{MinESup: 0.2}
-	exactRef, err := (&ufpgrowth.Miner{}).Mine(db, th)
+	exactRef, err := (&ufpgrowth.Miner{}).Mine(cfg.ctx(), db, th)
 	r := &Report{
 		ID:      "ablation-ucfp",
 		Title:   "UFP-growth vs UCFP-tree(k) on Accident-like, min_esup 0.2",
@@ -118,7 +118,7 @@ func runAblationUCFP(cfg Config) *Report {
 	}
 	for _, digits := range []int{0, 3, 2, 1} {
 		miner := &ufpgrowth.Miner{Rounding: digits}
-		m := eval.Run(miner, db, th)
+		m := eval.Run(cfg.ctx(), miner, db, th)
 		r.RowLabels = append(r.RowLabels, miner.Name())
 		if m.Err != nil {
 			r.Cells = append(r.Cells, []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()})

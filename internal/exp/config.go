@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"time"
 )
 
@@ -28,6 +29,19 @@ type Config struct {
 	// fast as the host allows. The ablation-parallel experiment ignores it
 	// and sweeps worker counts itself.
 	Workers int
+	// Context, when non-nil, bounds every measured mining run: canceling it
+	// (e.g. from a CLI signal handler) aborts the in-flight mine at its
+	// next cooperative checkpoint and the sweep reports the cancellation as
+	// that measurement's error. Nil means context.Background().
+	Context context.Context
+}
+
+// ctx resolves the configured context.
+func (cfg Config) ctx() context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
 }
 
 // DefaultConfig is the laptop-friendly configuration used by tests, benches

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoCtxCancelStopsDispatch: after cancellation the pool must stop
+// claiming tasks — at most one in-flight task per worker finishes — and the
+// call must return ctx.Err() with every goroutine drained.
+func TestDoCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 10_000
+		err := DoCtx(ctx, workers, n, func(i int) {
+			if ran.Add(1) == 1 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+		// Claimed-before-cancel tasks may finish: the bound is one per
+		// worker beyond the canceling task.
+		if got := ran.Load(); got > int64(1+Resolve(workers)) {
+			t.Errorf("workers=%d: %d tasks ran after cancel, want ≤ %d", workers, got, 1+Resolve(workers))
+		}
+	}
+}
+
+func TestDoCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	if err := DoCtx(ctx, 4, 100, func(int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d tasks ran under a pre-canceled context", got)
+	}
+}
+
+func TestDoCtxCompletesWithoutError(t *testing.T) {
+	var ran atomic.Int64
+	if err := DoCtx(context.Background(), 4, 257, func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err=%v", err)
+	}
+	if got := ran.Load(); got != 257 {
+		t.Errorf("ran %d of 257 tasks", got)
+	}
+}
+
+func TestMapCtxCancelDiscardable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make([]int, 5000)
+	out, err := MapCtx(ctx, 4, in, func(i int, _ int) int {
+		if i == 0 {
+			cancel()
+		}
+		return i + 1
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("partial output length %d, want full-length (zero-filled) slice", len(out))
+	}
+}
+
+func TestDoChunksCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks atomic.Int64
+	err := DoChunksCtx(ctx, 2, 100_000, 512, func(c, lo, hi int) {
+		if chunks.Add(1) == 1 {
+			cancel()
+		}
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if got := chunks.Load(); got >= int64(NumChunks(100_000, 512)) {
+		t.Errorf("all %d chunks ran despite cancellation", got)
+	}
+}
+
+// TestDoCtxCancelNoGoroutineLeak: the pool drains synchronously — no worker
+// goroutine survives DoCtx returning, canceled or not.
+func TestDoCtxCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		DoCtx(ctx, 8, 1000, func(j int) {
+			if j == 3 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

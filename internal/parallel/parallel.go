@@ -15,9 +15,16 @@
 //     moment, however many tasks are submitted. Tasks are claimed from an
 //     atomic counter, so uneven task costs (e.g. skewed prefix subtrees in
 //     UH-Mine) balance automatically.
+//
+// The layer is context-aware: the *Ctx variants stop dispatching tasks the
+// moment the context is done (cancellation latency bounded by one task),
+// drain the pool fully — no goroutine or pool slot outlives the call — and
+// return ctx.Err(). The ctx-free wrappers run under context.Background();
+// a completed run is identical either way.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,15 +53,36 @@ func Resolve(workers int) int {
 // other beyond "claimed in index order", and must write results to
 // index-addressed slots (or otherwise synchronize) themselves.
 func Do(workers, n int, task func(i int)) {
+	DoCtx(context.Background(), workers, n, task)
+}
+
+// DoCtx is Do under a context: workers stop claiming new tasks once ctx is
+// done, already-claimed tasks run to completion (cancellation latency is
+// bounded by one task), the pool fully drains — no goroutine outlives the
+// call — and DoCtx returns ctx.Err().
+//
+// Tasks that were never claimed are simply skipped, so on cancellation the
+// index-addressed result slots of unclaimed tasks keep their zero values;
+// callers must treat any partial output as invalid once DoCtx reports an
+// error. A nil error means every task ran.
+func DoCtx(ctx context.Context, workers, n int, task func(i int)) error {
 	w := Resolve(workers)
 	if w > n {
 		w = n
 	}
+	done := ctx.Done()
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			task(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -63,6 +91,13 @@ func Do(workers, n int, task func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -72,17 +107,26 @@ func Do(workers, n int, task func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Map applies fn to every element of in on the bounded pool and returns the
 // results in input order. fn receives the element index and value; it must
 // be safe for concurrent use when workers > 1.
 func Map[T, R any](workers int, in []T, fn func(i int, v T) R) []R {
+	out, _ := MapCtx(context.Background(), workers, in, fn)
+	return out
+}
+
+// MapCtx is Map under a context, with DoCtx's cancellation semantics: on a
+// non-nil error the returned slice is partial (unclaimed elements hold zero
+// values) and must be discarded.
+func MapCtx[T, R any](ctx context.Context, workers int, in []T, fn func(i int, v T) R) ([]R, error) {
 	out := make([]R, len(in))
-	Do(workers, len(in), func(i int) {
+	err := DoCtx(ctx, workers, len(in), func(i int) {
 		out[i] = fn(i, in[i])
 	})
-	return out
+	return out, err
 }
 
 // DefaultChunk is the fixed chunk granularity used by DoChunks callers that
@@ -127,11 +171,18 @@ func NumChunks(n, size int) int {
 // chunks and processes them on the bounded pool. The task receives the
 // chunk index and the half-open range [lo, hi) it covers.
 func DoChunks(workers, n, size int, task func(chunk, lo, hi int)) {
+	DoChunksCtx(context.Background(), workers, n, size, task)
+}
+
+// DoChunksCtx is DoChunks under a context, with DoCtx's cancellation
+// semantics: the pool stops dispatching chunks once ctx is done (latency
+// bounded by one chunk) and the call returns ctx.Err().
+func DoChunksCtx(ctx context.Context, workers, n, size int, task func(chunk, lo, hi int)) error {
 	if size <= 0 {
 		size = DefaultChunk
 	}
 	nc := NumChunks(n, size)
-	Do(workers, nc, func(c int) {
+	return DoCtx(ctx, workers, nc, func(c int) {
 		lo := c * size
 		hi := lo + size
 		if hi > n {

@@ -48,7 +48,7 @@ func directMine(t *testing.T, alg string, db *core.Database, th core.Thresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := m.Mine(db, th)
+	rs, err := m.Mine(context.Background(), db, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestIngestInvalidatesCache(t *testing.T) {
 	}
 
 	added := []core.Unit{{Item: 0, Prob: 1}, {Item: 1, Prob: 0.9}}
-	res, err := s.Ingest("d", [][]core.Unit{added})
+	res, err := s.Ingest(context.Background(), "d", [][]core.Unit{added})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestEmptyIngestIsNoOp(t *testing.T) {
 	if _, err := s.Mine(ctx, req); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Ingest("d", nil)
+	res, err := s.Ingest(context.Background(), "d", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestCoalescedRequestsMineOnce(t *testing.T) {
 
 	var mineCount atomic.Int64
 	base := s.mineFn
-	s.mineFn = func(alg string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+	s.mineFn = func(ctx context.Context, alg string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
 		mineCount.Add(1)
 		// Hold the mine until every follower is blocked on the leader, so
 		// no request can slip in after completion and hit the cache.
@@ -281,7 +281,7 @@ func TestCoalescedRequestsMineOnce(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
-		return base(alg, db, th, opts)
+		return base(ctx, alg, db, th, opts)
 	}
 
 	var wg sync.WaitGroup

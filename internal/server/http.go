@@ -173,7 +173,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.Ingest(req.Dataset, raw)
+	res, err := s.Ingest(r.Context(), req.Dataset, raw)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -140,7 +141,7 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 	if err := th.Validate(m.Semantics()); err != nil {
 		return nil, err
 	}
-	meas := eval.Run(m, db, th)
+	meas := eval.Run(context.Background(), m, db, th)
 	if meas.Err != nil {
 		return nil, meas.Err
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -135,7 +136,7 @@ type IngestResult struct {
 // starts nothing aborts it — a windowed refresh re-mine failure is reported
 // via IngestResult.RefreshError with the batch still fully committed, never
 // as a half-applied "error" a client would wrongly retry.
-func (d *dsEntry) ingest(raw [][]core.Unit) (IngestResult, error) {
+func (d *dsEntry) ingest(ctx context.Context, raw [][]core.Unit) (IngestResult, error) {
 	txs := make([]core.Transaction, len(raw))
 	for i, units := range raw {
 		t, err := core.NormalizeTransaction(units)
@@ -160,7 +161,7 @@ func (d *dsEntry) ingest(raw [][]core.Unit) (IngestResult, error) {
 		for _, t := range txs {
 			// txs are pre-normalized, so an error here is a refresh
 			// re-mine failure, after the push itself already applied.
-			r, err := d.window.PushCanonical(t)
+			r, err := d.window.PushCanonical(ctx, t)
 			if err != nil {
 				refreshErr = err
 			}
@@ -263,7 +264,10 @@ func (s *Server) RegisterDatabase(name string, db *core.Database, opts RegisterO
 		// from the start: only the trailing Size transactions survive.
 		// Load defers the (at most one) refresh re-mine to the end instead
 		// of re-mining every RefreshEvery arrivals of the replay.
-		if err := w.Load(db.Transactions); err != nil {
+		// Registration is a one-shot setup call, so the seed replay's
+		// refresh runs uncancellable; per-request contexts govern ingest
+		// and mining, not registration.
+		if err := w.Load(context.Background(), db.Transactions); err != nil {
 			return DatasetInfo{}, err
 		}
 		snap := w.Snapshot()

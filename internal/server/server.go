@@ -69,8 +69,9 @@ type Server struct {
 	sem    chan struct{}
 	start  time.Time
 
-	// mineFn runs one mining job; tests substitute it to control timing.
-	mineFn func(algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error)
+	// mineFn runs one mining job under ctx; tests substitute it to control
+	// timing and observe cancellation.
+	mineFn func(ctx context.Context, algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error)
 
 	requests      atomic.Uint64
 	cacheHits     atomic.Uint64
@@ -80,6 +81,7 @@ type Server struct {
 	uncached      atomic.Uint64
 	ingests       atomic.Uint64
 	errorCount    atomic.Uint64
+	canceledCount atomic.Uint64
 	inFlight      atomic.Int64
 }
 
@@ -102,12 +104,12 @@ func New(cfg Config) *Server {
 		s.sem = make(chan struct{}, slots)
 	}
 	s.flight.init()
-	s.mineFn = func(algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+	s.mineFn = func(ctx context.Context, algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
 		m, err := algo.NewWith(algorithm, opts)
 		if err != nil {
 			return nil, err
 		}
-		return m.Mine(db, th)
+		return m.Mine(ctx, db, th)
 	}
 	return s
 }
@@ -146,9 +148,12 @@ type MineRequest struct {
 	Thresholds core.Thresholds
 	// Workers overrides Config.DefaultWorkers when non-zero.
 	Workers int
-	// Timeout overrides Config.DefaultTimeout when non-zero. It bounds
-	// queueing and waiting on a coalesced leader; a mining job that already
-	// started is not interrupted (its result is still cached).
+	// Timeout overrides Config.DefaultTimeout when non-zero. It bounds the
+	// whole request — queueing, waiting on a coalesced leader, AND the
+	// mining job itself: the expiring deadline cancels an in-flight mine at
+	// its next cooperative checkpoint (one chunk/candidate of work), so a
+	// timed-out request stops burning CPU instead of mining on for a client
+	// that is gone.
 	Timeout time.Duration
 	// NoCache bypasses the cache and coalescing: the request always mines.
 	// Used by the load benchmark's cold passes.
@@ -177,7 +182,10 @@ type mineOutcome struct {
 
 // Mine answers one query, consulting the cache (exact hit or monotonic
 // filter), coalescing with identical in-flight queries, and otherwise mining
-// on the bounded pool.
+// on the bounded pool. The context (capped by the request/default timeout)
+// governs the whole lifecycle: queueing, coalesced waits, and the running
+// mine itself — expiry aborts in-flight work at the miner's next
+// cooperative checkpoint and Mine returns ctx.Err().
 func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
 	start := time.Now()
 	s.requests.Add(1)
@@ -232,10 +240,10 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return nil, err
 			}
 			defer s.release() // released even if the miner panics
-			return s.mineFn(req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
+			return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
 		}()
 		if err != nil {
-			s.errorCount.Add(1)
+			s.countError(err)
 			return nil, err
 		}
 		s.uncached.Add(1)
@@ -261,7 +269,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return mineOutcome{rs: rs, kind: kind}, nil
 			}
 		}
-		rs, err := s.mineFn(req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
+		rs, err := s.mineFn(ctx, req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
 		if err != nil {
 			return mineOutcome{}, err
 		}
@@ -271,7 +279,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 		return mineOutcome{rs: rs, kind: CacheMiss}, nil
 	})
 	if err != nil {
-		s.errorCount.Add(1)
+		s.countError(err)
 		return nil, err
 	}
 	kind := out.kind
@@ -280,6 +288,15 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 	s.countCache(kind)
 	return respond(out.rs, kind), nil
+}
+
+// countError bumps the error counter, tallying canceled/timed-out jobs
+// separately so /stats distinguishes aborted work from real failures.
+func (s *Server) countError(err error) {
+	s.errorCount.Add(1)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.canceledCount.Add(1)
+	}
 }
 
 // countCache bumps the stats counter matching a cache-outcome label.
@@ -343,12 +360,12 @@ func adoptThresholds(rs *core.ResultSet, th core.Thresholds) *core.ResultSet {
 // invalidates its cached results. On a windowed dataset the transactions are
 // pushed through the sliding window (evicting the oldest beyond its size and
 // triggering a configured refresh re-mine).
-func (s *Server) Ingest(name string, raw [][]core.Unit) (IngestResult, error) {
+func (s *Server) Ingest(ctx context.Context, name string, raw [][]core.Unit) (IngestResult, error) {
 	d, ok := s.reg.get(name)
 	if !ok {
 		return IngestResult{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
-	res, err := d.ingest(raw)
+	res, err := d.ingest(ctx, raw)
 	if err != nil {
 		return IngestResult{}, err
 	}
@@ -373,8 +390,12 @@ type Stats struct {
 	Uncached      uint64  `json:"uncached"`
 	Ingests       uint64  `json:"ingests"`
 	Errors        uint64  `json:"errors"`
-	InFlight      int64   `json:"in_flight"`
-	CacheEntries  int     `json:"cache_entries"`
+	// Canceled counts mining requests aborted by cancellation or deadline
+	// (while queued or in flight); every canceled request also counts as an
+	// error.
+	Canceled     uint64 `json:"canceled"`
+	InFlight     int64  `json:"in_flight"`
+	CacheEntries int    `json:"cache_entries"`
 }
 
 // Stats snapshots the server counters.
@@ -390,6 +411,7 @@ func (s *Server) Stats() Stats {
 		Uncached:      s.uncached.Load(),
 		Ingests:       s.ingests.Load(),
 		Errors:        s.errorCount.Load(),
+		Canceled:      s.canceledCount.Load(),
 		InFlight:      s.inFlight.Load(),
 	}
 	if s.cache != nil {

@@ -62,7 +62,7 @@ func TestWindowedRetention(t *testing.T) {
 	if !info.Windowed || info.WindowSize != 10 || info.NumTrans != 10 {
 		t.Fatalf("info %+v, want windowed size 10 with 10 transactions", info)
 	}
-	res, err := s.Ingest("w", [][]core.Unit{
+	res, err := s.Ingest(context.Background(), "w", [][]core.Unit{
 		{{Item: 0, Prob: 1}},
 		{{Item: 1, Prob: 1}},
 	})
@@ -98,7 +98,7 @@ func TestWindowedRefresh(t *testing.T) {
 	}
 	var refreshed bool
 	for i := 0; i < 8; i++ {
-		res, err := s.Ingest("w", [][]core.Unit{{{Item: 0, Prob: 0.9}, {Item: 1, Prob: 0.8}}})
+		res, err := s.Ingest(context.Background(), "w", [][]core.Unit{{{Item: 0, Prob: 0.9}, {Item: 1, Prob: 0.8}}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func TestWindowedRefreshSemanticsValidated(t *testing.T) {
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Ingest("good", [][]core.Unit{
+	res, err := s.Ingest(context.Background(), "good", [][]core.Unit{
 		{{Item: 0, Prob: 0.9}},
 		{{Item: 0, Prob: 0.8}},
 	})
@@ -187,7 +187,7 @@ func TestWindowedConcurrency(t *testing.T) {
 		rng := rand.New(rand.NewSource(99))
 		for i := 0; i < iters; i++ {
 			tx := []core.Unit{{Item: core.Item(rng.Intn(6)), Prob: 0.5 + 0.5*rng.Float64()}}
-			if _, err := s.Ingest("w", [][]core.Unit{tx}); err != nil {
+			if _, err := s.Ingest(context.Background(), "w", [][]core.Unit{tx}); err != nil {
 				report(err)
 				return
 			}
@@ -238,10 +238,10 @@ func TestMineTimeout(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{})
 	base := s.mineFn
-	s.mineFn = func(alg string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+	s.mineFn = func(ctx context.Context, alg string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
 		close(entered)
 		<-release
-		return base(alg, db, th, opts)
+		return base(ctx, alg, db, th, opts)
 	}
 	done := make(chan error, 1)
 	go func() {
@@ -276,7 +276,7 @@ func TestNonWindowedIngestKeepsOldSnapshots(t *testing.T) {
 	d, _ := s.reg.get("d")
 	before, v0 := d.snapshot()
 	n0 := before.N()
-	if _, err := s.Ingest("d", [][]core.Unit{{{Item: 0, Prob: 1}}}); err != nil {
+	if _, err := s.Ingest(context.Background(), "d", [][]core.Unit{{{Item: 0, Prob: 1}}}); err != nil {
 		t.Fatal(err)
 	}
 	if before.N() != n0 {

@@ -35,8 +35,10 @@ var errFlightPanic = errors.New("server: in-flight query panicked")
 // do executes fn once per key among concurrent callers. shared reports
 // whether this caller joined another caller's execution. Mining errors
 // propagate to every waiting caller; a leader failure that is private to
-// the leader's context (its timeout expiring while queued) is not — the
-// follower retries, becoming the new leader under its own context.
+// the leader's context (its timeout expiring while queued or mid-mine, its
+// client hanging up) is not — the follower retries, becoming the new leader
+// under its own context and re-running the mine. Leadership thus hands off
+// instead of letting one impatient client's cancellation fail everyone.
 func (g *flightGroup) do(ctx context.Context, key string, fn func() (mineOutcome, error)) (out mineOutcome, shared bool, err error) {
 	for {
 		g.mu.Lock()

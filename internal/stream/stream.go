@@ -21,6 +21,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -123,23 +124,26 @@ func (w *Window) Watched() []core.Itemset {
 }
 
 // Push appends one transaction, evicting the oldest when the window is
-// full, and returns whether a refresh re-mining ran.
-func (w *Window) Push(units []core.Unit) (refreshed bool, err error) {
+// full, and returns whether a refresh re-mining ran. The context bounds a
+// triggered refresh re-mine (the only potentially long operation on the
+// ingest path); a canceled refresh leaves the transaction applied and the
+// watch list stale, reported via err = ctx.Err().
+func (w *Window) Push(ctx context.Context, units []core.Unit) (refreshed bool, err error) {
 	tx, err := core.NormalizeTransaction(units)
 	if err != nil {
 		return false, fmt.Errorf("stream: %w", err)
 	}
-	return w.PushCanonical(tx)
+	return w.PushCanonical(ctx, tx)
 }
 
 // PushCanonical is Push for an already-canonical transaction (one produced
 // by NormalizeTransaction, or taken from a Database), skipping the
 // redundant normalization pass — the ingest hot path of callers that
 // validate batches up front.
-func (w *Window) PushCanonical(tx core.Transaction) (refreshed bool, err error) {
+func (w *Window) PushCanonical(ctx context.Context, tx core.Transaction) (refreshed bool, err error) {
 	w.push(tx)
 	if w.cfg.RefreshEvery > 0 && w.arrived%int64(w.cfg.RefreshEvery) == 0 {
-		return true, w.Refresh()
+		return true, w.Refresh(ctx)
 	}
 	return false, nil
 }
@@ -148,12 +152,12 @@ func (w *Window) PushCanonical(tx core.Transaction) (refreshed bool, err error) 
 // Database's) without triggering per-arrival refresh re-mines, then runs a
 // single refresh if one is configured — the seeding counterpart of Push,
 // where only the state after the last transaction matters.
-func (w *Window) Load(txs []core.Transaction) error {
+func (w *Window) Load(ctx context.Context, txs []core.Transaction) error {
 	for _, tx := range txs {
 		w.push(tx)
 	}
 	if w.cfg.RefreshEvery > 0 && len(txs) > 0 {
-		return w.Refresh()
+		return w.Refresh(ctx)
 	}
 	return nil
 }
@@ -286,15 +290,16 @@ func (w *Window) Frequent() []core.Result {
 // Refresh re-mines the window with the configured miner and replaces the
 // watch list with the mined itemsets. Called automatically every
 // RefreshEvery arrivals; callable manually at any time when a Miner is
-// configured.
-func (w *Window) Refresh() error {
+// configured. The context aborts the re-mine at the miner's next
+// cooperative checkpoint, leaving the previous watch list in place.
+func (w *Window) Refresh(ctx context.Context) error {
 	if w.cfg.Miner == nil {
 		return fmt.Errorf("stream: Refresh without a configured Miner")
 	}
 	if w.filled == 0 {
 		return nil
 	}
-	rs, err := w.cfg.Miner.Mine(w.Snapshot(), w.cfg.Thresholds)
+	rs, err := w.cfg.Miner.Mine(ctx, w.Snapshot(), w.cfg.Thresholds)
 	if err != nil {
 		return fmt.Errorf("stream: refresh mining: %w", err)
 	}

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -54,7 +56,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 				units = append(units, core.Unit{Item: core.Item(it), Prob: 0.1 + 0.9*rng.Float64()})
 			}
 		}
-		if _, err := w.Push(units); err != nil {
+		if _, err := w.Push(context.Background(), units); err != nil {
 			t.Fatal(err)
 		}
 		db := w.Snapshot()
@@ -86,7 +88,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 func TestWatchMidStream(t *testing.T) {
 	w := newTestWindow(t, 8, core.ExpectedSupport)
 	for i := 0; i < 5; i++ {
-		if _, err := w.Push([]core.Unit{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 0.4}}); err != nil {
+		if _, err := w.Push(context.Background(), []core.Unit{{Item: 0, Prob: 0.5}, {Item: 1, Prob: 0.4}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,7 +128,7 @@ func TestEvictionExactness(t *testing.T) {
 	w := newTestWindow(t, 3, core.ExpectedSupport)
 	w.Watch(core.NewItemset(coretest.A))
 	for _, tx := range coretest.PaperDB().Transactions {
-		if _, err := w.Push(tx); err != nil {
+		if _, err := w.Push(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -148,7 +150,7 @@ func TestFrequentExpectedSupport(t *testing.T) {
 		w.Watch(x)
 	}
 	for _, tx := range coretest.PaperDB().Transactions {
-		if _, err := w.Push(tx); err != nil {
+		if _, err := w.Push(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -170,7 +172,7 @@ func TestFreqProbMatchesNormalApprox(t *testing.T) {
 	x := core.NewItemset(coretest.A)
 	w.Watch(x)
 	for _, tx := range coretest.PaperDB().Transactions {
-		if _, err := w.Push(tx); err != nil {
+		if _, err := w.Push(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -203,7 +205,7 @@ func TestRefreshDiscoversNewPatterns(t *testing.T) {
 	}
 	// Phase 1: item 0 dominates.
 	for i := 0; i < 8; i++ {
-		refreshed, err := w.Push([]core.Unit{{Item: 0, Prob: 0.9}})
+		refreshed, err := w.Push(context.Background(), []core.Unit{{Item: 0, Prob: 0.9}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +218,7 @@ func TestRefreshDiscoversNewPatterns(t *testing.T) {
 	}
 	// Phase 2: the stream shifts to items 1+2.
 	for i := 0; i < 8; i++ {
-		if _, err := w.Push([]core.Unit{{Item: 1, Prob: 0.9}, {Item: 2, Prob: 0.8}}); err != nil {
+		if _, err := w.Push(context.Background(), []core.Unit{{Item: 1, Prob: 0.9}, {Item: 2, Prob: 0.8}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -234,10 +236,10 @@ func TestRefreshDiscoversNewPatterns(t *testing.T) {
 
 func TestPushRejectsBadUnits(t *testing.T) {
 	w := newTestWindow(t, 4, core.ExpectedSupport)
-	if _, err := w.Push([]core.Unit{{Item: 0, Prob: 1.5}}); err == nil {
+	if _, err := w.Push(context.Background(), []core.Unit{{Item: 0, Prob: 1.5}}); err == nil {
 		t.Error("probability > 1 accepted")
 	}
-	if _, err := w.Push([]core.Unit{{Item: 0, Prob: -0.2}}); err == nil {
+	if _, err := w.Push(context.Background(), []core.Unit{{Item: 0, Prob: -0.2}}); err == nil {
 		t.Error("negative probability accepted")
 	}
 }
@@ -246,7 +248,7 @@ func TestSnapshotOrder(t *testing.T) {
 	w := newTestWindow(t, 3, core.ExpectedSupport)
 	for i := 0; i < 5; i++ {
 		p := 0.1 + 0.1*float64(i)
-		if _, err := w.Push([]core.Unit{{Item: 0, Prob: p}}); err != nil {
+		if _, err := w.Push(context.Background(), []core.Unit{{Item: 0, Prob: p}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -283,7 +285,7 @@ func BenchmarkWindowPush(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := w.Push(txs[i%len(txs)]); err != nil {
+		if _, err := w.Push(context.Background(), txs[i%len(txs)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,9 +299,9 @@ type countingMiner struct {
 
 func (m *countingMiner) Name() string              { return m.inner.Name() }
 func (m *countingMiner) Semantics() core.Semantics { return m.inner.Semantics() }
-func (m *countingMiner) Mine(db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
+func (m *countingMiner) Mine(ctx context.Context, db *core.Database, th core.Thresholds) (*core.ResultSet, error) {
 	m.calls++
-	return m.inner.Mine(db, th)
+	return m.inner.Mine(ctx, db, th)
 }
 
 // TestLoadDefersRefresh: bulk-loading N transactions through a
@@ -321,7 +323,7 @@ func TestLoadDefersRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := loaded.Load(db.Transactions); err != nil {
+	if err := loaded.Load(context.Background(), db.Transactions); err != nil {
 		t.Fatal(err)
 	}
 	if cm.calls != 1 {
@@ -333,17 +335,17 @@ func TestLoadDefersRefresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tx := range db.Transactions {
-		if _, err := pushed.Push(tx); err != nil {
+		if _, err := pushed.Push(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// The ring contents agree; watch lists may differ only if the final
 	// push was not a refresh boundary, so compare after one explicit
 	// refresh on each.
-	if err := loaded.Refresh(); err != nil {
+	if err := loaded.Refresh(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := pushed.Refresh(); err != nil {
+	if err := pushed.Refresh(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	lf, pf := loaded.Frequent(), pushed.Frequent()
@@ -358,5 +360,38 @@ func TestLoadDefersRefresh(t *testing.T) {
 	if loaded.N() != pushed.N() || loaded.Arrived() != pushed.Arrived() {
 		t.Fatalf("window shape diverged: Load N=%d arrived=%d, Push N=%d arrived=%d",
 			loaded.N(), loaded.Arrived(), pushed.N(), pushed.Arrived())
+	}
+}
+
+// TestRefreshCancel: a canceled context aborts the refresh re-mine with
+// ctx.Err() and leaves the previous watch list untouched.
+func TestRefreshCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := coretest.RandomDB(rng, 12, 5, 0.8)
+	w, err := NewWindow(Config{
+		Size:       16,
+		Thresholds: core.Thresholds{MinESup: 0.1},
+		Miner:      &uapriori.Miner{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(context.Background(), db.Transactions); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	watched := len(w.Watched())
+	if watched == 0 {
+		t.Fatal("refresh discovered nothing; test database too sparse")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w.Refresh(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled refresh err=%v, want context.Canceled", err)
+	}
+	if got := len(w.Watched()); got != watched {
+		t.Fatalf("canceled refresh changed the watch list: %d -> %d itemsets", watched, got)
 	}
 }

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Smoke test for the userve mining service: boot the real binary, register a
 # generated profile over HTTP, run one /mine query and assert 200 + a
-# non-empty result set, exercise /ingest + the version bump, and shut down.
+# non-empty result set, exercise /ingest + the version bump, assert a
+# tiny-timeout /mine aborts its in-flight job promptly (503, canceled count
+# bumped, server still healthy), and shut down.
 # Mirrored by the "Server smoke" CI job; run locally via `make smoke-server`.
 set -eu
 
@@ -66,5 +68,43 @@ grep -q '"version": 1' "$TMP/ingest.json" || {
 
 STATUS=$(curl -s -o "$TMP/stats.json" -w '%{http_code}' "$BASE/stats")
 check "/stats" 200 "$TMP/stats.json" "$STATUS"
+
+# Per-request timeout aborts a running mine. The slow dataset/algorithm pair
+# (DCNB at min_sup 0.1 on an accident-like profile) needs ~10s uncancelled;
+# a 250ms timeout_ms must therefore abort it in flight, return 503 promptly,
+# bump the canceled counter, and leave the server healthy.
+STATUS=$(curl -s -o "$TMP/slow.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+    -H 'Content-Type: application/json' \
+    -d '{"name":"slow","profile":"accident","scale":0.01,"seed":1}')
+check "register slow profile" 201 "$TMP/slow.json" "$STATUS"
+
+T0=$(date +%s)
+STATUS=$(curl -s --max-time 30 -o "$TMP/timeout.json" -w '%{http_code}' -X POST "$BASE/mine" \
+    -H 'Content-Type: application/json' \
+    -d '{"dataset":"slow","algorithm":"DCNB","min_sup":0.1,"pft":0.9,"timeout_ms":250,"no_cache":true}')
+T1=$(date +%s)
+check "/mine with timeout_ms=250" 503 "$TMP/timeout.json" "$STATUS"
+if ! grep -q 'context deadline exceeded' "$TMP/timeout.json"; then
+    echo "smoke: FAIL — timed-out /mine did not report a deadline error"
+    cat "$TMP/timeout.json"
+    exit 1
+fi
+if [ $((T1 - T0)) -gt 5 ]; then
+    echo "smoke: FAIL — timed-out /mine took $((T1 - T0))s to return (cancellation not prompt)"
+    exit 1
+fi
+echo "smoke: timed-out /mine aborted in-flight work promptly ($((T1 - T0))s)"
+
+STATUS=$(curl -s -o "$TMP/healthz2.json" -w '%{http_code}' "$BASE/healthz")
+check "/healthz after cancellation" 200 "$TMP/healthz2.json" "$STATUS"
+
+STATUS=$(curl -s -o "$TMP/stats2.json" -w '%{http_code}' "$BASE/stats")
+check "/stats after cancellation" 200 "$TMP/stats2.json" "$STATUS"
+if ! grep -Eq '"canceled": *[1-9]' "$TMP/stats2.json"; then
+    echo "smoke: FAIL — /stats canceled count did not increment"
+    cat "$TMP/stats2.json"
+    exit 1
+fi
+echo "smoke: /stats counted the canceled job"
 
 echo "smoke: PASS"

@@ -32,10 +32,45 @@
 // Construct one with NewMiner and run it with Mine or Measure:
 //
 //	m, _ := umine.NewMiner("UApriori")
-//	rs, _ := m.Mine(db, umine.Thresholds{MinESup: 0.5})
+//	rs, _ := m.Mine(ctx, db, umine.Thresholds{MinESup: 0.5})
 //	for _, r := range rs.Results {
 //	    fmt.Println(r.Itemset, r.ESup)
 //	}
+//
+// # Contexts: cancellation and deadlines
+//
+// Every mining entry point takes a context.Context and honors it
+// cooperatively: miners check the context at their natural checkpoints —
+// level boundaries and counting chunks in the Apriori framework, between
+// per-candidate DP/DC verifications in the exact miners (the dominant cost
+// of the platform), between prefix subtrees and extensions in the
+// hyper-structure miners, between header items in UFP-growth's
+// conditional-tree walk — so canceling the context (or letting its deadline
+// expire) aborts a *running* mine within one chunk/candidate of work. A
+// canceled Mine returns ctx.Err() (context.Canceled or
+// context.DeadlineExceeded) and leaks no goroutines: the shared worker pool
+// stops dispatching and fully drains before returning. A mine that runs to
+// completion is byte-for-byte unaffected by the checkpoints.
+//
+// The convenience wrappers without a ctx parameter (Mine, MineWith,
+// Measure, MeasureWith) run under context.Background() — the pre-context
+// behavior. Migrating from the previous API is mechanical: m.Mine(db, th)
+// becomes m.Mine(ctx, db, th), and umine.MineWith(...)/MeasureWith(...)
+// either stay as they are or become MineContext/MeasureContext to gain
+// cancellation.
+//
+// # Progress observability
+//
+// Options.Progress installs an observer that streams ProgressEvents
+// (level/candidate/prune counters) from the run's checkpoints — the hook
+// long-lived servers and CLIs use to report liveness and to snapshot
+// partial MiningStats when a run is canceled:
+//
+//	opts := umine.Options{Progress: func(ev umine.ProgressEvent) {
+//	    log.Printf("%s level %d: %d candidates", ev.Algorithm, ev.Level,
+//	        ev.Stats.CandidatesGenerated)
+//	}}
+//	rs, err := umine.MineContext(ctx, "DCB", db, th, opts)
 //
 // # Parallel execution
 //
@@ -81,6 +116,7 @@
 package umine
 
 import (
+	"context"
 	"io"
 
 	"umine/internal/algo"
@@ -114,9 +150,15 @@ type (
 	MiningStats = core.MiningStats
 	// Miner is the uniform interface implemented by all algorithms.
 	Miner = core.Miner
-	// Options carries cross-cutting execution knobs (Workers); the zero
-	// value is the paper's single-threaded platform.
+	// Options carries cross-cutting execution knobs (Workers, Progress);
+	// the zero value is the paper's single-threaded platform.
 	Options = core.Options
+	// ProgressEvent is one observation streamed during a mining run.
+	ProgressEvent = core.ProgressEvent
+	// ProgressFunc observes ProgressEvents (see Options.Progress).
+	ProgressFunc = core.ProgressFunc
+	// ProgressPhase labels where in its run a miner emitted an event.
+	ProgressPhase = core.ProgressPhase
 	// Measurement is a timed, memory-profiled mining run.
 	Measurement = eval.Measurement
 	// Accuracy is the precision/recall comparison of §4.4.
@@ -129,6 +171,16 @@ const (
 	ExpectedSupport = core.ExpectedSupport
 	// Probabilistic is Definition 4 (Pr{sup(X) ≥ N·min_sup} > pft).
 	Probabilistic = core.Probabilistic
+)
+
+// ProgressPhase values (see core.ProgressEvent).
+const (
+	// PhaseLevel is a breadth-first level boundary.
+	PhaseLevel = core.PhaseLevel
+	// PhaseSubtree is one depth-first prefix subtree completing.
+	PhaseSubtree = core.PhaseSubtree
+	// PhaseDone is the final event of a completed run.
+	PhaseDone = core.PhaseDone
 )
 
 // NewItemset builds a canonical itemset from the given items.
@@ -156,46 +208,58 @@ func NewMinerWith(name string, opts Options) (Miner, error) { return algo.NewWit
 // SupportsWorkers reports whether the named algorithm has a parallel phase
 // controlled by Options.Workers. Miners without one (e.g. UFP-growth)
 // always run serially, silently ignoring the knob; callers can use this to
-// tell the difference. Unknown names report false.
+// tell the difference. Unknown names report false. The answer comes from
+// the registry's capability metadata — no throwaway miner is constructed.
 func SupportsWorkers(algorithm string) bool {
-	m, err := algo.New(algorithm)
-	if err != nil {
-		return false
-	}
-	_, ok := m.(core.ParallelMiner)
-	return ok
+	return algo.SupportsWorkers(algorithm)
 }
 
 // Algorithms lists all registered algorithm names in the paper's order.
 func Algorithms() []string { return algo.Names() }
 
-// Mine is the one-call convenience: construct the named miner and run it.
+// Mine is the one-call convenience: construct the named miner and run it
+// under context.Background() (never canceled — the paper's batch shape).
 func Mine(algorithm string, db *Database, th Thresholds) (*ResultSet, error) {
-	return MineWith(algorithm, db, th, Options{})
+	return MineContext(context.Background(), algorithm, db, th, Options{})
 }
 
 // MineWith is Mine with execution options (e.g. a Workers bound).
 func MineWith(algorithm string, db *Database, th Thresholds, opts Options) (*ResultSet, error) {
+	return MineContext(context.Background(), algorithm, db, th, opts)
+}
+
+// MineContext is the full-control entry point: construct the named miner
+// with the given options and run it under ctx. Cancellation (or a deadline)
+// aborts the run at the miner's next cooperative checkpoint — within one
+// chunk/candidate of work — returning ctx.Err() with no goroutine leaks.
+func MineContext(ctx context.Context, algorithm string, db *Database, th Thresholds, opts Options) (*ResultSet, error) {
 	m, err := algo.NewWith(algorithm, opts)
 	if err != nil {
 		return nil, err
 	}
-	return m.Mine(db, th)
+	return m.Mine(ctx, db, th)
 }
 
 // Measure runs one mining execution under the paper's uniform measurement
-// layer (wall-clock time, sampled peak heap, retained heap).
+// layer (wall-clock time, sampled peak heap, retained heap), under
+// context.Background().
 func Measure(algorithm string, db *Database, th Thresholds) (Measurement, error) {
-	return MeasureWith(algorithm, db, th, Options{})
+	return MeasureContext(context.Background(), algorithm, db, th, Options{})
 }
 
 // MeasureWith is Measure with execution options (e.g. a Workers bound).
 func MeasureWith(algorithm string, db *Database, th Thresholds, opts Options) (Measurement, error) {
+	return MeasureContext(context.Background(), algorithm, db, th, opts)
+}
+
+// MeasureContext is Measure under a context: a cancellation aborts the
+// mine at its next checkpoint and surfaces as Measurement.Err = ctx.Err().
+func MeasureContext(ctx context.Context, algorithm string, db *Database, th Thresholds, opts Options) (Measurement, error) {
 	m, err := algo.NewWith(algorithm, opts)
 	if err != nil {
 		return Measurement{}, err
 	}
-	return eval.Run(m, db, th), nil
+	return eval.Run(ctx, m, db, th), nil
 }
 
 // CompareSets computes precision and recall of an approximate result set

@@ -2,6 +2,7 @@ package umine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -80,7 +81,7 @@ func TestAllAlgorithmsRunThroughFacade(t *testing.T) {
 		if m.Semantics() == Probabilistic {
 			th = Thresholds{MinSup: 0.5, PFT: 0.7}
 		}
-		rs, err := m.Mine(db, th)
+		rs, err := m.Mine(context.Background(), db, th)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
