@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race test-cancel bench smoke-server bench-server ci
+.PHONY: all build fmt vet test race test-cancel test-partition bench smoke-server bench-server ci
 
 all: build
 
@@ -36,6 +36,13 @@ race:
 test-cancel:
 	$(GO) test ./... -run Cancel -race -count=2
 
+## test-partition: the SON partitioned-mining suites under the race detector —
+## bit-identity of partitioned vs single-shot mines for every configuration,
+## phase-1/phase-2 cancellation, the registry's partition capability
+## metadata, and the server's scatter-gather path
+test-partition:
+	$(GO) test -race -count=1 -run 'Partition|Shard|RegistryCapability' ./internal/partition/... ./internal/algo ./internal/server
+
 ## bench: benchmark smoke run — one iteration each, so perf code keeps compiling and running
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -44,9 +51,10 @@ bench:
 smoke-server:
 	sh scripts/smoke_userve.sh
 
-## bench-server: closed-loop load benchmark at 1/8/64 clients; writes BENCH_server.json
+## bench-server: closed-loop load benchmark at 1/8/64 clients; writes
+## BENCH_server.json plus the partitioned cold-mine comparison BENCH_partition.json
 bench-server:
-	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json
+	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet race test-cancel bench smoke-server bench-server
+ci: build fmt vet race test-cancel test-partition bench smoke-server bench-server

@@ -33,6 +33,7 @@ func main() {
 		verbose = flag.Bool("v", false, "verbose per-point notes")
 		format  = flag.String("format", "text", "report format: text, csv")
 		workers = flag.Int("workers", 0, "max goroutines per measured miner (0/1 = serial, the paper's platform; -1 = all CPUs); results are identical at every setting")
+		parts   = flag.Int("partitions", 0, "SON-style partitioned mining over this many database partitions per measured miner (0/1 = single-shot); results are bit-identical at every setting")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	cfg.PointBudget = *budget
 	cfg.Verbose = *verbose
 	cfg.Workers = *workers
+	cfg.Partitions = *parts
 	cfg.Context = ctx
 
 	switch {

@@ -41,6 +41,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print mining statistics (candidates, prunes, scans)")
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		workers  = flag.Int("workers", 0, "max goroutines for any algorithm's parallel phases (0/1 = serial, -1 = all CPUs); results are identical at every setting")
+		parts    = flag.Int("partitions", 0, "SON-style partitioned mine over this many database partitions (0/1 = single-shot); results are bit-identical at every setting")
 	)
 	flag.Parse()
 
@@ -55,6 +56,9 @@ func main() {
 	if (*workers > 1 || *workers < 0) && slices.Contains(umine.Algorithms(), *algoName) && !umine.SupportsWorkers(*algoName) {
 		fmt.Fprintf(os.Stderr, "umine: note: %s has no parallel phase; -workers is ignored and the run is serial\n", *algoName)
 	}
+	if *parts > 1 && slices.Contains(umine.Algorithms(), *algoName) && !umine.SupportsPartitions(*algoName) {
+		fmt.Fprintf(os.Stderr, "umine: note: %s has no partitioned mode; -partitions is ignored and the mine is single-shot\n", *algoName)
+	}
 
 	// SIGINT/SIGTERM cancel the in-flight mine at its next cooperative
 	// checkpoint instead of killing the process mid-write; the Progress
@@ -64,7 +68,7 @@ func main() {
 	defer stop()
 	snap := &progressSnapshot{}
 	meas, err := umine.MeasureContext(ctx, *algoName, db, th,
-		umine.Options{Workers: *workers, Progress: snap.observe})
+		umine.Options{Workers: *workers, Partitions: *parts, Progress: snap.observe})
 	if err == nil {
 		err = meas.Err
 	}

@@ -2,15 +2,16 @@
 // long-lived HTTP server over the platform's dataset registry, result cache
 // and bounded parallel mining pool (see umine/internal/server).
 //
-// Serve mode:
+// Serve mode (-shards K preloads datasets for scatter-gather mining):
 //
-//	userve -addr :8380 -preload gazelle:0.02
+//	userve -addr :8380 -preload gazelle:0.02 -shards 4
 //	curl -s localhost:8380/healthz
 //	curl -s -X POST localhost:8380/mine -d '{"dataset":"gazelle","algorithm":"UApriori","min_esup":0.005}'
 //
-// Load-benchmark mode (writes BENCH_server.json and exits):
+// Load-benchmark mode (writes BENCH_server.json and the partitioned
+// cold-mine comparison BENCH_partition.json, then exits):
 //
-//	userve -loadbench -bench_out BENCH_server.json
+//	userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
 package main
 
 import (
@@ -39,20 +40,29 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "default per-request timeout (0 = none)")
 		preload      = flag.String("preload", "", "comma-separated profiles to register at boot: name[:scale[:seed]] (e.g. gazelle:0.02,connect:0.002)")
 		window       = flag.Int("window", 0, "sliding-window retention (in transactions) for preloaded datasets (0 = unbounded)")
+		shards       = flag.Int("shards", 0, "scatter-gather shard count for preloaded datasets: /mine runs a SON two-phase mine across this many sub-shards, bit-identical to an unsharded mine (0/1 = unsharded)")
 
-		loadbench     = flag.Bool("loadbench", false, "run the closed-loop load benchmark instead of serving, write the report and exit")
-		benchOut      = flag.String("bench_out", "BENCH_server.json", "load benchmark report file")
-		benchProfile  = flag.String("bench_profile", "gazelle", "load benchmark dataset profile")
-		benchScale    = flag.Float64("bench_scale", 0.05, "load benchmark profile scale")
-		benchAlgo     = flag.String("bench_algo", "UApriori", "load benchmark algorithm")
-		benchMinESup  = flag.Float64("bench_min_esup", 0.003, "load benchmark min_esup")
-		benchClients  = flag.String("bench_clients", "1,8,64", "load benchmark concurrency levels")
-		benchRequests = flag.Int("bench_requests", 128, "load benchmark requests per level")
+		loadbench        = flag.Bool("loadbench", false, "run the closed-loop load benchmark instead of serving, write the reports and exit")
+		benchOut         = flag.String("bench_out", "BENCH_server.json", "load benchmark report file")
+		benchPartOut     = flag.String("bench_partition_out", "BENCH_partition.json", "partitioned cold-mine benchmark report file")
+		benchProfile     = flag.String("bench_profile", "gazelle", "load benchmark dataset profile")
+		benchScale       = flag.Float64("bench_scale", 0.05, "load benchmark profile scale")
+		benchAlgo        = flag.String("bench_algo", "UApriori", "load benchmark algorithm")
+		benchMinESup     = flag.Float64("bench_min_esup", 0.003, "load benchmark min_esup")
+		benchClients     = flag.String("bench_clients", "1,8,64", "load benchmark concurrency levels")
+		benchRequests    = flag.Int("bench_requests", 128, "load benchmark requests per level")
+		benchPartition   = flag.String("bench_partitions", "1,4", "partition counts compared by the partition benchmark (the K=1 entry is the single-shot baseline)")
+		benchPartAlgo    = flag.String("bench_partition_algo", "", "partition benchmark algorithm (default DPNB: phase 1 replaces the per-candidate DP verification with cheap partition-local candidate mines)")
+		benchPartProfile = flag.String("bench_partition_profile", "", "partition benchmark dataset profile (default accident, the verification-dominated regime)")
+		benchPartScale   = flag.Float64("bench_partition_scale", 0, "partition benchmark profile scale (default 0.01)")
 	)
 	flag.Parse()
 
 	if *loadbench {
 		if err := runLoadBench(*benchOut, *benchProfile, *benchScale, *benchAlgo, *benchMinESup, *benchClients, *benchRequests, *workers); err != nil {
+			fatal(err)
+		}
+		if err := runPartitionBench(*benchPartOut, *benchPartProfile, *benchPartScale, *benchPartAlgo, *benchPartition, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -64,7 +74,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cacheEntries,
 	})
-	if err := preloadProfiles(srv, *preload, *window); err != nil {
+	if err := preloadProfiles(srv, *preload, *window, *shards); err != nil {
 		fatal(err)
 	}
 
@@ -114,7 +124,7 @@ func main() {
 
 // preloadProfiles registers each name[:scale[:seed]] spec as a dataset under
 // its profile name.
-func preloadProfiles(srv *umine.Server, specs string, window int) error {
+func preloadProfiles(srv *umine.Server, specs string, window, shards int) error {
 	if specs == "" {
 		return nil
 	}
@@ -133,7 +143,7 @@ func preloadProfiles(srv *umine.Server, specs string, window int) error {
 				return fmt.Errorf("userve: bad seed in -preload spec %q", spec)
 			}
 		}
-		var opts umine.RegisterOptions
+		opts := umine.RegisterOptions{Shards: shards}
 		if window > 0 {
 			opts.Window = &umine.WindowOptions{Size: window}
 		}
@@ -163,6 +173,40 @@ func runLoadBench(out, profile string, scale float64, alg string, minESup float6
 		MinESup:   minESup,
 		Levels:    levels,
 		Requests:  requests,
+		Workers:   workers,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("userve: wrote %s\n", out)
+	return nil
+}
+
+// runPartitionBench executes the partitioned cold-mine benchmark (K=1
+// baseline vs partitioned mines) and writes its report.
+func runPartitionBench(out, profile string, scale float64, alg, partitions string, workers int) error {
+	var ks []int
+	for _, f := range strings.Split(partitions, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k <= 0 {
+			return fmt.Errorf("userve: bad -bench_partitions %q", partitions)
+		}
+		ks = append(ks, k)
+	}
+	report, err := umine.RunServerPartitionBench(umine.PartitionBenchConfig{
+		Profile:   profile,
+		Scale:     scale,
+		Algorithm: alg,
+		Ks:        ks,
 		Workers:   workers,
 		Log:       os.Stderr,
 	})

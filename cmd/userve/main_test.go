@@ -8,21 +8,21 @@ import (
 
 func TestPreloadProfiles(t *testing.T) {
 	srv := umine.NewServer(umine.ServerConfig{})
-	if err := preloadProfiles(srv, "gazelle:0.002:7", 0); err != nil {
+	if err := preloadProfiles(srv, "gazelle:0.002:7", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	info, ok := srv.Dataset("gazelle")
 	if !ok || info.NumTrans == 0 {
 		t.Fatalf("preloaded dataset missing: %+v", info)
 	}
-	if err := preloadProfiles(srv, "", 0); err != nil {
+	if err := preloadProfiles(srv, "", 0, 0); err != nil {
 		t.Errorf("empty preload spec: %v", err)
 	}
 }
 
 func TestPreloadProfilesWindowed(t *testing.T) {
 	srv := umine.NewServer(umine.ServerConfig{})
-	if err := preloadProfiles(srv, "gazelle:0.002", 5); err != nil {
+	if err := preloadProfiles(srv, "gazelle:0.002", 5, 0); err != nil {
 		t.Fatal(err)
 	}
 	info, _ := srv.Dataset("gazelle")
@@ -31,10 +31,21 @@ func TestPreloadProfilesWindowed(t *testing.T) {
 	}
 }
 
+func TestPreloadProfilesSharded(t *testing.T) {
+	srv := umine.NewServer(umine.ServerConfig{})
+	if err := preloadProfiles(srv, "gazelle:0.002", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := srv.Dataset("gazelle")
+	if info.Shards != 4 {
+		t.Fatalf("sharded preload: %+v, want 4 shards", info)
+	}
+}
+
 func TestPreloadProfilesErrors(t *testing.T) {
 	srv := umine.NewServer(umine.ServerConfig{})
 	for _, spec := range []string{"nonexistent:0.01", "gazelle:zzz", "gazelle:0.01:zzz"} {
-		if err := preloadProfiles(srv, spec, 0); err == nil {
+		if err := preloadProfiles(srv, spec, 0, 0); err == nil {
 			t.Errorf("preload spec %q accepted", spec)
 		}
 	}

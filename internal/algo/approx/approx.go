@@ -41,10 +41,16 @@ type PDUApriori struct {
 	Workers int
 	// Progress observes the run per level (may be nil).
 	Progress core.ProgressFunc
+	// Restrict confines the run to a candidate superset (phase 2 of the
+	// SON partition engine); see apriori.Config.Restrict. May be nil.
+	Restrict func(core.Itemset) bool
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *PDUApriori) SetWorkers(workers int) { m.Workers = workers }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *PDUApriori) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // SetProgress implements core.ObservableMiner.
 func (m *PDUApriori) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -69,6 +75,7 @@ func (m *PDUApriori) Mine(ctx context.Context, db *core.Database, th core.Thresh
 		Workers:   m.Workers,
 		Name:      m.Name(),
 		Progress:  m.Progress,
+		Restrict:  m.Restrict,
 		// The λ-threshold test is pure, so it may run on the pool.
 		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
@@ -101,10 +108,16 @@ type NDUApriori struct {
 	Workers int
 	// Progress observes the run per level (may be nil).
 	Progress core.ProgressFunc
+	// Restrict confines the run to a candidate superset (phase 2 of the
+	// SON partition engine); see apriori.Config.Restrict. May be nil.
+	Restrict func(core.Itemset) bool
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *NDUApriori) SetWorkers(workers int) { m.Workers = workers }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *NDUApriori) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // SetProgress implements core.ObservableMiner.
 func (m *NDUApriori) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -125,6 +138,7 @@ func (m *NDUApriori) Mine(ctx context.Context, db *core.Database, th core.Thresh
 		Workers:  m.Workers,
 		Name:     m.Name(),
 		Progress: m.Progress,
+		Restrict: m.Restrict,
 		// The Normal-tail test is pure, so it may run on the pool.
 		ParallelDecide: true,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
@@ -158,10 +172,16 @@ type NDUHMine struct {
 	Workers int
 	// Progress observes the run per prefix subtree (may be nil).
 	Progress core.ProgressFunc
+	// Restrict confines the run to a candidate superset (phase 2 of the
+	// SON partition engine); see uhmine.Engine.Restrict. May be nil.
+	Restrict func(core.Itemset) bool
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *NDUHMine) SetWorkers(workers int) { m.Workers = workers }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *NDUHMine) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // SetProgress implements core.ObservableMiner.
 func (m *NDUHMine) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -182,6 +202,7 @@ func (m *NDUHMine) Mine(ctx context.Context, db *core.Database, th core.Threshol
 		Workers:  m.Workers,
 		Name:     m.Name(),
 		Progress: m.Progress,
+		Restrict: m.Restrict,
 		// No esup floor: the Normal tail decides directly. (A frequent
 		// itemset can have esup slightly below msc when its variance is
 		// high, so an msc floor would lose results.)

@@ -44,6 +44,20 @@ type Config struct {
 	Decide func(c *Candidate) (core.Result, bool)
 	// CollectProbs requests the per-transaction probability vectors.
 	CollectProbs bool
+	// Restrict, when non-nil, confines the run to a pre-computed candidate
+	// superset: level-1 items and generated candidates for which Restrict
+	// returns false are dropped *before* the counting pass, so the run pays
+	// (counts, decides, seeds) only for allowed itemsets. Everything allowed
+	// is counted and decided exactly as an unrestricted run counts and
+	// decides it — per-candidate aggregates are independent of which other
+	// candidates share the trie, and the chunk layout depends only on the
+	// database size — so when the allowed set is a superset of the
+	// unrestricted run's accepted itemsets, the restricted run returns a
+	// bit-identical result. This is the counting-pass reuse hook behind the
+	// SON partition engine's phase-2 verification (umine/internal/
+	// partition). Restrict may receive transient itemsets it must not
+	// retain, and is called from the generation loop (never concurrently).
+	Restrict func(core.Itemset) bool
 	// ESupPrune, when positive, drops generated candidates whose expected
 	// support upper bound — the minimum ESup over their k−1 subsets — is
 	// below the given absolute threshold. This is the decremental-style
@@ -89,10 +103,15 @@ func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, cor
 	var stats core.MiningStats
 	var results []core.Result
 
-	// Level 1: every item is a candidate.
-	cands := make([]Candidate, db.NumItems)
-	for i := range cands {
-		cands[i].Items = core.Itemset{core.Item(i)}
+	// Level 1: every item is a candidate (every allowed item, under a
+	// restriction).
+	cands := make([]Candidate, 0, db.NumItems)
+	for i := 0; i < db.NumItems; i++ {
+		items := core.Itemset{core.Item(i)}
+		if cfg.Restrict != nil && !cfg.Restrict(items) {
+			continue
+		}
+		cands = append(cands, Candidate{Items: items})
 	}
 	stats.CandidatesGenerated += len(cands)
 	if err := count(ctx, db, cands, 1, cfg, &stats); err != nil {
@@ -108,7 +127,7 @@ func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, cor
 	cfg.Progress.Emit(cfg.Name, core.PhaseLevel, level, stats)
 
 	for len(frequent) >= 2 {
-		next := generate(frequent, esups, cfg.ESupPrune, &stats)
+		next := generate(frequent, esups, cfg.Restrict, cfg.ESupPrune, &stats)
 		if len(next) == 0 {
 			break
 		}
@@ -197,10 +216,12 @@ func rememberESups(m map[string]float64, cands []Candidate) map[string]float64 {
 
 // generate joins frequent k-itemsets into k+1 candidates (classic
 // F_k ⋈ F_k prefix join) and applies Apriori subset pruning: every k-subset
-// of a candidate must be frequent. With esupPrune > 0, candidates whose
-// subset-minimum expected support falls below the threshold are dropped too
-// (esup is anti-monotone, so min over subsets upper-bounds the candidate).
-func generate(frequent []core.Itemset, esups map[string]float64, esupPrune float64, stats *core.MiningStats) []Candidate {
+// of a candidate must be frequent. Joins outside a non-nil restriction are
+// dropped as if never generated (they are outside the run's search space).
+// With esupPrune > 0, candidates whose subset-minimum expected support
+// falls below the threshold are dropped too (esup is anti-monotone, so min
+// over subsets upper-bounds the candidate).
+func generate(frequent []core.Itemset, esups map[string]float64, restrict func(core.Itemset) bool, esupPrune float64, stats *core.MiningStats) []Candidate {
 	sort.Slice(frequent, func(i, j int) bool { return frequent[i].Compare(frequent[j]) < 0 })
 	freqSet := make(map[string]bool, len(frequent))
 	for _, f := range frequent {
@@ -218,6 +239,9 @@ func generate(frequent []core.Itemset, esups map[string]float64, esupPrune float
 			}
 			copy(buf, a)
 			buf[k] = b[k-1]
+			if restrict != nil && !restrict(buf) {
+				continue
+			}
 			stats.CandidatesGenerated++
 			if !allSubsetsFrequent(buf, freqSet) {
 				stats.CandidatesPruned++

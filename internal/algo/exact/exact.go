@@ -65,10 +65,18 @@ type Miner struct {
 	Workers int
 	// Progress observes the run per level (may be nil).
 	Progress core.ProgressFunc
+	// Restrict confines the run to a candidate superset, turning the
+	// per-candidate DP/DC verification into a pass over just the allowed
+	// itemsets (phase 2 of the SON partition engine); see
+	// apriori.Config.Restrict. May be nil.
+	Restrict func(core.Itemset) bool
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *Miner) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // SetProgress implements core.ObservableMiner.
 func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -105,6 +113,7 @@ func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds)
 		Workers:        m.Workers,
 		ParallelDecide: true,
 		Name:           m.Name(),
+		Restrict:       m.Restrict,
 		Decide: func(c *apriori.Candidate) (core.Result, bool) {
 			if m.Chernoff && prob.ChernoffInfrequent(c.ESup, msc, th.PFT) {
 				chernoffPruned.Add(1)

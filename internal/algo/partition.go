@@ -1,0 +1,119 @@
+// The registry side of the SON partitioned mining engine: per-algorithm
+// phase-1 plans (which expected-support miner generates partition
+// candidates, and under which candidate floor) and the constructor that
+// wires a partition.Engine to the registry. The engine itself
+// (umine/internal/partition) stays free of algorithm knowledge.
+
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"umine/internal/core"
+	"umine/internal/partition"
+)
+
+// partitionPlan returns the phase-1 miner and candidate bound for a
+// registry entry. Expected-support algorithms mine partitions with
+// themselves at their own (relaxed) threshold; probabilistic algorithms —
+// whose frequentness test is not partitionwise decomposable — generate
+// candidates with their family's expected-support engine at the provable
+// esup floor of their acceptance region (see the partition package doc).
+func partitionPlan(e Entry) (phase1 string, bound partition.Bound) {
+	switch e.Family {
+	case ExpectedSupportFamily:
+		return e.Name, partition.BoundESup
+	case ExactFamily:
+		return "UApriori", partition.BoundMarkov
+	default: // ApproxFamily
+		switch e.Name {
+		case "PDUApriori":
+			return "UApriori", partition.BoundPoisson
+		case "NDUH-Mine":
+			return "UH-Mine", partition.BoundNormal
+		default: // NDUApriori
+			return "UApriori", partition.BoundNormal
+		}
+	}
+}
+
+// PartitionPhase1 returns the registry name of the miner that generates
+// phase-1 candidates for the named algorithm in a partitioned mine, and
+// whether the algorithm is partition-capable at all. External orchestrators
+// (the serving layer's shard backend) use it to mine shards themselves.
+func PartitionPhase1(name string) (string, bool) {
+	e, ok := lookup(name)
+	if !ok || !e.Partition {
+		return "", false
+	}
+	p1, _ := partitionPlan(e)
+	return p1, true
+}
+
+// familySemantics maps a registry family to its frequentness definition.
+func familySemantics(f Family) core.Semantics {
+	if f == ExpectedSupportFamily {
+		return core.ExpectedSupport
+	}
+	return core.Probabilistic
+}
+
+// SemanticsOf returns the named algorithm's frequentness semantics from the
+// registry's family metadata — no miner is constructed. Unknown names
+// report ok = false.
+func SemanticsOf(name string) (core.Semantics, bool) {
+	e, ok := lookup(name)
+	if !ok {
+		return core.ExpectedSupport, false
+	}
+	return familySemantics(e.Family), true
+}
+
+// NewPartitionEngine returns the SON two-phase partition engine for the
+// named algorithm, configured from opts (Partitions, Workers, Progress).
+// The engine implements core.Miner; its completed mines are bit-identical
+// to single-shot mines of the algorithm. Callers needing custom shard
+// execution (e.g. the serving layer's scatter-gather) may override the
+// MineShard hook afterwards. Non-partitionable algorithms (MCSampling) and
+// unknown names are errors.
+func NewPartitionEngine(name string, opts core.Options) (*partition.Engine, error) {
+	entry, ok := lookup(name)
+	if !ok {
+		return nil, errUnknown(name)
+	}
+	if !entry.Partition {
+		return nil, fmt.Errorf("algo: %s does not support partitioned mining", name)
+	}
+	p1name, bound := partitionPlan(entry)
+	return &partition.Engine{
+		Algorithm: entry.Name,
+		Sem:       familySemantics(entry.Family),
+		K:         opts.Partitions,
+		Workers:   opts.Workers,
+		Progress:  opts.Progress,
+		Phase1Thresholds: func(th core.Thresholds, n int) (core.Thresholds, error) {
+			return partition.Phase1Thresholds(bound, th, n)
+		},
+		MineShard: func(ctx context.Context, _ int, db *core.Database, th core.Thresholds, workers int) ([]core.Itemset, core.MiningStats, error) {
+			m := MustNewWith(p1name, core.Options{Workers: workers})
+			rs, err := m.Mine(ctx, db, th)
+			if err != nil {
+				return nil, core.MiningStats{}, err
+			}
+			return rs.Itemsets(), rs.Stats, nil
+		},
+		NewPhase2: func(o core.Options, allow func(core.Itemset) bool) (core.Miner, error) {
+			m := entry.New()
+			core.ApplyOptions(m, o)
+			if allow != nil {
+				rm, ok := m.(core.RestrictableMiner)
+				if !ok {
+					return nil, fmt.Errorf("algo: %s is marked partitionable but does not implement core.RestrictableMiner", entry.Name)
+				}
+				rm.SetRestrict(allow)
+			}
+			return m, nil
+		},
+	}, nil
+}

@@ -56,39 +56,64 @@ type Entry struct {
 	// TestRegistryCapabilityMetadata — so capability queries cost a table
 	// scan, not an allocation.
 	Parallel bool
+	// Partition reports whether the miner supports the SON partitioned
+	// two-phase mine of Options.Partitions (implements
+	// core.RestrictableMiner, so the partition engine's phase-2
+	// verification can confine it to the candidate union). MCSampling is
+	// the one exclusion: its sequential possible-world sampling is seeded
+	// per run, so a restricted re-run draws different worlds and
+	// bit-identity to a single-shot mine cannot hold. Cross-checked by
+	// TestRegistryCapabilityMetadata like Parallel.
+	Partition bool
 	// New constructs a fresh miner instance (miners are stateless but kept
 	// per-run for clarity).
 	New func() core.Miner
 }
 
 var registry = []Entry{
-	{"UApriori", ExpectedSupportFamily, true, func() core.Miner { return &uapriori.Miner{} }},
+	{"UApriori", ExpectedSupportFamily, true, true, func() core.Miner { return &uapriori.Miner{} }},
 	// UFP-growth's conditional-tree walk is the one fully serial family.
-	{"UFP-growth", ExpectedSupportFamily, false, func() core.Miner { return &ufpgrowth.Miner{} }},
-	{"UH-Mine", ExpectedSupportFamily, true, func() core.Miner { return &uhmine.Miner{} }},
-	{"DPNB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DP} }},
-	{"DPB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DP, Chernoff: true} }},
-	{"DCNB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DC} }},
-	{"DCB", ExactFamily, true, func() core.Miner { return &exact.Miner{Method: exact.DC, Chernoff: true} }},
-	{"PDUApriori", ApproxFamily, true, func() core.Miner { return &approx.PDUApriori{} }},
-	{"NDUApriori", ApproxFamily, true, func() core.Miner { return &approx.NDUApriori{} }},
-	{"NDUH-Mine", ApproxFamily, true, func() core.Miner { return &approx.NDUHMine{} }},
+	{"UFP-growth", ExpectedSupportFamily, false, true, func() core.Miner { return &ufpgrowth.Miner{} }},
+	{"UH-Mine", ExpectedSupportFamily, true, true, func() core.Miner { return &uhmine.Miner{} }},
+	{"DPNB", ExactFamily, true, true, func() core.Miner { return &exact.Miner{Method: exact.DP} }},
+	{"DPB", ExactFamily, true, true, func() core.Miner { return &exact.Miner{Method: exact.DP, Chernoff: true} }},
+	{"DCNB", ExactFamily, true, true, func() core.Miner { return &exact.Miner{Method: exact.DC} }},
+	{"DCB", ExactFamily, true, true, func() core.Miner { return &exact.Miner{Method: exact.DC, Chernoff: true} }},
+	{"PDUApriori", ApproxFamily, true, true, func() core.Miner { return &approx.PDUApriori{} }},
+	{"NDUApriori", ApproxFamily, true, true, func() core.Miner { return &approx.NDUApriori{} }},
+	{"NDUH-Mine", ApproxFamily, true, true, func() core.Miner { return &approx.NDUHMine{} }},
 	// MCSampling is an extension beyond the paper's eight algorithms: the
 	// possible-world sampling estimator of the paper's reference [11]
-	// (Calders et al., PAKDD 2010). See internal/algo/sampling.
-	{"MCSampling", ApproxFamily, true, func() core.Miner { return &sampling.Miner{} }},
+	// (Calders et al., PAKDD 2010). See internal/algo/sampling. It is the
+	// one non-partitionable configuration (see Entry.Partition).
+	{"MCSampling", ApproxFamily, true, false, func() core.Miner { return &sampling.Miner{} }},
+}
+
+// lookup resolves a registry name to its entry — the single place name
+// resolution happens, shared by every capability query and constructor.
+func lookup(name string) (Entry, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
 }
 
 // SupportsWorkers reports whether the named algorithm has a parallel phase
 // controlled by Options.Workers, from the registry's capability metadata
 // (no miner is constructed). Unknown names report false.
 func SupportsWorkers(name string) bool {
-	for _, e := range registry {
-		if e.Name == name {
-			return e.Parallel
-		}
-	}
-	return false
+	e, ok := lookup(name)
+	return ok && e.Parallel
+}
+
+// SupportsPartitions reports whether the named algorithm supports the SON
+// partitioned two-phase mine of Options.Partitions, from the registry's
+// capability metadata. Unknown names report false.
+func SupportsPartitions(name string) bool {
+	e, ok := lookup(name)
+	return ok && e.Partition
 }
 
 // New returns a fresh miner by registry name, configured for serial
@@ -99,17 +124,26 @@ func New(name string) (core.Miner, error) {
 
 // NewWith returns a fresh miner by registry name with the cross-cutting
 // execution options applied. Options a miner does not support (e.g. Workers
-// on a purely serial miner) are ignored — every miner returns an identical
-// ResultSet for every Options value.
+// on a purely serial miner, Partitions on MCSampling) are ignored — every
+// miner returns an identical ResultSet for every Options value. With
+// Partitions > 1 on a partition-capable algorithm the returned miner is the
+// SON two-phase engine wrapping it (see umine/internal/partition).
 func NewWith(name string, opts core.Options) (core.Miner, error) {
-	for _, e := range registry {
-		if e.Name == name {
-			m := e.New()
-			core.ApplyOptions(m, opts)
-			return m, nil
-		}
+	e, ok := lookup(name)
+	if !ok {
+		return nil, errUnknown(name)
 	}
-	return nil, fmt.Errorf("algo: unknown algorithm %q (known: %v)", name, Names())
+	if opts.Partitions > 1 && e.Partition {
+		return NewPartitionEngine(name, opts)
+	}
+	m := e.New()
+	core.ApplyOptions(m, opts)
+	return m, nil
+}
+
+// errUnknown is the uniform unknown-algorithm error.
+func errUnknown(name string) error {
+	return fmt.Errorf("algo: unknown algorithm %q (known: %v)", name, Names())
 }
 
 // MustNew is New panicking on unknown names; for tables of experiments.

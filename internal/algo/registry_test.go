@@ -24,8 +24,44 @@ func TestRegistryCapabilityMetadata(t *testing.T) {
 		if _, ok := m.(core.ObservableMiner); !ok {
 			t.Errorf("%s: does not implement core.ObservableMiner", e.Name)
 		}
+		// Partition capability requires the phase-2 restriction hook, and a
+		// valid phase-1 plan must exist exactly for the capable entries.
+		_, isRestrictable := m.(core.RestrictableMiner)
+		if e.Partition && !isRestrictable {
+			t.Errorf("%s: registry declares Partition=true but the miner does not implement core.RestrictableMiner", e.Name)
+		}
+		if got := SupportsPartitions(e.Name); got != e.Partition {
+			t.Errorf("SupportsPartitions(%q) = %v, want %v", e.Name, got, e.Partition)
+		}
+		p1, ok := PartitionPhase1(e.Name)
+		if ok != e.Partition {
+			t.Errorf("PartitionPhase1(%q) ok=%v, want %v", e.Name, ok, e.Partition)
+		}
+		if sem, semOK := SemanticsOf(e.Name); !semOK || sem != m.Semantics() {
+			t.Errorf("SemanticsOf(%q) = (%v, %v), want (%v, true)", e.Name, sem, semOK, m.Semantics())
+		}
+		if ok {
+			m1, err := New(p1)
+			if err != nil {
+				t.Errorf("PartitionPhase1(%q) = %q: %v", e.Name, p1, err)
+			} else if m1.Semantics() != core.ExpectedSupport {
+				t.Errorf("PartitionPhase1(%q) = %q answers %v; phase-1 candidate mines must be expected-support",
+					e.Name, p1, m1.Semantics())
+			}
+		}
 	}
 	if SupportsWorkers("NoSuchMiner") {
 		t.Error("SupportsWorkers on an unknown name must report false")
+	}
+	if SupportsPartitions("NoSuchMiner") {
+		t.Error("SupportsPartitions on an unknown name must report false")
+	}
+	if _, err := NewPartitionEngine("MCSampling", core.Options{Partitions: 2}); err == nil {
+		t.Error("NewPartitionEngine(MCSampling) must fail (non-partitionable)")
+	}
+	// NewWith quietly ignores Partitions on a non-partitionable algorithm,
+	// like every other unsupported knob.
+	if m, err := NewWith("MCSampling", core.Options{Partitions: 4}); err != nil || m.Name() != "MCSampling" {
+		t.Errorf("NewWith(MCSampling, Partitions=4) = (%v, %v), want the plain miner", m, err)
 	}
 }

@@ -31,10 +31,16 @@ type Miner struct {
 	Workers int
 	// Progress observes the run per level (may be nil).
 	Progress core.ProgressFunc
+	// Restrict confines the run to a candidate superset (phase 2 of the
+	// SON partition engine); see apriori.Config.Restrict. May be nil.
+	Restrict func(core.Itemset) bool
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *Miner) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // SetProgress implements core.ObservableMiner.
 func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -67,6 +73,7 @@ func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds)
 	cfg.Workers = m.Workers
 	cfg.Name = m.Name()
 	cfg.Progress = m.Progress
+	cfg.Restrict = m.Restrict
 	results, stats, err := apriori.Run(ctx, db, cfg)
 	if err != nil {
 		return nil, err

@@ -43,10 +43,24 @@ type Miner struct {
 	// Progress observes the run per top-level conditional subtree (may be
 	// nil).
 	Progress core.ProgressFunc
+	// Restrict, when non-nil, confines the conditional-tree walk to a
+	// pre-computed candidate superset: extensions for which it returns
+	// false are neither reported nor descended into, so the recursion
+	// materializes conditional trees only under allowed prefixes. The
+	// global UFP-tree and every header-chain aggregation are built exactly
+	// as an unrestricted run builds them, so when the allowed set is a
+	// superset of the unrestricted result the restricted run is
+	// bit-identical (the SON partition engine's phase-2 hook,
+	// umine/internal/partition). May receive transient itemsets it must
+	// not retain.
+	Restrict func(core.Itemset) bool
 }
 
 // SetProgress implements core.ObservableMiner.
 func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *Miner) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // Name implements core.Miner.
 func (m *Miner) Name() string {
@@ -195,6 +209,7 @@ func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds)
 		done:     ctx.Done(),
 		name:     m.Name(),
 		progress: m.Progress,
+		restrict: m.Restrict,
 	}
 	st.mine(t, nil, liveBytes)
 	if st.canceled {
@@ -223,6 +238,7 @@ type mineState struct {
 	stats    *core.MiningStats
 	name     string
 	progress core.ProgressFunc
+	restrict func(core.Itemset) bool
 	// done is the run context's cancellation channel (nil when the context
 	// cannot be canceled); canceled invalidates the partial results.
 	done     <-chan struct{}
@@ -248,6 +264,20 @@ func (st *mineState) mine(tr *tree, prefix []core.Item, liveBytes int64) {
 		if head == nil {
 			continue
 		}
+		// Disallowed extensions skip before the header-chain walk: under a
+		// restriction that aggregation is the cost being saved, and (like
+		// the other families) a disallowed extension counts as never
+		// generated. The unrestricted path builds the itemset only for
+		// frequent extensions, as the serial platform always did.
+		var ext []core.Item
+		var itemset core.Itemset
+		if st.restrict != nil {
+			ext = append(prefix, st.items[r])
+			itemset = core.NewItemset(ext...)
+			if !st.restrict(itemset) {
+				continue
+			}
+		}
 		// Aggregate the extension's expected support and Σp² over the
 		// header chain: each chain node contributes weight·prob and
 		// weightSq·prob².
@@ -260,9 +290,12 @@ func (st *mineState) mine(tr *tree, prefix []core.Item, liveBytes int64) {
 		if esum < st.minCount-core.Eps {
 			continue
 		}
-		ext := append(prefix, st.items[r])
+		if itemset == nil {
+			ext = append(prefix, st.items[r])
+			itemset = core.NewItemset(ext...)
+		}
 		st.results = append(st.results, core.Result{
-			Itemset: core.NewItemset(ext...),
+			Itemset: itemset,
 			ESup:    esum,
 			Var:     esum - esq, // Σp(1−p) = Σp − Σp²
 		})

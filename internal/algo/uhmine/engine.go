@@ -68,6 +68,17 @@ type Engine struct {
 	// identical for every worker count: each subtree's computation is
 	// untouched, only who executes it changes.
 	Workers int
+	// Restrict, when non-nil, confines the search to a pre-computed
+	// candidate superset: items and prefix extensions for which it returns
+	// false are neither reported nor descended into (nor kept in the
+	// UH-Struct, for singletons) — exactly as if Decide had rejected them.
+	// Everything allowed is aggregated with the engine's ordinary head-table
+	// arithmetic, so when the allowed set is a superset of the unrestricted
+	// run's accepted itemsets the restricted run is bit-identical. This is
+	// the SON partition engine's phase-2 hook (umine/internal/partition).
+	// Called concurrently from the fan-out when Workers > 1; it may receive
+	// transient itemsets it must not retain.
+	Restrict func(core.Itemset) bool
 	// Name labels ProgressEvents with the mounting miner's registry name
 	// (UH-Mine and NDUH-Mine share the engine).
 	Name string
@@ -100,6 +111,9 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database) ([]core.Result, co
 	var kept []core.Item
 	var results []core.Result
 	for _, it := range order {
+		if e.Restrict != nil && !e.Restrict(core.Itemset{it}) {
+			continue
+		}
 		stats.CandidatesGenerated++
 		res, ok := e.Decide(core.Itemset{it}, esup[it], varsup[it])
 		if ok {
@@ -274,9 +288,12 @@ func (m *mineState) mine(prefix []core.Item, occs []occ, baseBytes int64) {
 		}
 		r, e, v := ea.rank, ea.esup, ea.varsup
 
-		m.stats.CandidatesGenerated++
 		ext := append(prefix, m.items[r]) //nolint:gocritic // copied by NewItemset below
 		itemset := core.NewItemset(ext...)
+		if m.engine.Restrict != nil && !m.engine.Restrict(itemset) {
+			continue
+		}
+		m.stats.CandidatesGenerated++
 		res, ok := m.engine.Decide(itemset, e, v)
 		if !ok {
 			continue

@@ -16,10 +16,16 @@ type Miner struct {
 	Workers int
 	// Progress observes the run per prefix subtree (may be nil).
 	Progress core.ProgressFunc
+	// Restrict confines the run to a candidate superset (phase 2 of the
+	// SON partition engine); see Engine.Restrict. May be nil.
+	Restrict func(core.Itemset) bool
 }
 
 // SetWorkers implements core.ParallelMiner.
 func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetRestrict implements core.RestrictableMiner.
+func (m *Miner) SetRestrict(allow func(core.Itemset) bool) { m.Restrict = allow }
 
 // SetProgress implements core.ObservableMiner.
 func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -41,6 +47,7 @@ func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds)
 		Workers:   m.Workers,
 		Name:      m.Name(),
 		Progress:  m.Progress,
+		Restrict:  m.Restrict,
 		Decide: func(items core.Itemset, esup, varsup float64) (core.Result, bool) {
 			if esup >= minCount-core.Eps {
 				return core.Result{Itemset: items, ESup: esup, Var: varsup}, true

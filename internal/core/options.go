@@ -11,6 +11,22 @@ type Options struct {
 	// ResultSet for every Workers value (shard decompositions depend only on
 	// the input, and shard merges happen in canonical order).
 	Workers int
+	// Partitions splits the mine into a SON-style two-phase run over this
+	// many horizontal database partitions: phase 1 mines each partition
+	// independently at the partition-relative candidate threshold, phase 2
+	// verifies the unioned candidates against the full database with the
+	// target algorithm's own counting machinery (see umine/internal/
+	// partition). 0 or 1 means the ordinary single-shot mine.
+	//
+	// Partitioning is a construction-time knob: it is honored by the
+	// registry constructors (algo.NewWith and the public NewMinerWith),
+	// which wrap the target miner in the partition engine. ApplyOptions
+	// cannot retrofit it onto an already-built miner and ignores it, like
+	// any other unsupported knob. Partition boundaries depend only on the
+	// database size and the partition count — never on Workers — and the
+	// merged result is bit-identical to a single-shot mine at every
+	// Partitions and Workers value.
+	Partitions int
 	// Progress, when non-nil, observes the run as it executes: miners emit
 	// ProgressEvents at their cooperative checkpoints (level boundaries,
 	// prefix-subtree completions) carrying the work counters accumulated so
@@ -26,6 +42,26 @@ type ParallelMiner interface {
 	Miner
 	// SetWorkers installs the Options.Workers knob.
 	SetWorkers(workers int)
+}
+
+// RestrictableMiner is implemented by miners whose search can be confined
+// to a pre-computed candidate superset. With a restriction installed the
+// miner never reports — and never descends into, counts or verifies — an
+// itemset for which allow returns false; everything the restriction admits
+// is computed exactly as an unrestricted run would compute it, so when the
+// allowed set is a superset of the run's true result the restricted run is
+// bit-identical to the unrestricted one while paying only for the allowed
+// candidates. This is the hook behind phase 2 of the SON partition engine
+// (umine/internal/partition).
+//
+// The allow function may be called concurrently from worker goroutines when
+// Workers permits parallel execution, and may receive transient itemsets it
+// must not retain. nil removes the restriction.
+type RestrictableMiner interface {
+	Miner
+	// SetRestrict installs (or, with nil, removes) the candidate
+	// restriction.
+	SetRestrict(allow func(Itemset) bool)
 }
 
 // ObservableMiner is implemented by miners that stream ProgressEvents

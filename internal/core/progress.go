@@ -17,6 +17,11 @@ const (
 	// PhaseSubtree is one depth-first prefix subtree completing (UH-Mine
 	// first-level fan-out, UFP-growth top-level header items).
 	PhaseSubtree ProgressPhase = "subtree"
+	// PhasePartition is one database partition completing its independent
+	// phase-1 mine inside a SON-style partitioned run (see
+	// umine/internal/partition). Level carries the 1-based partition
+	// ordinal and Stats the completed partition's own work counters.
+	PhasePartition ProgressPhase = "partition"
 	// PhaseDone is the final event of a completed (uncanceled) run, with
 	// the run's total counters.
 	PhaseDone ProgressPhase = "done"

@@ -48,7 +48,10 @@ const memSampleInterval = 200 * time.Microsecond
 // as Measurement.Err (= ctx.Err()). Optional Options are applied to the
 // miner best-effort before mining (miners without the corresponding knob run
 // serially and unchanged); results are identical for every Workers value, so
-// options only affect Elapsed and the heap measurements.
+// options only affect Elapsed and the heap measurements. Options.Partitions
+// is a construction-time knob the registry applies (algo.NewWith wraps the
+// miner in the SON partition engine) — pass a pre-built partitioned miner
+// here to measure partitioned runs; ApplyOptions cannot retrofit it.
 func Run(ctx context.Context, m core.Miner, db *core.Database, th core.Thresholds, opts ...core.Options) Measurement {
 	for _, o := range opts {
 		core.ApplyOptions(m, o)

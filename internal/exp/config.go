@@ -3,6 +3,8 @@ package exp
 import (
 	"context"
 	"time"
+
+	"umine/internal/core"
 )
 
 // Config controls how experiments run: dataset scale, random seed, and the
@@ -29,11 +31,27 @@ type Config struct {
 	// fast as the host allows. The ablation-parallel experiment ignores it
 	// and sweeps worker counts itself.
 	Workers int
+	// Partitions runs every measured mine as a SON-style partitioned
+	// two-phase mine over this many database partitions (0/1 = single
+	// shot). Results are bit-identical at every value — like Workers, the
+	// knob changes only wall clock and memory shape, so reproductions stay
+	// faithful. MCSampling ignores it (no partitioned mode), and — like
+	// Workers — the ablation experiments ignore it: they construct their
+	// miners directly to isolate the effect they sweep.
+	Partitions int
 	// Context, when non-nil, bounds every measured mining run: canceling it
 	// (e.g. from a CLI signal handler) aborts the in-flight mine at its
 	// next cooperative checkpoint and the sweep reports the cancellation as
 	// that measurement's error. Nil means context.Background().
 	Context context.Context
+}
+
+// minerOptions bundles the construction-time execution knobs for measured
+// miners. Partitions must be applied at construction (the registry wraps
+// the miner in the partition engine), which is why runners build miners
+// with NewWith instead of applying Options post-hoc through eval.Run.
+func (cfg Config) minerOptions() core.Options {
+	return core.Options{Workers: cfg.Workers, Partitions: cfg.Partitions}
 }
 
 // ctx resolves the configured context.

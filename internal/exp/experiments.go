@@ -468,8 +468,8 @@ func runTable10(cfg Config) *Report {
 		}
 	}
 	for j, name := range table10Algos {
-		md := eval.Run(cfg.ctx(), algo.MustNew(name), dense, denseTh, core.Options{Workers: cfg.Workers})
-		ms := eval.Run(cfg.ctx(), algo.MustNew(name), sparse, sparseTh, core.Options{Workers: cfg.Workers})
+		md := eval.Run(cfg.ctx(), algo.MustNewWith(name, cfg.minerOptions()), dense, denseTh)
+		ms := eval.Run(cfg.ctx(), algo.MustNewWith(name, cfg.minerOptions()), sparse, sparseTh)
 		if md.Err == nil {
 			r.Cells[0][j] = md.Elapsed.Seconds()
 			r.Cells[2][j] = float64(md.PeakHeapBytes) / (1 << 20)

@@ -49,7 +49,7 @@ func runSweep(cfg Config, id, title, xlabel string, algos []string, points []Poi
 			if skipped[name] {
 				continue
 			}
-			m := eval.Run(cfg.ctx(), algo.MustNew(name), pt.DB, pt.Th, core.Options{Workers: cfg.Workers})
+			m := eval.Run(cfg.ctx(), algo.MustNewWith(name, cfg.minerOptions()), pt.DB, pt.Th)
 			if m.Err != nil {
 				r.Notes = append(r.Notes, fmt.Sprintf("%s at %s=%s: %v", name, xlabel, pt.Label, m.Err))
 				skipped[name] = true
@@ -94,13 +94,13 @@ func runAccuracy(cfg Config, id, title, xlabel string, approxAlgos []string, exa
 		for c := range r.Cells[i] {
 			r.Cells[i][c] = math.NaN()
 		}
-		ref := eval.Run(cfg.ctx(), algo.MustNew(exactAlgo), pt.DB, pt.Th, core.Options{Workers: cfg.Workers})
+		ref := eval.Run(cfg.ctx(), algo.MustNewWith(exactAlgo, cfg.minerOptions()), pt.DB, pt.Th)
 		if ref.Err != nil {
 			r.Notes = append(r.Notes, fmt.Sprintf("exact reference %s at %s: %v", exactAlgo, pt.Label, ref.Err))
 			continue
 		}
 		for j, name := range approxAlgos {
-			m := eval.Run(cfg.ctx(), algo.MustNew(name), pt.DB, pt.Th, core.Options{Workers: cfg.Workers})
+			m := eval.Run(cfg.ctx(), algo.MustNewWith(name, cfg.minerOptions()), pt.DB, pt.Th)
 			if m.Err != nil {
 				r.Notes = append(r.Notes, fmt.Sprintf("%s at %s: %v", name, pt.Label, m.Err))
 				continue

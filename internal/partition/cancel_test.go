@@ -1,0 +1,160 @@
+package partition_test
+
+// Cancellation contract of the partitioned engine: a cancel landing during
+// phase 1 (triggered from a PhasePartition event, so provably mid-fan-out)
+// or during phase 2 (triggered from the verification miner's first level
+// event) aborts the run with ctx.Err() and leaks no goroutines — the
+// partition fan-out stops dispatching and drains, and the phase-2 miner
+// inherits the families' ordinary cooperative checkpoints.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/core/coretest"
+)
+
+// cancelDB is large enough that every configuration passes several
+// checkpoints per phase (multiple partitions, multiple phase-2 levels).
+func cancelDB() *core.Database {
+	return coretest.RandomDB(rand.New(rand.NewSource(77)), 800, 12, 0.6)
+}
+
+func cancelThresholds(sem core.Semantics) core.Thresholds {
+	if sem == core.ExpectedSupport {
+		return core.Thresholds{MinESup: 0.02}
+	}
+	return core.Thresholds{MinSup: 0.05, PFT: 0.5}
+}
+
+// mineCanceledAt runs a partitioned mine canceling at the first progress
+// event matching the phase, returning the mine error.
+func mineCanceledAt(t *testing.T, name string, db *core.Database, phase core.ProgressPhase, workers int) error {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := algo.NewWith(name, core.Options{
+		Partitions: 4,
+		Workers:    workers,
+		Progress: func(ev core.ProgressEvent) {
+			if ev.Phase == phase {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.Mine(ctx, db, cancelThresholds(m.Semantics()))
+	if err == nil {
+		t.Fatalf("%s: mine canceled at %s completed anyway (results=%d)", name, phase, rs.Len())
+	}
+	return err
+}
+
+func TestPartitionCancelMidPhase1(t *testing.T) {
+	db := cancelDB()
+	for _, name := range []string{"UApriori", "UFP-growth", "UH-Mine", "DPB", "NDUH-Mine"} {
+		for _, workers := range []int{1, 4} {
+			// The first PhasePartition event fires while sibling partitions
+			// are still queued or mining: the cancel lands mid-phase-1.
+			err := mineCanceledAt(t, name, db, core.PhasePartition, workers)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: phase-1 cancel: err=%v, want context.Canceled", name, workers, err)
+			}
+		}
+	}
+}
+
+func TestPartitionCancelMidPhase2(t *testing.T) {
+	db := cancelDB()
+	for _, name := range []string{"UApriori", "DPNB", "NDUApriori"} {
+		for _, workers := range []int{1, 4} {
+			// PhaseLevel events come only from the phase-2 verification
+			// miner (phase-1 partition mines surface as PhasePartition), so
+			// the cancel provably lands mid-phase-2.
+			err := mineCanceledAt(t, name, db, core.PhaseLevel, workers)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: phase-2 cancel: err=%v, want context.Canceled", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestPartitionShardErrorFailsFast: one failing shard surfaces its own
+// error and cancels the remaining fan-out instead of mining every sibling
+// first (a serial fan-out stops after the failing shard).
+func TestPartitionShardErrorFailsFast(t *testing.T) {
+	db := cancelDB()
+	eng, err := algo.NewPartitionEngine("UApriori", core.Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("shard down")
+	var calls atomic.Int32
+	eng.MineShard = func(ctx context.Context, shard int, db *core.Database, th core.Thresholds, workers int) ([]core.Itemset, core.MiningStats, error) {
+		calls.Add(1)
+		return nil, core.MiningStats{}, boom
+	}
+	if _, err := eng.Mine(context.Background(), db, core.Thresholds{MinESup: 0.1}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the shard's own error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("failing serial fan-out mined %d shards, want 1 (fail fast)", got)
+	}
+}
+
+func TestPartitionCancelPreCanceled(t *testing.T) {
+	db := cancelDB()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := algo.NewWith("UApriori", core.Options{Partitions: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mine(ctx, db, core.Thresholds{MinESup: 0.02}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: err=%v, want context.Canceled", err)
+	}
+}
+
+func TestPartitionCancelNoGoroutineLeak(t *testing.T) {
+	db := cancelDB()
+	before := runtime.NumGoroutine()
+	for _, tc := range []struct {
+		name string
+		// phase2 is a progress phase only the phase-2 miner emits (the
+		// pattern-growth families report subtrees, not levels).
+		phase2 core.ProgressPhase
+	}{
+		{"UApriori", core.PhaseLevel},
+		{"UH-Mine", core.PhaseSubtree},
+		{"DCB", core.PhaseLevel},
+		{"UFP-growth", core.PhaseSubtree},
+	} {
+		for _, phase := range []core.ProgressPhase{core.PhasePartition, tc.phase2} {
+			if err := mineCanceledAt(t, tc.name, db, phase, 4); !errors.Is(err, context.Canceled) {
+				t.Errorf("%s canceled at %s: err=%v", tc.name, phase, err)
+			}
+		}
+	}
+	// Fan-out and phase-2 pools drain synchronously before Mine returns;
+	// the retry loop only absorbs runtime bookkeeping goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after canceled partitioned mines: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"umine/internal/core"
+	"umine/internal/prob"
+)
+
+func TestBoundariesCoverDisjointFixed(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 7}, {5, 2}, {10, 3}, {10, 7}, {10, 20},
+		{1000, 4}, {1001, 4}, {1024, 7},
+	} {
+		rs := Boundaries(tc.n, tc.k)
+		if len(rs) != max(tc.k, 1) {
+			t.Fatalf("Boundaries(%d,%d): got %d ranges, want %d", tc.n, tc.k, len(rs), tc.k)
+		}
+		covered := 0
+		prev := 0
+		for i, r := range rs {
+			if r.Lo != prev {
+				t.Fatalf("Boundaries(%d,%d): range %d starts at %d, want %d (contiguous)", tc.n, tc.k, i, r.Lo, prev)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("Boundaries(%d,%d): range %d inverted: %+v", tc.n, tc.k, i, r)
+			}
+			covered += r.Len()
+			prev = r.Hi
+		}
+		if covered != tc.n || prev != tc.n {
+			t.Fatalf("Boundaries(%d,%d): covers %d ending at %d, want %d", tc.n, tc.k, covered, prev, tc.n)
+		}
+		// Fixed-size chunking: every non-terminal, non-empty range has size
+		// ⌈n/k⌉ — the layout is a function of (n, k) alone (the Workers
+		// independence the engine's determinism rests on).
+		if tc.n > 0 {
+			size := (tc.n + tc.k - 1) / tc.k
+			for i, r := range rs {
+				if r.Len() != 0 && r.Hi != tc.n && r.Len() != size {
+					t.Fatalf("Boundaries(%d,%d): range %d has size %d, want fixed %d", tc.n, tc.k, i, r.Len(), size)
+				}
+			}
+		}
+	}
+}
+
+func TestCandidateSet(t *testing.T) {
+	s := NewCandidateSet()
+	a := core.NewItemset(1, 3)
+	b := core.NewItemset(2)
+	s.Add(a, b, a.Clone())
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicates collapse)", s.Len())
+	}
+	if !s.Contains(core.NewItemset(3, 1)) || !s.Contains(b) || s.Contains(core.NewItemset(1)) {
+		t.Fatalf("Contains wrong: %v", s.Itemsets())
+	}
+	sets := s.Itemsets()
+	if len(sets) != 2 || sets[0].Compare(sets[1]) >= 0 {
+		t.Fatalf("Itemsets not canonical: %v", sets)
+	}
+}
+
+// TestPhase1ThresholdsFloors checks, per bound, that the derived phase-1
+// threshold is a valid expected-support threshold strictly below the
+// candidate floor it relaxes (so no acceptable itemset can be missed) yet
+// within the slack of it (so phase 1 does not over-generate wildly).
+func TestPhase1ThresholdsFloors(t *testing.T) {
+	const n = 1000
+	cases := []struct {
+		bound Bound
+		th    core.Thresholds
+		floor float64 // the exact acceptance-region esup infimum
+	}{
+		{BoundESup, core.Thresholds{MinESup: 0.2}, 0.2 * n},
+		{BoundMarkov, core.Thresholds{MinSup: 0.3, PFT: 0.9}, 0.9 * 300},
+		{BoundPoisson, core.Thresholds{MinSup: 0.3, PFT: 0.9}, prob.InversePoissonLambda(300, 0.9)},
+	}
+	for _, tc := range cases {
+		th1, err := Phase1Thresholds(tc.bound, tc.th, n)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.bound, err)
+		}
+		if err := th1.Validate(core.ExpectedSupport); err != nil {
+			t.Fatalf("%v: derived thresholds invalid: %v", tc.bound, err)
+		}
+		got := th1.MinESupCount(n)
+		if got >= tc.floor {
+			t.Errorf("%v: relaxed floor %v not below exact floor %v", tc.bound, got, tc.floor)
+		}
+		if got < tc.floor*(1-10*phase1Slack)-1 {
+			t.Errorf("%v: relaxed floor %v far below exact floor %v (over-relaxed)", tc.bound, got, tc.floor)
+		}
+	}
+}
+
+// TestNormalFloorIsLowerBound verifies the BoundNormal inversion: no
+// (esup, var ≤ esup) pair with esup below the floor passes the Normal-tail
+// acceptance test.
+func TestNormalFloorIsLowerBound(t *testing.T) {
+	for _, msc := range []int{1, 2, 5, 40, 300} {
+		for _, pft := range []float64{0.01, 0.3, 0.5, 0.9, 0.99} {
+			floor := normalESupFloor(msc, pft)
+			if floor < 0 || floor > float64(msc)-0.5+1e-9 {
+				t.Fatalf("msc=%d pft=%v: floor %v outside [0, msc-0.5]", msc, pft, floor)
+			}
+			// Sample esup below the floor and var in [0, esup]: the tail
+			// must stay ≤ pft everywhere (acceptance requires > pft).
+			for i := 0; i < 50; i++ {
+				e := floor * float64(i) / 50 * (1 - 1e-9)
+				for j := 0; j <= 4; j++ {
+					v := e * float64(j) / 4
+					if fp := prob.NormalFreqProb(e, v, msc); fp > pft {
+						t.Fatalf("msc=%d pft=%v: esup=%v var=%v below floor %v but tail %v > pft",
+							msc, pft, e, v, floor, fp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPhase1ThresholdsDegenerate(t *testing.T) {
+	// msc = 1 under BoundMarkov with tiny pft: the floor collapses toward
+	// zero; the ratio must still be a valid (0,1] threshold.
+	th1, err := Phase1Thresholds(BoundMarkov, core.Thresholds{MinSup: 1e-9, PFT: 1e-9}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th1.Validate(core.ExpectedSupport); err != nil {
+		t.Fatalf("degenerate thresholds invalid: %v", err)
+	}
+	if _, err := Phase1Thresholds(BoundESup, core.Thresholds{MinESup: 0.5}, 0); err == nil {
+		t.Fatal("empty database: want error")
+	}
+	if math.IsNaN(th1.MinESup) {
+		t.Fatal("NaN ratio")
+	}
+}

@@ -92,6 +92,10 @@ type registerRequest struct {
 	// Text is an inline database in the item:prob format (one transaction
 	// per line).
 	Text string `json:"text,omitempty"`
+	// Shards > 1 registers the dataset for scatter-gather mining: /mine
+	// runs the SON two-phase decomposition across this many sub-shards,
+	// bit-identical to an unsharded mine (see RegisterOptions.Shards).
+	Shards int `json:"shards,omitempty"`
 	// WindowSize > 0 bounds retention to a sliding window; RefreshEvery and
 	// RefreshAlgorithm optionally enable periodic re-discovery over it, at
 	// the window thresholds below (which must fit the refresh algorithm's
@@ -114,7 +118,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset name"))
 		return
 	}
-	var opts RegisterOptions
+	opts := RegisterOptions{Shards: req.Shards}
 	if req.WindowSize > 0 {
 		wo := &WindowOptions{
 			Size:             req.WindowSize,

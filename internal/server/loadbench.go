@@ -17,6 +17,7 @@ import (
 	"umine/internal/core"
 	"umine/internal/dataset"
 	"umine/internal/eval"
+	"umine/internal/partition"
 )
 
 // The closed-loop load benchmark behind `userve -loadbench`: a fresh server
@@ -214,6 +215,249 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 	if len(report.Levels) > 0 && report.Levels[0].Hot.P50MS > 0 {
 		report.CacheSpeedupP50 = report.Levels[0].Cold.P50MS / report.Levels[0].Hot.P50MS
 		fmt.Fprintf(cfg.Log, "loadbench: cache-hit p50 speedup over cold mine: %.1f×\n", report.CacheSpeedupP50)
+	}
+	return report, nil
+}
+
+// PartitionBenchConfig parameterizes RunPartitionBench. Zero fields take
+// defaults; Ks defaults to {1, 4} and Runs to 5.
+type PartitionBenchConfig struct {
+	Profile string
+	Scale   float64
+	Seed    int64
+	// Algorithm defaults to DPNB — the unpruned exact miner, where the SON
+	// decomposition pays even single-threaded: phase 1 runs cheap
+	// expected-support candidate mines over the partitions while the K = 1
+	// baseline pays the full per-candidate O(N·msc) DP verification for
+	// every Apriori candidate.
+	Algorithm string
+	// MinESup / MinSup / PFT parameterize the benchmark query; whichever
+	// matches the algorithm's semantics applies (defaults: 0.2 / 0.2 @
+	// pft 0.7 on the accident profile).
+	MinESup float64
+	MinSup  float64
+	PFT     float64
+	// Ks are the partition counts to compare; K = 1 is the single-shot
+	// baseline.
+	Ks []int
+	// Runs is the number of cold mines per K (odd keeps the p50 exact).
+	Runs int
+	// Workers is the mining parallelism (default -1 = GOMAXPROCS: the
+	// partition fan-out is the point of the comparison).
+	Workers int
+	Log     io.Writer
+}
+
+func (c *PartitionBenchConfig) fillDefaults() {
+	if c.Profile == "" {
+		// The dense accident profile: per-candidate exact verification is
+		// the dominant cost there (the paper's Figure 5 regime), which is
+		// the work the SON decomposition amortizes.
+		c.Profile = "accident"
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "DPNB"
+	}
+	if c.MinESup == 0 {
+		c.MinESup = 0.2
+	}
+	if c.MinSup == 0 {
+		c.MinSup = 0.2
+	}
+	if c.PFT == 0 {
+		c.PFT = 0.7
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{1, 4}
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = -1
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+}
+
+// PartitionBenchLevel is one K's cold-mine profile: p50 of the total mine
+// and of the phases (for K = 1 the whole single-shot mine counts as phase
+// 1 — it is the work the fan-out decomposes).
+type PartitionBenchLevel struct {
+	K           int     `json:"k"`
+	Runs        int     `json:"runs"`
+	ColdP50MS   float64 `json:"cold_p50_ms"`
+	Phase1P50MS float64 `json:"phase1_p50_ms"`
+	Phase2P50MS float64 `json:"phase2_p50_ms"`
+	MergeP50MS  float64 `json:"merge_p50_ms"`
+	// Candidates is the phase-2 candidate-union size of the last run
+	// (identical across runs: the decomposition is deterministic).
+	Candidates int `json:"candidates,omitempty"`
+}
+
+// PartitionBenchReport is the BENCH_partition.json document: the K = 1
+// single-shot baseline against partitioned cold mines.
+type PartitionBenchReport struct {
+	Benchmark   string                `json:"benchmark"`
+	Profile     string                `json:"profile"`
+	Scale       float64               `json:"scale"`
+	Seed        int64                 `json:"seed"`
+	Algorithm   string                `json:"algorithm"`
+	MinESup     float64               `json:"min_esup,omitempty"`
+	MinSup      float64               `json:"min_sup,omitempty"`
+	PFT         float64               `json:"pft,omitempty"`
+	NumTrans    int                   `json:"num_trans"`
+	NumItems    int                   `json:"num_items"`
+	ResultCount int                   `json:"result_count"`
+	Workers     int                   `json:"workers"`
+	Levels      []PartitionBenchLevel `json:"levels"`
+	// Phase1SpeedupP50 is (K=1 cold p50) / (largest-K phase-1 p50): how
+	// much of the single-shot mine the scatter amortizes.
+	Phase1SpeedupP50 float64 `json:"phase1_speedup_p50"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Timestamp        string  `json:"timestamp"`
+}
+
+// WriteJSON writes the report as an indented JSON document.
+func (r *PartitionBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunPartitionBench compares cold partitioned mines across the configured
+// partition counts on one generated dataset — the measurement behind
+// BENCH_partition.json and the K=1-vs-K=4 acceptance gate.
+func RunPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) {
+	cfg.fillDefaults()
+	p, ok := dataset.Profiles[cfg.Profile]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown benchmark profile %q", cfg.Profile)
+	}
+	sem, ok := algo.SemanticsOf(cfg.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown benchmark algorithm %q (known: %v)", cfg.Algorithm, algo.Names())
+	}
+	if !algo.SupportsPartitions(cfg.Algorithm) {
+		return nil, fmt.Errorf("server: %s does not support partitioned mining", cfg.Algorithm)
+	}
+	db := p.GenerateUncertain(cfg.Scale, cfg.Seed)
+	th := core.Thresholds{MinESup: cfg.MinESup}
+	if sem == core.Probabilistic {
+		th = core.Thresholds{MinSup: cfg.MinSup, PFT: cfg.PFT}
+	}
+	fmt.Fprintf(cfg.Log, "partitionbench: %s @%g: N=%d items=%d, %s %+v, %d runs/K\n",
+		cfg.Profile, cfg.Scale, db.N(), db.NumItems, cfg.Algorithm, th, cfg.Runs)
+
+	report := &PartitionBenchReport{
+		Benchmark:  "partition-cold-mine",
+		Profile:    cfg.Profile,
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		Algorithm:  cfg.Algorithm,
+		MinESup:    th.MinESup,
+		MinSup:     th.MinSup,
+		PFT:        th.PFT,
+		NumTrans:   db.N(),
+		NumItems:   db.NumItems,
+		Workers:    cfg.Workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	p50 := func(ds []time.Duration) float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ms(ds[len(ds)/2])
+	}
+	resultCount := -1
+	for _, k := range cfg.Ks {
+		level := PartitionBenchLevel{K: k, Runs: cfg.Runs}
+		cold := make([]time.Duration, 0, cfg.Runs)
+		phase1 := make([]time.Duration, 0, cfg.Runs)
+		phase2 := make([]time.Duration, 0, cfg.Runs)
+		merge := make([]time.Duration, 0, cfg.Runs)
+		for run := 0; run < cfg.Runs; run++ {
+			var st partition.RunStats
+			var m core.Miner
+			var err error
+			if k <= 1 {
+				m, err = algo.NewWith(cfg.Algorithm, core.Options{Workers: cfg.Workers})
+			} else {
+				eng, e2 := algo.NewPartitionEngine(cfg.Algorithm, core.Options{Partitions: k, Workers: cfg.Workers})
+				if e2 == nil {
+					eng.Observe = func(s partition.RunStats) { st = s }
+				}
+				m, err = eng, e2
+			}
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			rs, err := m.Mine(context.Background(), db, th)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			// Every run at every K must find the same, non-empty result
+			// set (the SON bit-identity contract; an empty query measures
+			// nothing). A divergence is a hard benchmark failure, not a
+			// number to publish.
+			if resultCount < 0 {
+				if rs.Len() == 0 {
+					return nil, fmt.Errorf("server: partition benchmark query mined no itemsets (%s %+v on %s@%g); lower the thresholds",
+						cfg.Algorithm, th, cfg.Profile, cfg.Scale)
+				}
+				resultCount = rs.Len()
+				report.ResultCount = resultCount
+			} else if rs.Len() != resultCount {
+				return nil, fmt.Errorf("server: partition benchmark diverged: K=%d run %d found %d itemsets, earlier runs found %d",
+					k, run, rs.Len(), resultCount)
+			}
+			cold = append(cold, elapsed)
+			if k <= 1 {
+				// The single-shot mine IS the work phase 1 decomposes.
+				phase1 = append(phase1, elapsed)
+			} else {
+				phase1 = append(phase1, st.Phase1Elapsed)
+				phase2 = append(phase2, st.Phase2Elapsed)
+				merge = append(merge, st.MergeElapsed)
+				level.Candidates = st.Candidates
+			}
+		}
+		level.ColdP50MS = p50(cold)
+		level.Phase1P50MS = p50(phase1)
+		if len(phase2) > 0 {
+			level.Phase2P50MS = p50(phase2)
+			level.MergeP50MS = p50(merge)
+		}
+		report.Levels = append(report.Levels, level)
+		fmt.Fprintf(cfg.Log, "partitionbench: K=%d: cold p50=%.2fms phase1 p50=%.2fms phase2 p50=%.2fms candidates=%d\n",
+			k, level.ColdP50MS, level.Phase1P50MS, level.Phase2P50MS, level.Candidates)
+	}
+	// The headline metric needs the K = 1 single-shot baseline and the
+	// largest partitioned level; a Ks list without either simply omits it
+	// rather than misattributing some other level as the baseline.
+	base := 0.0
+	var widest PartitionBenchLevel
+	for _, l := range report.Levels {
+		if l.K == 1 {
+			base = l.ColdP50MS
+		}
+		if l.K > widest.K {
+			widest = l
+		}
+	}
+	if base > 0 && widest.K > 1 && widest.Phase1P50MS > 0 {
+		report.Phase1SpeedupP50 = base / widest.Phase1P50MS
+		fmt.Fprintf(cfg.Log, "partitionbench: K=%d phase-1 p50 is %.1f× under the K=1 cold mine\n",
+			widest.K, report.Phase1SpeedupP50)
 	}
 	return report, nil
 }

@@ -50,3 +50,47 @@ func TestLoadBenchSmall(t *testing.T) {
 		t.Errorf("benchmark label %q", round.Benchmark)
 	}
 }
+
+// TestPartitionBenchSmall runs the partitioned cold-mine benchmark at a toy
+// size: a well-formed report with non-empty results, a phase-1 measurement
+// for the partitioned level, and a phase-1 p50 below the K=1 cold p50 (the
+// acceptance gate CI asserts at the real configuration; the directional
+// claim holds at toy size too, since the partitioned phase 1 replaces the
+// baseline's per-candidate DP verification with esup counting).
+func TestPartitionBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition benchmark repeats cold mines")
+	}
+	report, err := RunPartitionBench(PartitionBenchConfig{
+		Scale: 0.005,
+		Ks:    []int{1, 4},
+		Runs:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ResultCount == 0 {
+		t.Fatal("benchmark query mined no itemsets")
+	}
+	if len(report.Levels) != 2 {
+		t.Fatalf("levels: %+v", report.Levels)
+	}
+	k1, k4 := report.Levels[0], report.Levels[1]
+	if k1.ColdP50MS <= 0 || k4.ColdP50MS <= 0 || k4.Phase1P50MS <= 0 || k4.Candidates == 0 {
+		t.Fatalf("degenerate stats: k1=%+v k4=%+v", k1, k4)
+	}
+	if k4.Phase1P50MS >= k1.ColdP50MS {
+		t.Errorf("K=4 phase-1 p50 %.2fms not below K=1 cold p50 %.2fms", k4.Phase1P50MS, k1.ColdP50MS)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round PartitionBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Benchmark != "partition-cold-mine" {
+		t.Errorf("benchmark label %q", round.Benchmark)
+	}
+}

@@ -30,6 +30,19 @@ type RegisterOptions struct {
 	// Source labels the dataset's origin in DatasetInfo (e.g.
 	// "profile:gazelle@0.02"); Register* methods fill it when empty.
 	Source string
+	// Shards > 1 registers the dataset for scatter-gather mining: /mine
+	// fans phase 1 of a SON two-phase mine out across this many
+	// fixed-boundary sub-shards of the current snapshot and verifies the
+	// gathered candidates against the full database — bit-identical to an
+	// unsharded mine (so cached results remain interchangeable), with the
+	// partition fan-out as the parallelism. Algorithms without partition
+	// support (MCSampling) fall back to the unsharded path. 0 or 1 mines
+	// unsharded. Shard boundaries are recomputed from (N, Shards) at every
+	// snapshot, so ingest keeps the decomposition balanced, and the
+	// effective shard count is clamped so every shard holds a minimum
+	// number of transactions (tiny partitions would degenerate the
+	// partition-relative phase-1 thresholds; see minShardTransactions).
+	Shards int
 }
 
 // WindowOptions configures sliding-window retention for a dataset.
@@ -61,9 +74,12 @@ type DatasetInfo struct {
 	Ingested int64  `json:"ingested"`
 	Source   string `json:"source,omitempty"`
 	// Windowed datasets retain at most WindowSize transactions.
-	Windowed   bool   `json:"windowed,omitempty"`
-	WindowSize int    `json:"window_size,omitempty"`
-	Watched    int    `json:"watched,omitempty"`
+	Windowed   bool `json:"windowed,omitempty"`
+	WindowSize int  `json:"window_size,omitempty"`
+	Watched    int  `json:"watched,omitempty"`
+	// Shards > 1 marks the dataset for scatter-gather mining across that
+	// many sub-shards (see RegisterOptions.Shards).
+	Shards     int    `json:"shards,omitempty"`
 	Registered string `json:"registered"`
 }
 
@@ -75,6 +91,7 @@ type dsEntry struct {
 	db         *core.Database
 	window     *stream.Window // nil unless windowed
 	windowSize int
+	shards     int // > 1: scatter-gather mining (immutable after Register)
 	ingested   int64
 	source     string
 	registered time.Time
@@ -104,6 +121,9 @@ func (d *dsEntry) info() DatasetInfo {
 		info.Windowed = true
 		info.WindowSize = d.windowSize
 		info.Watched = len(d.window.Watched())
+	}
+	if d.shards > 1 {
+		info.Shards = d.shards
 	}
 	return info
 }
@@ -243,16 +263,30 @@ func (r *registry) list() []*dsEntry {
 	return out
 }
 
+// maxDatasetShards bounds RegisterOptions.Shards: far beyond any sensible
+// scatter width, low enough that the O(Shards) per-mine bookkeeping stays
+// negligible even when requested over HTTP.
+const maxDatasetShards = 1024
+
 // RegisterDatabase registers an already-built database under name. The
 // database must not be mutated afterwards (core.Database's usual contract).
 func (s *Server) RegisterDatabase(name string, db *core.Database, opts RegisterOptions) (DatasetInfo, error) {
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("server: dataset name must be non-empty")
 	}
+	if opts.Shards < 0 {
+		return DatasetInfo{}, fmt.Errorf("server: shard count %d must be non-negative", opts.Shards)
+	}
+	if opts.Shards > maxDatasetShards {
+		// Shards is client-reachable (the HTTP register surface): an
+		// unbounded value would make every /mine allocate O(Shards) slices
+		// before any mining happens.
+		return DatasetInfo{}, fmt.Errorf("server: shard count %d exceeds the maximum %d", opts.Shards, maxDatasetShards)
+	}
 	if opts.Source == "" {
 		opts.Source = "database"
 	}
-	d := &dsEntry{name: name, db: db, source: opts.Source, registered: time.Now()}
+	d := &dsEntry{name: name, db: db, shards: opts.Shards, source: opts.Source, registered: time.Now()}
 	if opts.Window != nil {
 		w, size, err := newWindow(*opts.Window)
 		if err != nil {

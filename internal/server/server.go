@@ -72,6 +72,10 @@ type Server struct {
 	// mineFn runs one mining job under ctx; tests substitute it to control
 	// timing and observe cancellation.
 	mineFn func(ctx context.Context, algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error)
+	// newShardBackend builds the phase-1 backend for a sharded dataset's
+	// snapshot; nil means the in-process localShards. Tests substitute it
+	// to observe the scatter; a process-per-shard deployment would too.
+	newShardBackend func(db *core.Database, k int) ShardBackend
 
 	requests      atomic.Uint64
 	cacheHits     atomic.Uint64
@@ -83,6 +87,12 @@ type Server struct {
 	errorCount    atomic.Uint64
 	canceledCount atomic.Uint64
 	inFlight      atomic.Int64
+
+	// Scatter-gather counters (the /stats partition block).
+	shardedMines        atomic.Uint64
+	partitionsMined     atomic.Uint64
+	partitionCandidates atomic.Uint64
+	partitionMergeNanos atomic.Uint64
 }
 
 // New constructs a Server from cfg.
@@ -240,7 +250,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return nil, err
 			}
 			defer s.release() // released even if the miner panics
-			return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
+			return s.runMine(ctx, req, d.shards, db)
 		}()
 		if err != nil {
 			s.countError(err)
@@ -269,7 +279,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return mineOutcome{rs: rs, kind: kind}, nil
 			}
 		}
-		rs, err := s.mineFn(ctx, req.Algorithm, db, req.Thresholds, core.Options{Workers: s.workers(req.Workers)})
+		rs, err := s.runMine(ctx, req, d.shards, db)
 		if err != nil {
 			return mineOutcome{}, err
 		}
@@ -288,6 +298,34 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 	s.countCache(kind)
 	return respond(out.rs, kind), nil
+}
+
+// minShardTransactions is the smallest partition the scatter-gather path
+// will mine. Partition-relative thresholds scale with the partition size,
+// so shards holding only a handful of transactions drive the phase-1
+// candidate floor below a single transaction's probability mass and phase 1
+// degenerates into enumerating transaction powersets — unbounded work a
+// client could otherwise trigger through the shards knob. Results are
+// bit-identical at every shard count, so clamping is purely an execution
+// decision.
+const minShardTransactions = 64
+
+// runMine executes one mining job on the snapshot: scatter-gather when the
+// dataset is sharded and the algorithm partition-capable (bit-identical to
+// the plain path, so cache entries stay interchangeable), the plain mineFn
+// otherwise.
+func (s *Server) runMine(ctx context.Context, req MineRequest, shards int, db *core.Database) (*core.ResultSet, error) {
+	opts := core.Options{Workers: s.workers(req.Workers)}
+	if maxK := db.N() / minShardTransactions; shards > maxK {
+		// Clamp so every shard holds at least minShardTransactions
+		// transactions of the current snapshot (tiny dataset, shrunken
+		// window): the scatter must narrow, never degenerate.
+		shards = maxK
+	}
+	if shards > 1 && algo.SupportsPartitions(req.Algorithm) {
+		return s.mineSharded(ctx, req.Algorithm, db, shards, req.Thresholds, opts)
+	}
+	return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, opts)
 }
 
 // countError bumps the error counter, tallying canceled/timed-out jobs
@@ -396,23 +434,34 @@ type Stats struct {
 	Canceled     uint64 `json:"canceled"`
 	InFlight     int64  `json:"in_flight"`
 	CacheEntries int    `json:"cache_entries"`
+	// Scatter-gather counters: completed sharded mines, partitions mined
+	// across them (phase 1), candidates the phase-2 verification checked,
+	// and cumulative candidate-union merge time.
+	ShardedMines     uint64  `json:"sharded_mines"`
+	PartitionsMined  uint64  `json:"partitions_mined"`
+	Phase2Candidates uint64  `json:"phase2_candidates"`
+	PartitionMergeMS float64 `json:"partition_merge_ms"`
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Datasets:      s.reg.len(),
-		Requests:      s.requests.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheFiltered: s.cacheFiltered.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Uncached:      s.uncached.Load(),
-		Ingests:       s.ingests.Load(),
-		Errors:        s.errorCount.Load(),
-		Canceled:      s.canceledCount.Load(),
-		InFlight:      s.inFlight.Load(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Datasets:         s.reg.len(),
+		Requests:         s.requests.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheFiltered:    s.cacheFiltered.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		Coalesced:        s.coalesced.Load(),
+		Uncached:         s.uncached.Load(),
+		Ingests:          s.ingests.Load(),
+		Errors:           s.errorCount.Load(),
+		Canceled:         s.canceledCount.Load(),
+		InFlight:         s.inFlight.Load(),
+		ShardedMines:     s.shardedMines.Load(),
+		PartitionsMined:  s.partitionsMined.Load(),
+		Phase2Candidates: s.partitionCandidates.Load(),
+		PartitionMergeMS: float64(s.partitionMergeNanos.Load()) / 1e6,
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/partition"
+)
+
+// Scatter-gather sharding: a dataset registered with Shards = K is mined in
+// the SON two-phase shape — /mine fans phase 1 out across the K sub-shards,
+// gathers the candidate union, and runs the restricted full-database
+// verification — with the result bit-identical to an unsharded mine, so the
+// cache, the monotonic filter and singleflight coalescing apply unchanged
+// (a sharded and an unsharded mine of the same query are interchangeable
+// cache entries).
+//
+// ShardBackend is the seam for moving phase 1 out of process: the engine
+// only needs "mine shard i at these thresholds and return its frequent
+// itemsets", which an RPC to a process holding just that slice answers as
+// well as the in-process localShards does today.
+
+// ShardBackend mines one shard of a dataset during phase 1 of a
+// scatter-gather mine. Implementations must be safe for concurrent
+// MineShard calls (phase 1 fans out on the worker pool).
+type ShardBackend interface {
+	// Shards returns the shard count K.
+	Shards() int
+	// MineShard mines shard i with the named algorithm at the phase-1
+	// thresholds and returns its locally frequent itemsets plus work
+	// counters.
+	MineShard(ctx context.Context, shard int, algorithm string, th core.Thresholds, workers int) ([]core.Itemset, core.MiningStats, error)
+}
+
+// localShards is the in-process ShardBackend: fixed-boundary slices of one
+// immutable database snapshot. Boundaries derive from (N, K) alone —
+// partition.Boundaries — so a re-registration or a process-per-shard
+// deployment decomposes identically.
+type localShards struct {
+	dbs []*core.Database
+}
+
+// newLocalShards slices the snapshot into K fixed-boundary shards.
+func newLocalShards(db *core.Database, k int) *localShards {
+	bounds := partition.Boundaries(db.N(), k)
+	dbs := make([]*core.Database, len(bounds))
+	for i, r := range bounds {
+		dbs[i] = db.Slice(r.Lo, r.Hi)
+	}
+	return &localShards{dbs: dbs}
+}
+
+// Shards implements ShardBackend.
+func (l *localShards) Shards() int { return len(l.dbs) }
+
+// MineShard implements ShardBackend.
+func (l *localShards) MineShard(ctx context.Context, shard int, algorithm string, th core.Thresholds, workers int) ([]core.Itemset, core.MiningStats, error) {
+	if shard < 0 || shard >= len(l.dbs) {
+		return nil, core.MiningStats{}, fmt.Errorf("server: shard %d outside [0,%d)", shard, len(l.dbs))
+	}
+	m, err := algo.NewWith(algorithm, core.Options{Workers: workers})
+	if err != nil {
+		return nil, core.MiningStats{}, err
+	}
+	rs, err := m.Mine(ctx, l.dbs[shard], th)
+	if err != nil {
+		return nil, core.MiningStats{}, err
+	}
+	return rs.Itemsets(), rs.Stats, nil
+}
+
+// mineSharded runs one scatter-gather mine over the snapshot: the partition
+// engine drives phase 1 through the shard backend and phase 2 through the
+// restricted target miner, and its RunStats feed the /stats partition
+// counters. Results are bit-identical to s.mineFn on the same snapshot.
+func (s *Server) mineSharded(ctx context.Context, algorithm string, db *core.Database, k int, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+	opts.Partitions = k
+	eng, err := algo.NewPartitionEngine(algorithm, opts)
+	if err != nil {
+		return nil, err
+	}
+	phase1, _ := algo.PartitionPhase1(algorithm)
+	backend := s.shardBackend(db, k)
+	if got := backend.Shards(); got != k {
+		// The engine fans out over Boundaries(N, k); a backend with a
+		// different shard count (a misconfigured process-per-shard
+		// deployment) must fail up front, not mid-scatter.
+		return nil, fmt.Errorf("server: shard backend holds %d shards, dataset scatters %d", got, k)
+	}
+	eng.MineShard = func(ctx context.Context, shard int, _ *core.Database, th1 core.Thresholds, workers int) ([]core.Itemset, core.MiningStats, error) {
+		return backend.MineShard(ctx, shard, phase1, th1, workers)
+	}
+	eng.Observe = func(st partition.RunStats) {
+		s.shardedMines.Add(1)
+		s.partitionsMined.Add(uint64(st.Partitions))
+		s.partitionCandidates.Add(uint64(st.Candidates))
+		s.partitionMergeNanos.Add(uint64(st.MergeElapsed.Nanoseconds()))
+	}
+	return eng.Mine(ctx, db, th)
+}
+
+// shardBackend returns the backend mining a snapshot's shards; tests (and,
+// later, a process-per-shard deployment) substitute newShardBackend.
+func (s *Server) shardBackend(db *core.Database, k int) ShardBackend {
+	if s.newShardBackend != nil {
+		return s.newShardBackend(db, k)
+	}
+	return newLocalShards(db, k)
+}

@@ -41,6 +41,10 @@ type Config struct {
 	// this many arrivals (0 disables re-discovery).
 	RefreshEvery int
 	// Miner performs the re-discovery (required when RefreshEvery > 0).
+	// Any core.Miner works, including a SON partition engine built with
+	// Options.Partitions (algo.NewWith): partitioned refresh re-mines are
+	// bit-identical to single-shot ones, so the watch list is unaffected
+	// by how the refresh is executed.
 	Miner core.Miner
 }
 

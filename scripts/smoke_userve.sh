@@ -69,6 +69,41 @@ grep -q '"version": 1' "$TMP/ingest.json" || {
 STATUS=$(curl -s -o "$TMP/stats.json" -w '%{http_code}' "$BASE/stats")
 check "/stats" 200 "$TMP/stats.json" "$STATUS"
 
+# Scatter-gather sharding: the same generated dataset registered unsharded
+# and with 4 sub-shards must serve byte-identical /mine documents (the SON
+# two-phase mine is bit-identical to single-shot), and /stats must count the
+# partitions mined.
+STATUS=$(curl -s -o "$TMP/sg1.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+    -H 'Content-Type: application/json' \
+    -d '{"name":"sg1","profile":"gazelle","scale":0.01,"seed":7}')
+check "register unsharded twin" 201 "$TMP/sg1.json" "$STATUS"
+STATUS=$(curl -s -o "$TMP/sg4.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+    -H 'Content-Type: application/json' \
+    -d '{"name":"sg4","profile":"gazelle","scale":0.01,"seed":7,"shards":4}')
+check "register sharded twin" 201 "$TMP/sg4.json" "$STATUS"
+STATUS=$(curl -s -o "$TMP/mine_sg1.json" -w '%{http_code}' -X POST "$BASE/mine" \
+    -H 'Content-Type: application/json' \
+    -d '{"dataset":"sg1","algorithm":"UApriori","min_esup":0.005}')
+check "/mine unsharded twin" 200 "$TMP/mine_sg1.json" "$STATUS"
+STATUS=$(curl -s -o "$TMP/mine_sg4.json" -w '%{http_code}' -X POST "$BASE/mine" \
+    -H 'Content-Type: application/json' \
+    -d '{"dataset":"sg4","algorithm":"UApriori","min_esup":0.005}')
+check "/mine sharded twin" 200 "$TMP/mine_sg4.json" "$STATUS"
+if ! cmp -s "$TMP/mine_sg1.json" "$TMP/mine_sg4.json"; then
+    echo "smoke: FAIL — sharded /mine document differs from unsharded"
+    diff "$TMP/mine_sg1.json" "$TMP/mine_sg4.json" | head -20
+    exit 1
+fi
+echo "smoke: sharded /mine is byte-identical to unsharded"
+STATUS=$(curl -s -o "$TMP/stats_sg.json" -w '%{http_code}' "$BASE/stats")
+check "/stats after sharded mine" 200 "$TMP/stats_sg.json" "$STATUS"
+if ! grep -Eq '"partitions_mined": *4(,|$)' "$TMP/stats_sg.json"; then
+    echo "smoke: FAIL — /stats did not count 4 partitions mined"
+    cat "$TMP/stats_sg.json"
+    exit 1
+fi
+echo "smoke: /stats counted the scatter-gather partitions"
+
 # Per-request timeout aborts a running mine. The slow dataset/algorithm pair
 # (DCNB at min_sup 0.1 on an accident-like profile) needs ~10s uncancelled;
 # a 250ms timeout_ms must therefore abort it in flight, return 503 promptly,

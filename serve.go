@@ -36,6 +36,14 @@ type (
 	LoadBenchConfig = server.LoadBenchConfig
 	// LoadBenchReport is the load benchmark outcome (BENCH_server.json).
 	LoadBenchReport = server.LoadBenchReport
+	// PartitionBenchConfig parameterizes RunServerPartitionBench.
+	PartitionBenchConfig = server.PartitionBenchConfig
+	// PartitionBenchReport is the partitioned cold-mine benchmark outcome
+	// (BENCH_partition.json).
+	PartitionBenchReport = server.PartitionBenchReport
+	// ShardBackend mines one shard during phase 1 of a scatter-gather
+	// /mine (in-process today; the seam for process-per-shard tomorrow).
+	ShardBackend = server.ShardBackend
 )
 
 // NewServer constructs a mining service. The zero ServerConfig is a usable
@@ -46,4 +54,11 @@ func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 // returns its report (see LoadBenchConfig for the knobs).
 func RunServerLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 	return server.RunLoadBench(cfg)
+}
+
+// RunServerPartitionBench compares cold partitioned mines across partition
+// counts (K = 1 is the single-shot baseline) and returns the
+// BENCH_partition.json report.
+func RunServerPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) {
+	return server.RunPartitionBench(cfg)
 }

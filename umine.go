@@ -89,6 +89,25 @@
 //	umine -algo DCB -min_sup 0.3 -pft 0.9 -profile accident -workers 8
 //	uexp -run ablation-parallel -workers 4
 //
+// # Partitioned (SON-style) mining
+//
+// Options.Partitions decomposes a mine into K partition-local passes plus
+// one full-database verification restricted to the unioned candidates —
+// the SON decomposition, which is exact for expected support (additive
+// across partitions) and extended to the probabilistic miners through
+// per-family candidate floors (see umine/internal/partition). The merged
+// result is bit-identical to a single-shot mine at every K and worker
+// count, so partitioning is purely an execution strategy:
+//
+//	m, _ := umine.NewMinerWith("UApriori", umine.Options{Partitions: 4, Workers: -1})
+//	rs, _ := m.Mine(ctx, db, umine.Thresholds{MinESup: 0.01})
+//
+// or `umine -partitions 4`, `uexp -partitions 4`, and `userve -shards 4`
+// (scatter-gather /mine over per-dataset sub-shards). MCSampling is the one
+// configuration without partition support (SupportsPartitions reports the
+// capability); partition boundaries depend only on (N, K), never on
+// Workers, so decompositions are reproducible across machine sizes.
+//
 // # Serving
 //
 // Beyond one-shot batch runs, the platform embeds as a long-running
@@ -179,6 +198,9 @@ const (
 	PhaseLevel = core.PhaseLevel
 	// PhaseSubtree is one depth-first prefix subtree completing.
 	PhaseSubtree = core.PhaseSubtree
+	// PhasePartition is one partition of a SON partitioned mine completing
+	// its phase-1 pass.
+	PhasePartition = core.PhasePartition
 	// PhaseDone is the final event of a completed run.
 	PhaseDone = core.PhaseDone
 )
@@ -212,6 +234,15 @@ func NewMinerWith(name string, opts Options) (Miner, error) { return algo.NewWit
 // the registry's capability metadata — no throwaway miner is constructed.
 func SupportsWorkers(algorithm string) bool {
 	return algo.SupportsWorkers(algorithm)
+}
+
+// SupportsPartitions reports whether the named algorithm supports the SON
+// partitioned two-phase mine of Options.Partitions. MCSampling is the one
+// registered configuration that does not (its per-run sampling sequences
+// preclude bit-identity); it silently ignores the knob and mines
+// single-shot. Unknown names report false.
+func SupportsPartitions(algorithm string) bool {
+	return algo.SupportsPartitions(algorithm)
 }
 
 // Algorithms lists all registered algorithm names in the paper's order.
