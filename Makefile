@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race test-cancel test-partition bench smoke-server bench-server ci
+.PHONY: all build fmt vet test race test-cancel test-partition bench bench-storage smoke-server bench-server ci
 
 all: build
 
@@ -47,6 +47,13 @@ test-partition:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+## bench-storage: the arena/vertical counting micro-benchmarks (-benchmem
+## under the hood via testing.Benchmark) plus the legacy-vs-arena cold-mine
+## comparison; writes BENCH_storage.json and enforces the ≥2× allocs/op
+## reduction and no-cold-mine-regression acceptance margins
+bench-storage:
+	BENCH_STORAGE_OUT=$$(pwd)/BENCH_storage.json $(GO) test ./internal/algo/apriori -run TestWriteStorageBench -count=1 -v
+
 ## smoke-server: boot userve, register a profile over HTTP, mine, ingest, assert 200s
 smoke-server:
 	sh scripts/smoke_userve.sh
@@ -57,4 +64,4 @@ bench-server:
 	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet race test-cancel test-partition bench smoke-server bench-server
+ci: build fmt vet race test-cancel test-partition bench bench-storage smoke-server bench-server

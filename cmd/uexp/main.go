@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"umine/internal/exp"
+	"umine/internal/profiling"
 )
 
 func main() {
@@ -34,8 +35,19 @@ func main() {
 		format  = flag.String("format", "text", "report format: text, csv")
 		workers = flag.Int("workers", 0, "max goroutines per measured miner (0/1 = serial, the paper's platform; -1 = all CPUs); results are identical at every setting")
 		parts   = flag.Int("partitions", 0, "SON-style partitioned mining over this many database partitions per measured miner (0/1 = single-shot); results are bit-identical at every setting")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write an allocation profile after the sweep to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Profiling brackets the whole sweep; flushed explicitly on every exit
+	// path below because os.Exit skips defers.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uexp:", err)
+		os.Exit(1)
+	}
+	exitProf = stopProf
 
 	// SIGINT/SIGTERM cancel the in-flight measurement at its next
 	// cooperative checkpoint; the sweep records the cancellation in its
@@ -65,6 +77,7 @@ func main() {
 		e, ok := exp.Lookup(*run)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "uexp: unknown experiment %q; -list shows ids\n", *run)
+			exitProf()
 			os.Exit(1)
 		}
 		start := time.Now()
@@ -80,15 +93,22 @@ func main() {
 		}
 	default:
 		flag.Usage()
+		exitProf()
 		os.Exit(2)
 	}
+	exitProf()
 }
+
+// exitProf flushes any active profiles before the tool exits; installed by
+// main once the -cpuprofile/-memprofile flags are parsed.
+var exitProf = func() {}
 
 // exitIfCanceled stops the sweep after a signal: the canceled point is
 // already recorded in the just-emitted report's notes.
 func exitIfCanceled(ctx context.Context) {
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "uexp: canceled")
+		exitProf()
 		os.Exit(1)
 	}
 }
@@ -100,6 +120,7 @@ func emit(r *exp.Report, format string) {
 		fmt.Printf("# %s — %s\n", r.ID, r.Title)
 		if err := r.WriteCSV(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "uexp:", err)
+			exitProf()
 			os.Exit(1)
 		}
 	default:

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"umine"
+	"umine/internal/profiling"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		workers  = flag.Int("workers", 0, "max goroutines for any algorithm's parallel phases (0/1 = serial, -1 = all CPUs); results are identical at every setting")
 		parts    = flag.Int("partitions", 0, "SON-style partitioned mine over this many database partitions (0/1 = single-shot); results are bit-identical at every setting")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the mine to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile after the mine to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -66,9 +69,16 @@ func main() {
 	// reports how far it got.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Profiling brackets just the mine (not input parsing/generation), and
+	// flushes before the canceled/fatal exits too — os.Exit skips defers.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
 	snap := &progressSnapshot{}
 	meas, err := umine.MeasureContext(ctx, *algoName, db, th,
 		umine.Options{Workers: *workers, Partitions: *parts, Progress: snap.observe})
+	stopProf()
 	if err == nil {
 		err = meas.Err
 	}

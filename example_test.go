@@ -104,8 +104,8 @@ func ExampleNewWindow() {
 		panic(err)
 	}
 	w.Watch(umine.NewItemset(0))
-	for _, tx := range paperDB().Transactions {
-		if _, err := w.Push(context.Background(), tx); err != nil {
+	for _, tx := range paperDB().Transactions() {
+		if _, err := w.PushCanonical(context.Background(), tx); err != nil {
 			panic(err)
 		}
 	}

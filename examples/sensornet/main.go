@@ -164,10 +164,10 @@ func plantedTag(x umine.Itemset) string {
 // certaintyBlind copies the database with every probability forced to 1.
 func certaintyBlind(db *umine.Database) *umine.Database {
 	raw := make([][]umine.Unit, db.N())
-	for i, t := range db.Transactions {
-		units := make([]umine.Unit, len(t))
-		for j, u := range t {
-			units[j] = umine.Unit{Item: u.Item, Prob: 1}
+	for i, t := range db.Transactions() {
+		units := make([]umine.Unit, t.Len())
+		for j, it := range t.Items {
+			units[j] = umine.Unit{Item: it, Prob: 1}
 		}
 		raw[i] = units
 	}

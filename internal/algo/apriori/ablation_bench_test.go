@@ -81,7 +81,7 @@ func cloneCandidates(cands []Candidate) []Candidate {
 // computation per candidate per transaction.
 func countNaive(db *core.Database, cands []Candidate) {
 	for i := range cands {
-		for _, tx := range db.Transactions {
+		for _, tx := range db.Transactions() {
 			p := tx.ItemsetProb(cands[i].Items)
 			cands[i].ESup += p
 			cands[i].Var += p * (1 - p)

@@ -14,6 +14,23 @@ import (
 // uncertain analogue of the classical hash-tree subset counting and is
 // shared verbatim by every Apriori-framework miner, as the paper's uniform
 // platform demands.
+//
+// Since the arena refactor the pass has two physical plans over the same
+// logical scan:
+//
+//   - horizontal: walk every transaction view (a contiguous range of the
+//     database's columnar arena) against the trie — one pass counts every
+//     candidate; cost ~ Σ|T_j| per level regardless of candidate count;
+//   - vertical: intersect the candidates' per-item postings lists from the
+//     lazily built core.VerticalIndex — cost proportional to the smallest
+//     posting list per candidate, which wins when candidates are few and
+//     sparse (see useVertical in vertical.go).
+//
+// Both plans produce bit-identical aggregates by construction: they multiply
+// unit probabilities in the same (canonical item) order, accumulate
+// per-transaction contributions in TID order, and fold partial sums with the
+// same fixed chunk grouping (parallel.ChunkSizeFor), so the crossover
+// heuristic — like the worker count — can never change a result bit.
 
 type trieNode struct {
 	item     core.Item
@@ -62,11 +79,13 @@ func countLevel(db *core.Database, cands []Candidate, k int, collectProbs bool, 
 			c.Probs = append(c.Probs, p)
 		}
 	}
-	for _, tx := range db.Transactions {
-		if len(tx) < k {
+	items, probs, offsets := db.Columns()
+	for j, n := 0, db.N(); j < n; j++ {
+		ts, te := int(offsets[j]), int(offsets[j+1])
+		if te-ts < k {
 			continue
 		}
-		walkTrie(trie, tx, 0, 1, visit)
+		walkTrie(trie, items, probs, ts, te, 1, visit)
 	}
 	stats.TrackPeak(trieBytes(trie) + candidateBytes(cands, collectProbs))
 }
@@ -100,15 +119,21 @@ func candidateBytes(cands []Candidate, collectProbs bool) int64 {
 	return size
 }
 
-// count runs one counting pass on the shared parallel layer. The chunk
+// count runs one counting pass on the shared parallel layer, picking the
+// vertical postings-intersection plan when the crossover heuristic says it
+// is cheaper and the chunk-sharded horizontal scan otherwise. The chunk
 // layout is a function of the database size alone (parallel.ChunkSizeFor),
-// and per-chunk aggregates merge in chunk order, so the pass returns
-// bit-identical aggregates for every cfg.Workers value ≥ 1: the worker
-// count only decides how many goroutines claim chunks, never how the
-// floating-point sums associate. Cancellation lands between chunks; on a
-// non-nil error the candidates' aggregates are partial and must be
-// discarded.
+// per-chunk aggregates merge in chunk order, and the vertical plan folds the
+// same chunk grouping, so the pass returns bit-identical aggregates for
+// every cfg.Workers value ≥ 1 and for either plan: the worker count only
+// decides how many goroutines claim work, never how the floating-point sums
+// associate. Cancellation lands between chunks (horizontal) or between
+// candidates (vertical); on a non-nil error the candidates' aggregates are
+// partial and must be discarded.
 func count(ctx context.Context, db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) error {
+	if useVertical(db, cands, k) {
+		return countVertical(ctx, db, cands, cfg.CollectProbs, cfg.Workers, stats)
+	}
 	return countChunked(ctx, db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
 }
 
@@ -133,7 +158,7 @@ func countChunked(ctx context.Context, db *core.Database, cands []Candidate, k i
 	if len(cands) == 0 {
 		return ctx.Err()
 	}
-	n := len(db.Transactions)
+	n := db.N()
 	size := parallel.ChunkSizeFor(n)
 	nc := parallel.NumChunks(n, size)
 	if nc <= 1 {
@@ -171,7 +196,8 @@ func countChunked(ctx context.Context, db *core.Database, cands []Candidate, k i
 func countChunkedSerial(ctx context.Context, db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, size, nc int) error {
 	esup := make([]float64, len(cands))
 	varsup := make([]float64, len(cands))
-	n := len(db.Transactions)
+	items, probs, offsets := db.Columns()
+	n := db.N()
 	done := ctx.Done()
 	for c := 0; c < nc; c++ {
 		if done != nil {
@@ -185,11 +211,12 @@ func countChunkedSerial(ctx context.Context, db *core.Database, trie *trieNode, 
 		if hi > n {
 			hi = n
 		}
-		for _, tx := range db.Transactions[lo:hi] {
-			if len(tx) < k {
+		for j := lo; j < hi; j++ {
+			ts, te := int(offsets[j]), int(offsets[j+1])
+			if te-ts < k {
 				continue
 			}
-			walkTrie(trie, tx, 0, 1, func(leaf int, p float64) {
+			walkTrie(trie, items, probs, ts, te, 1, func(leaf int, p float64) {
 				esup[leaf] += p
 				varsup[leaf] += p * (1 - p)
 				if collectProbs {
@@ -212,18 +239,20 @@ func countChunkedSerial(ctx context.Context, db *core.Database, trie *trieNode, 
 // so the copies do not all outlive the merge.
 func countChunkedParallel(ctx context.Context, db *core.Database, trie *trieNode, cands []Candidate, k int, collectProbs bool, workers, size, nc int) error {
 	accums := make([]shardAccum, nc)
-	err := parallel.DoChunksCtx(ctx, workers, len(db.Transactions), size, func(c, lo, hi int) {
+	items, probs, offsets := db.Columns()
+	err := parallel.DoChunksCtx(ctx, workers, db.N(), size, func(c, lo, hi int) {
 		acc := &accums[c]
 		acc.esup = make([]float64, len(cands))
 		acc.varsup = make([]float64, len(cands))
 		if collectProbs {
 			acc.probs = make([][]float64, len(cands))
 		}
-		for _, tx := range db.Transactions[lo:hi] {
-			if len(tx) < k {
+		for j := lo; j < hi; j++ {
+			ts, te := int(offsets[j]), int(offsets[j+1])
+			if te-ts < k {
 				continue
 			}
-			walkTrie(trie, tx, 0, 1, func(leaf int, p float64) {
+			walkTrie(trie, items, probs, ts, te, 1, func(leaf int, p float64) {
 				acc.esup[leaf] += p
 				acc.varsup[leaf] += p * (1 - p)
 				if collectProbs {
@@ -250,24 +279,27 @@ func countChunkedParallel(ctx context.Context, db *core.Database, trie *trieNode
 	return nil
 }
 
-// walkTrie walks one transaction against the candidate trie, invoking visit
-// with the candidate index and the accumulated containment probability at
-// every matched leaf. Shared by the serial and parallel counting passes.
-func walkTrie(n *trieNode, tx core.Transaction, start int, p float64, visit func(leaf int, p float64)) {
+// walkTrie walks one transaction — the arena column range [start, end) —
+// against the candidate trie, invoking visit with the candidate index and
+// the accumulated containment probability at every matched leaf. Operating
+// on the flat columns directly (instead of per-transaction views) keeps the
+// innermost loop of the platform free of view construction and slice-header
+// traffic. Shared by the serial and parallel counting passes.
+func walkTrie(n *trieNode, items []core.Item, probs []float64, start, end int, p float64, visit func(leaf int, p float64)) {
 	if n.leaf >= 0 {
 		visit(n.leaf, p)
 		return // fixed depth: leaves have no children
 	}
 	i := start
 	for _, child := range n.children {
-		for i < len(tx) && tx[i].Item < child.item {
+		for i < end && items[i] < child.item {
 			i++
 		}
-		if i == len(tx) {
+		if i == end {
 			return
 		}
-		if tx[i].Item == child.item {
-			walkTrie(child, tx, i+1, p*tx[i].Prob, visit)
+		if items[i] == child.item {
+			walkTrie(child, items, probs, i+1, end, p*probs[i], visit)
 		}
 	}
 }

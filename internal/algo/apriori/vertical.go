@@ -1,0 +1,230 @@
+package apriori
+
+import (
+	"context"
+
+	"umine/internal/core"
+	"umine/internal/parallel"
+)
+
+// The vertical counting plan: instead of scanning every transaction against
+// the candidate trie, each candidate's expected support is computed by
+// intersecting its items' TID postings lists from the database's lazily
+// built vertical index (core.VerticalIndex, U-Eclat style). The cost is
+// proportional to the candidate's smallest posting list, not to the
+// database, so sparse candidate sets — late levels, restricted phase-2
+// verification passes, long-tailed universes — count in a fraction of a
+// horizontal scan.
+//
+// Bit-identity with the horizontal plan is structural, not approximate:
+//
+//   - a transaction's containment probability multiplies the unit
+//     probabilities in canonical item order, exactly the trie walk's
+//     root-to-leaf order;
+//   - contributions accumulate in ascending TID order, the scan order;
+//   - partial sums fold with the fixed chunk grouping of
+//     parallel.ChunkSizeFor — the grouping the chunk-sharded horizontal
+//     merge uses — and a chunk whose partial is zero is a no-op in both
+//     plans (x + 0 ≡ x for the non-negative sums involved).
+//
+// Hence count may switch plans per level (and the partition engine's
+// restricted runs may see a different choice than a single-shot mine)
+// without moving a single result bit.
+
+// verticalProbeCost weights one posting-list probe against one sequential
+// unit visit of the horizontal scan: probes advance cursors over k lists
+// with worse locality than the arena's contiguous columns. Chosen
+// conservatively so the crossover errs toward the (always safe) horizontal
+// plan.
+const verticalProbeCost = 4
+
+// useVertical is the crossover heuristic: intersect postings when the
+// estimated probe work (smallest posting list × k probes × cost factor,
+// summed over candidates) undercuts one horizontal scan of the arena span.
+// The decision depends only on the database view and the candidate set —
+// never on Workers — so plan choice is deterministic and cannot differ
+// between worker counts. Level 1 always scans horizontally: a single scan
+// aggregates every item at once, which no per-item probing can beat.
+func useVertical(db *core.Database, cands []Candidate, k int) bool {
+	if k < 2 || len(cands) == 0 {
+		return false
+	}
+	counts := db.ItemTIDCounts()
+	hcost := float64(db.NumUnits())
+	vcost := 0.0
+	for ci := range cands {
+		minLen := uint32(0)
+		for i, it := range cands[ci].Items {
+			if c := counts[it]; i == 0 || c < minLen {
+				minLen = c
+			}
+		}
+		vcost += float64(minLen) * float64(k) * verticalProbeCost
+		if vcost >= hcost {
+			return false
+		}
+	}
+	return true
+}
+
+// vertAgg is one candidate's aggregates from the vertical plan.
+type vertAgg struct {
+	esup, varsup float64
+	probs        []float64
+}
+
+// countVertical counts every candidate by postings intersection. Candidates
+// are independent — each one's floating-point work is self-contained — so
+// they fan out over the worker pool and merge in candidate order; results
+// are bit-identical for every worker count and to the horizontal plan.
+// Cancellation lands between candidates (parallel.DoCtx's per-task check).
+func countVertical(ctx context.Context, db *core.Database, cands []Candidate, collectProbs bool, workers int, stats *core.MiningStats) error {
+	if len(cands) == 0 {
+		return ctx.Err()
+	}
+	v := db.Vertical()
+	// One logical counting pass over the data, same as a horizontal scan —
+	// keeping DBScans comparable across plans and levels.
+	stats.DBScans++
+	size := parallel.ChunkSizeFor(db.N())
+	outs, err := parallel.MapCtx(ctx, workers, cands, func(ci int, _ Candidate) vertAgg {
+		return intersectCount(v, cands[ci].Items, size, collectProbs)
+	})
+	if err != nil {
+		return err
+	}
+	for ci := range cands {
+		cands[ci].ESup += outs[ci].esup
+		cands[ci].Var += outs[ci].varsup
+		if collectProbs && len(outs[ci].probs) > 0 {
+			cands[ci].Probs = append(cands[ci].Probs, outs[ci].probs...)
+		}
+	}
+	// The index is this plan's dominant live structure — tracked like the
+	// horizontal plan's trie so the paper-style memory reports compare like
+	// quantities across plans and families.
+	stats.TrackPeak(v.Bytes() + candidateBytes(cands, collectProbs))
+	return nil
+}
+
+// intersectCount intersects the itemset's postings lists, driven by its
+// smallest list, folding per-chunk partial sums in ascending chunk order
+// (the horizontal merge's grouping). Cursors advance monotonically, so the
+// total work is O(Σ posting lengths) in the worst case and O(smallest list)
+// when it runs dry early.
+func intersectCount(v *core.VerticalIndex, items core.Itemset, chunkSize int, collectProbs bool) vertAgg {
+	if len(items) == 2 {
+		return intersectCountPair(v, items, chunkSize, collectProbs)
+	}
+	var a vertAgg
+	k := len(items)
+	drive := 0
+	for i := 1; i < k; i++ {
+		if v.PostingsLen(items[i]) < v.PostingsLen(items[drive]) {
+			drive = i
+		}
+	}
+	if v.PostingsLen(items[drive]) == 0 {
+		return a
+	}
+	tidss := make([][]uint32, k)
+	probss := make([][]float64, k)
+	for i, it := range items {
+		tidss[i], probss[i] = v.Postings(it)
+	}
+	cur := make([]int, k)
+	pos := make([]int, k)
+
+	chunkEsup, chunkVar := 0.0, 0.0
+	chunk := -1
+	flush := func() {
+		a.esup += chunkEsup
+		a.varsup += chunkVar
+		chunkEsup, chunkVar = 0, 0
+	}
+	for di, tid := range tidss[drive] {
+		match := true // whether every list contains tid
+		for i := 0; i < k; i++ {
+			if i == drive {
+				pos[i] = di
+				continue
+			}
+			j := cur[i]
+			lst := tidss[i]
+			for j < len(lst) && lst[j] < tid {
+				j++
+			}
+			cur[i] = j
+			if j == len(lst) {
+				// This list is exhausted: no further TID can match either.
+				flush()
+				return a
+			}
+			if lst[j] != tid {
+				match = false
+				break
+			}
+			pos[i] = j
+		}
+		if !match {
+			continue
+		}
+		// Multiply in canonical item order — the trie walk's order — so the
+		// product carries the same bits as the horizontal plan.
+		p := 1.0
+		for i := 0; i < k; i++ {
+			p *= probss[i][pos[i]]
+		}
+		if c := int(tid) / chunkSize; c != chunk {
+			flush()
+			chunk = c
+		}
+		chunkEsup += p
+		chunkVar += p * (1 - p)
+		if collectProbs {
+			a.probs = append(a.probs, p)
+		}
+	}
+	flush()
+	return a
+}
+
+// intersectCountPair is intersectCount's allocation-free fast path for pair
+// candidates — the bulk of any real level-2 (or phase-2 restricted)
+// candidate load. Two-pointer merge over the two postings lists; identical
+// accumulation structure, so identical bits.
+func intersectCountPair(v *core.VerticalIndex, items core.Itemset, chunkSize int, collectProbs bool) vertAgg {
+	var a vertAgg
+	atids, aprobs := v.Postings(items[0])
+	btids, bprobs := v.Postings(items[1])
+	chunkEsup, chunkVar := 0.0, 0.0
+	chunk := -1
+	i, j := 0, 0
+	for i < len(atids) && j < len(btids) {
+		at, bt := atids[i], btids[j]
+		switch {
+		case at < bt:
+			i++
+		case bt < at:
+			j++
+		default:
+			p := aprobs[i] * bprobs[j]
+			if c := int(at) / chunkSize; c != chunk {
+				a.esup += chunkEsup
+				a.varsup += chunkVar
+				chunkEsup, chunkVar = 0, 0
+				chunk = c
+			}
+			chunkEsup += p
+			chunkVar += p * (1 - p)
+			if collectProbs {
+				a.probs = append(a.probs, p)
+			}
+			i++
+			j++
+		}
+	}
+	a.esup += chunkEsup
+	a.varsup += chunkVar
+	return a
+}

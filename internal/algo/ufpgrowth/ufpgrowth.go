@@ -186,11 +186,12 @@ func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds)
 		}
 	}
 	var buf []wunit
-	for _, tx := range db.Transactions {
+	for j, n := 0, db.N(); j < n; j++ {
+		tx := db.Tx(j)
 		buf = buf[:0]
-		for _, u := range tx {
-			if r := rank[u.Item]; r >= 0 {
-				buf = append(buf, wunit{rank: int32(r), prob: round(u.Prob)})
+		for i, it := range tx.Items {
+			if r := rank[it]; r >= 0 {
+				buf = append(buf, wunit{rank: int32(r), prob: round(tx.Probs[i])})
 			}
 		}
 		if len(buf) == 0 {

@@ -143,11 +143,12 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database) ([]core.Result, co
 	stats.DBScans++
 	rows := make([][]runit, 0, db.N())
 	var structBytes int64
-	for _, tx := range db.Transactions {
+	for j, n := 0, db.N(); j < n; j++ {
+		tx := db.Tx(j)
 		var row []runit
-		for _, u := range tx {
-			if r := keptRank[u.Item]; r >= 0 {
-				row = append(row, runit{rank: int32(r), prob: u.Prob})
+		for i, it := range tx.Items {
+			if r := keptRank[it]; r >= 0 {
+				row = append(row, runit{rank: int32(r), prob: tx.Probs[i]})
 			}
 		}
 		if len(row) == 0 {

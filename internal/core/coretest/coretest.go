@@ -97,7 +97,7 @@ func sortItemsets(sets []core.Itemset) {
 // implementation, independent of the DP and DC miners it validates.
 func SupportDistribution(db *core.Database, x core.Itemset) []float64 {
 	dist := []float64{1}
-	for _, t := range db.Transactions {
+	for _, t := range db.Transactions() {
 		p := t.ItemsetProb(x)
 		next := make([]float64, len(dist)+1)
 		for k, q := range dist {
@@ -167,9 +167,9 @@ func PossibleWorldSupportDist(db *core.Database, x core.Itemset) []float64 {
 		prob float64
 	}
 	var units []unitRef
-	for tid, t := range db.Transactions {
-		for _, u := range t {
-			units = append(units, unitRef{tid, u.Item, u.Prob})
+	for tid, t := range db.Transactions() {
+		for i, it := range t.Items {
+			units = append(units, unitRef{tid, it, t.Probs[i]})
 		}
 	}
 	n := len(units)
@@ -192,7 +192,7 @@ func PossibleWorldSupportDist(db *core.Database, x core.Itemset) []float64 {
 			}
 		}
 		sup := 0
-		for tid := range db.Transactions {
+		for tid := 0; tid < db.N(); tid++ {
 			all := true
 			for _, want := range x {
 				if !present[tid][want] {

@@ -116,11 +116,11 @@ func TestBruteForceProbabilisticAntiMonotone(t *testing.T) {
 func TestRandomDBRoundedProbabilities(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	db := RandomDBRounded(rng, 30, 6, 0.5, 4)
-	for _, tr := range db.Transactions {
-		for _, u := range tr {
-			scaled := u.Prob * 4
+	for _, tr := range db.Transactions() {
+		for _, p := range tr.Probs {
+			scaled := p * 4
 			if math.Abs(scaled-math.Round(scaled)) > 1e-12 {
-				t.Fatalf("probability %v not a multiple of 1/4", u.Prob)
+				t.Fatalf("probability %v not a multiple of 1/4", p)
 			}
 		}
 	}

@@ -100,7 +100,7 @@ func TestESupVarMatchesDefinition(t *testing.T) {
 	x := NewItemset(itA, itC)
 	esup, v := db.ESupVar(x)
 	wantE, wantV := 0.0, 0.0
-	for _, tr := range db.Transactions {
+	for _, tr := range db.Transactions() {
 		p := tr.ItemsetProb(x)
 		wantE += p
 		wantV += p * (1 - p)
@@ -140,14 +140,9 @@ func TestNormalizeTransaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Transaction{{1, 0.9}, {3, 0.7}}
-	if len(got) != len(want) {
+	want := TxOf(Unit{1, 0.9}, Unit{3, 0.7})
+	if !got.Equal(want) {
 		t.Fatalf("got %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("got %v, want %v", got, want)
-		}
 	}
 }
 
@@ -159,13 +154,13 @@ func TestNormalizeTransactionRejectsBadProbs(t *testing.T) {
 	}
 	// Tiny numeric overshoot is clamped, not rejected.
 	tr, err := NormalizeTransaction([]Unit{{1, 1 + 1e-12}})
-	if err != nil || tr[0].Prob != 1 {
+	if err != nil || tr.Probs[0] != 1 {
 		t.Fatalf("overshoot not clamped: %v %v", tr, err)
 	}
 }
 
 func TestTransactionItemsetProb(t *testing.T) {
-	tr := Transaction{{1, 0.5}, {3, 0.4}, {7, 0.25}}
+	tr := TxOf(Unit{1, 0.5}, Unit{3, 0.4}, Unit{7, 0.25})
 	tests := []struct {
 		x    Itemset
 		want float64
@@ -209,15 +204,22 @@ func TestDatabaseValidate(t *testing.T) {
 	if err := db.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := &Database{Transactions: []Transaction{{{5, 0.5}}}, NumItems: 3}
+	mk := func(units ...Unit) *Database {
+		b := NewBuilder("bad")
+		b.AddCanonical(TxOf(units...)) // trusted append: no normalization
+		out := b.Build()
+		out.NumItems = 3
+		return out
+	}
+	bad := mk(Unit{5, 0.5})
 	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "universe") {
 		t.Fatalf("expected universe error, got %v", err)
 	}
-	bad2 := &Database{Transactions: []Transaction{{{1, 0.5}, {1, 0.6}}}, NumItems: 3}
+	bad2 := mk(Unit{1, 0.5}, Unit{1, 0.6})
 	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "canonical") {
 		t.Fatalf("expected canonical error, got %v", err)
 	}
-	bad3 := &Database{Transactions: []Transaction{{{1, 0}}}, NumItems: 3}
+	bad3 := mk(Unit{1, 0})
 	if err := bad3.Validate(); err == nil {
 		t.Fatal("zero probability accepted")
 	}
@@ -303,7 +305,7 @@ func TestProjectTransaction(t *testing.T) {
 	db := PaperDB()
 	esup := db.ItemESup()
 	_, rank := FrequencyOrder(esup, 1.3) // frequent: C,A,F,B,E (D=1.2 out)
-	got := ProjectTransaction(db.Transactions[0], rank)
+	got := ProjectTransaction(db.Tx(0), rank)
 	// T1 = A(.8) B(.2) C(.9) D(.7) F(.8) → ordered C,A,F,B (D dropped, E absent)
 	wantItems := []Item{itC, itA, itF, itB}
 	if len(got) != len(wantItems) {

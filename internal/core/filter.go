@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Post-processing filters over mined result sets. Frequent-itemset result
 // sets are often too large to inspect (§4.2's dense datasets reach millions
@@ -77,11 +80,11 @@ func filterResults(rs *ResultSet, name string, keep func(r Result, supersets []R
 // returns a copy of everything.
 func TopK(rs *ResultSet, k int) []Result {
 	out := append([]Result(nil), rs.Results...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ESup != out[j].ESup {
-			return out[i].ESup > out[j].ESup
+	slices.SortFunc(out, func(a, b Result) int {
+		if a.ESup != b.ESup {
+			return cmp.Compare(b.ESup, a.ESup)
 		}
-		return out[i].Itemset.Compare(out[j].Itemset) < 0
+		return a.Itemset.Compare(b.Itemset)
 	})
 	if k < len(out) {
 		out = out[:k]

@@ -16,12 +16,33 @@
 //     algorithm implementations, so family comparisons measure algorithmic
 //     differences rather than implementation accidents.
 //
+// # Storage: the arena and the view-type migration
+//
+// A Database is arena-backed and columnar: every transaction's units live
+// in one contiguous item column and one parallel probability column, with a
+// per-transaction offset table (see Database and Builder). Transaction is
+// no longer an owning []Unit row — it is a cheap two-slice-header *view*
+// into the arena, handed out by Database.Tx in O(1) with zero allocation.
+// Code migrating from the row representation maps as follows:
+//
+//	for _, u := range tx        →  for i, it := range tx.Items { p := tx.Probs[i] ... }
+//	len(tx), tx[i]              →  tx.Len(), tx.Unit(i)
+//	db.Transactions[j]          →  db.Tx(j)   (db.Transactions() materializes views)
+//	len(db.Transactions)        →  db.N()
+//	&Database{Transactions: …}  →  NewDatabase / Builder / FromTransactions
+//
+// Scans touch flat arrays instead of chasing N row pointers, Slice is an
+// O(1) re-slice of the offset table, and Database.Vertical lazily builds
+// the immutable per-item postings index (TIDs + probabilities, U-Eclat
+// style) that the apriori counting pass uses for sparse candidate sets.
+//
 // All probabilities are float64. Item identifiers are dense small integers,
 // which lets per-item tables be plain slices.
 package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,14 +65,8 @@ func NewItemset(items ...Item) Itemset {
 	}
 	s := make(Itemset, len(items))
 	copy(s, items)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	out := s[:1]
-	for _, it := range s[1:] {
-		if it != out[len(out)-1] {
-			out = append(out, it)
-		}
-	}
-	return out
+	slices.Sort(s)
+	return slices.Compact(s)
 }
 
 // Len returns the number of items; an Itemset of length l is the paper's

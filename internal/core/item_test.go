@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -208,7 +208,7 @@ func TestCompareOrdersSorting(t *testing.T) {
 	for i := range sets {
 		sets[i] = randomItemset(rng, 5, 10)
 	}
-	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+	slices.SortFunc(sets, func(a, b Itemset) int { return a.Compare(b) })
 	for i := 1; i < len(sets); i++ {
 		if sets[i-1].Compare(sets[i]) > 0 {
 			t.Fatalf("not sorted at %d: %v > %v", i, sets[i-1], sets[i])

@@ -1,12 +1,15 @@
 package core
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // SortResults puts results into canonical order (Itemset.Compare ascending).
 // All miners call this before returning so result sets are directly
 // comparable.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Itemset.Compare(rs[j].Itemset) < 0 })
+	slices.SortFunc(rs, func(a, b Result) int { return a.Itemset.Compare(b.Itemset) })
 }
 
 // FrequencyOrder computes the canonical item reordering used by the
@@ -25,12 +28,11 @@ func FrequencyOrder(esup []float64, minESupCount float64) (order []Item, rank []
 			order = append(order, Item(it))
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
+	slices.SortFunc(order, func(a, b Item) int {
 		if esup[a] != esup[b] {
-			return esup[a] > esup[b]
+			return cmp.Compare(esup[b], esup[a])
 		}
-		return a < b
+		return cmp.Compare(a, b)
 	})
 	rank = make([]int, len(esup))
 	for i := range rank {
@@ -48,16 +50,16 @@ func FrequencyOrder(esup []float64, minESupCount float64) (order []Item, rank []
 // survives.
 func ProjectTransaction(t Transaction, rank []int) []Unit {
 	var out []Unit
-	for _, u := range t {
-		if rank[u.Item] >= 0 {
-			out = append(out, u)
+	for i, it := range t.Items {
+		if rank[it] >= 0 {
+			out = append(out, Unit{Item: it, Prob: t.Probs[i]})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return rank[out[i].Item] < rank[out[j].Item] })
+	slices.SortFunc(out, func(a, b Unit) int { return cmp.Compare(rank[a.Item], rank[b.Item]) })
 	return out
 }
 
 // SortItemsets sorts itemsets into canonical order.
 func SortItemsets(sets []Itemset) {
-	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+	slices.SortFunc(sets, func(a, b Itemset) int { return a.Compare(b) })
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -17,25 +18,51 @@ type Unit struct {
 	Prob float64
 }
 
-// Transaction is one uncertain transaction: a set of units sorted by item.
-// Item appearances are mutually independent, both within a transaction and
-// across transactions (the standard model of [Chui et al. 2007] adopted by
-// the paper).
-type Transaction []Unit
+// Transaction is one uncertain transaction as a cheap columnar view: a pair
+// of parallel columns, items sorted ascending and their existential
+// probabilities. Item appearances are mutually independent, both within a
+// transaction and across transactions (the standard model of
+// [Chui et al. 2007] adopted by the paper).
+//
+// A Transaction is a *view*: the columns usually alias a Database's shared
+// arena (see Database.Tx) and must be treated as read-only. Copying the
+// struct copies only the two slice headers — views are free to pass around,
+// and iterating one touches contiguous memory instead of chasing
+// per-transaction pointers.
+type Transaction struct {
+	// Items holds the transaction's items in strictly ascending order.
+	Items []Item
+	// Probs holds the existential probability of the item at the same
+	// index of Items.
+	Probs []float64
+}
 
-// NormalizeTransaction sorts units by item, merges duplicates (keeping the
-// max probability, the conventional resolution), clamps probabilities into
-// [0,1] and drops zero-probability units. It returns an error if any
-// probability is NaN or outside [-eps, 1+eps].
-func NormalizeTransaction(units []Unit) (Transaction, error) {
+// TxOf builds a Transaction from already-canonical units (sorted strictly
+// ascending, probabilities in (0,1]). It copies the units into fresh
+// columns; intended for tests and literal data. Use NormalizeTransaction
+// for untrusted input.
+func TxOf(units ...Unit) Transaction {
+	t := Transaction{Items: make([]Item, len(units)), Probs: make([]float64, len(units))}
+	for i, u := range units {
+		t.Items[i] = u.Item
+		t.Probs[i] = u.Prob
+	}
+	return t
+}
+
+// normalizeUnits validates, clamps, sorts and max-merges raw units into dst
+// (a reused scratch slice, overwritten from its start), returning the
+// canonical unit list. It is the single normalization pass shared by
+// NormalizeTransaction and the arena Builder.
+func normalizeUnits(dst, units []Unit) ([]Unit, error) {
 	const eps = 1e-9
-	t := make(Transaction, 0, len(units))
+	dst = dst[:0]
 	for _, u := range units {
 		switch {
 		case u.Prob != u.Prob: // NaN
-			return nil, fmt.Errorf("core: item %d has NaN probability", u.Item)
+			return dst, fmt.Errorf("core: item %d has NaN probability", u.Item)
 		case u.Prob < -eps || u.Prob > 1+eps:
-			return nil, fmt.Errorf("core: item %d has probability %v outside [0,1]", u.Item, u.Prob)
+			return dst, fmt.Errorf("core: item %d has probability %v outside [0,1]", u.Item, u.Prob)
 		}
 		p := u.Prob
 		if p < 0 {
@@ -46,11 +73,11 @@ func NormalizeTransaction(units []Unit) (Transaction, error) {
 		if p == 0 {
 			continue
 		}
-		t = append(t, Unit{Item: u.Item, Prob: p})
+		dst = append(dst, Unit{Item: u.Item, Prob: p})
 	}
-	sort.Slice(t, func(i, j int) bool { return t[i].Item < t[j].Item })
-	out := t[:0]
-	for _, u := range t {
+	slices.SortFunc(dst, func(a, b Unit) int { return cmp.Compare(a.Item, b.Item) })
+	out := dst[:0]
+	for _, u := range dst {
 		if len(out) > 0 && out[len(out)-1].Item == u.Item {
 			if u.Prob > out[len(out)-1].Prob {
 				out[len(out)-1].Prob = u.Prob
@@ -62,12 +89,30 @@ func NormalizeTransaction(units []Unit) (Transaction, error) {
 	return out, nil
 }
 
+// NormalizeTransaction sorts units by item, merges duplicates (keeping the
+// max probability, the conventional resolution), clamps probabilities into
+// [0,1] and drops zero-probability units. It returns an error if any
+// probability is NaN or outside [-eps, 1+eps]. The returned Transaction
+// owns freshly allocated columns (it aliases no arena).
+func NormalizeTransaction(units []Unit) (Transaction, error) {
+	norm, err := normalizeUnits(make([]Unit, 0, len(units)), units)
+	if err != nil {
+		return Transaction{}, err
+	}
+	return TxOf(norm...), nil
+}
+
+// Len returns the number of units in the transaction.
+func (t Transaction) Len() int { return len(t.Items) }
+
+// Unit returns the i-th unit of the transaction.
+func (t Transaction) Unit(i int) Unit { return Unit{Item: t.Items[i], Prob: t.Probs[i]} }
+
 // Prob returns the probability that item x appears in t, or 0 when x is not
 // mentioned by t.
 func (t Transaction) Prob(x Item) float64 {
-	i := sort.Search(len(t), func(i int) bool { return t[i].Item >= x })
-	if i < len(t) && t[i].Item == x {
-		return t[i].Prob
+	if i, ok := slices.BinarySearch(t.Items, x); ok {
+		return t.Probs[i]
 	}
 	return 0
 }
@@ -82,39 +127,51 @@ func (t Transaction) ItemsetProb(x Itemset) float64 {
 	p := 1.0
 	i := 0
 	for _, want := range x {
-		for i < len(t) && t[i].Item < want {
+		for i < len(t.Items) && t.Items[i] < want {
 			i++
 		}
-		if i == len(t) || t[i].Item != want {
+		if i == len(t.Items) || t.Items[i] != want {
 			return 0
 		}
-		p *= t[i].Prob
+		p *= t.Probs[i]
 		i++
 	}
 	return p
 }
 
-// Items returns the items of t as a canonical itemset.
-func (t Transaction) Items() Itemset {
-	s := make(Itemset, len(t))
-	for i, u := range t {
-		s[i] = u.Item
-	}
+// Clone returns a Transaction owning independent copies of the columns.
+// Use it to retain a transaction beyond the lifetime of the arena its view
+// aliases (retaining a view pins the whole arena).
+func (t Transaction) Clone() Transaction {
+	out := Transaction{Items: make([]Item, len(t.Items)), Probs: make([]float64, len(t.Probs))}
+	copy(out.Items, t.Items)
+	copy(out.Probs, t.Probs)
+	return out
+}
+
+// Itemset returns the items of t as a canonical itemset (an independent
+// copy — the view's column stays untouched).
+func (t Transaction) Itemset() Itemset {
+	s := make(Itemset, len(t.Items))
+	copy(s, t.Items)
 	return s
 }
 
-// Len returns the number of units in the transaction.
-func (t Transaction) Len() int { return len(t) }
+// Equal reports whether two transactions contain the same units (same items
+// with bitwise-equal probabilities).
+func (t Transaction) Equal(o Transaction) bool {
+	return slices.Equal(t.Items, o.Items) && slices.Equal(t.Probs, o.Probs)
+}
 
 // String renders the transaction in the paper's Table 1 style, e.g.
 // "1(0.80) 3(0.90)".
 func (t Transaction) String() string {
 	var b strings.Builder
-	for i, u := range t {
+	for i, it := range t.Items {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%d(%.2f)", u.Item, u.Prob)
+		fmt.Fprintf(&b, "%d(%.2f)", it, t.Probs[i])
 	}
 	return b.String()
 }

@@ -207,7 +207,7 @@ func TestApplyItemwisePreservesShape(t *testing.T) {
 		t.Fatalf("transaction count changed: %d vs %d", db.N(), len(det.Transactions))
 	}
 	for i, tx := range det.Transactions {
-		if len(db.Transactions[i]) != len(tx) {
+		if db.TxLen(i) != len(tx) {
 			t.Fatalf("transaction %d length changed", i)
 		}
 	}
@@ -219,13 +219,13 @@ func TestApplyItemwisePreservesShape(t *testing.T) {
 	quartile := db.NumItems / 4
 	var popSum, tailSum float64
 	var popN, tailN int
-	for _, tx := range db.Transactions {
-		for _, u := range tx {
-			if int(u.Item) < quartile {
-				popSum += u.Prob
+	for _, tx := range db.Transactions() {
+		for i, it := range tx.Items {
+			if int(it) < quartile {
+				popSum += tx.Probs[i]
 				popN++
-			} else if int(u.Item) >= 3*quartile {
-				tailSum += u.Prob
+			} else if int(it) >= 3*quartile {
+				tailSum += tx.Probs[i]
 				tailN++
 			}
 		}

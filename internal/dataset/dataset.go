@@ -61,43 +61,41 @@ type Assigner interface {
 }
 
 // Apply converts d into an uncertain database using the assigner and the
-// random source. Occurrences whose assigned probability would round to zero
-// are kept at the assigner's floor, so the uncertain database preserves the
-// deterministic one's shape (same transactions, same lengths).
+// random source, streaming straight into the columnar arena (one reused
+// unit buffer — no per-transaction row materialization). Occurrences whose
+// assigned probability would round to zero are kept at the assigner's
+// floor, so the uncertain database preserves the deterministic one's shape
+// (same transactions, same lengths).
 func Apply(d *Deterministic, a Assigner, rng *rand.Rand) *core.Database {
-	raw := make([][]core.Unit, len(d.Transactions))
-	for i, t := range d.Transactions {
-		units := make([]core.Unit, len(t))
-		for j, it := range t {
-			units[j] = core.Unit{Item: it, Prob: a.Assign(rng)}
-		}
-		raw[i] = units
-	}
-	db, err := core.NewDatabase(fmt.Sprintf("%s+%s", d.Name, a.Name()), raw)
-	if err != nil {
-		// Assigners guarantee (0,1]; an error here is a programming bug.
-		panic(fmt.Sprintf("dataset: Apply produced invalid database: %v", err))
-	}
-	if d.NumItems > db.NumItems {
-		db.SetNumItems(d.NumItems)
-	}
-	return db
+	return applyWith(d, fmt.Sprintf("%s+%s", d.Name, a.Name()), func(core.Item) float64 { return a.Assign(rng) })
 }
 
 // ApplyItemwise is Apply for item-aware assigners.
 func ApplyItemwise(d *Deterministic, a ItemAssigner, rng *rand.Rand) *core.Database {
-	raw := make([][]core.Unit, len(d.Transactions))
-	for i, t := range d.Transactions {
-		units := make([]core.Unit, len(t))
-		for j, it := range t {
-			units[j] = core.Unit{Item: it, Prob: a.AssignItem(int(it), rng)}
+	return applyWith(d, fmt.Sprintf("%s+%s", d.Name, a.Name()), func(it core.Item) float64 { return a.AssignItem(int(it), rng) })
+}
+
+// applyWith is the shared arena-building loop behind Apply and
+// ApplyItemwise.
+func applyWith(d *Deterministic, name string, assign func(core.Item) float64) *core.Database {
+	b := core.NewBuilder(name)
+	units := 0
+	for _, t := range d.Transactions {
+		units += len(t)
+	}
+	b.Grow(len(d.Transactions), units)
+	var buf []core.Unit
+	for _, t := range d.Transactions {
+		buf = buf[:0]
+		for _, it := range t {
+			buf = append(buf, core.Unit{Item: it, Prob: assign(it)})
 		}
-		raw[i] = units
+		if err := b.Add(buf); err != nil {
+			// Assigners guarantee (0,1]; an error here is a programming bug.
+			panic(fmt.Sprintf("dataset: assigner produced invalid database: %v", err))
+		}
 	}
-	db, err := core.NewDatabase(fmt.Sprintf("%s+%s", d.Name, a.Name()), raw)
-	if err != nil {
-		panic(fmt.Sprintf("dataset: ApplyItemwise produced invalid database: %v", err))
-	}
+	db := b.Build()
 	if d.NumItems > db.NumItems {
 		db.SetNumItems(d.NumItems)
 	}

@@ -39,13 +39,13 @@ func FuzzReadUncertain(f *testing.F) {
 		if back.N() != db.N() {
 			t.Fatalf("round trip changed N: %d → %d", db.N(), back.N())
 		}
-		for i := range db.Transactions {
-			a, b := db.Transactions[i], back.Transactions[i]
-			if len(a) != len(b) {
-				t.Fatalf("transaction %d length changed: %d → %d", i, len(a), len(b))
+		for i, n := 0, db.N(); i < n; i++ {
+			a, b := db.Tx(i), back.Tx(i)
+			if a.Len() != b.Len() {
+				t.Fatalf("transaction %d length changed: %d → %d", i, a.Len(), b.Len())
 			}
-			for j := range a {
-				if a[j].Item != b[j].Item {
+			for j := range a.Items {
+				if a.Items[j] != b.Items[j] {
 					t.Fatalf("transaction %d unit %d item changed", i, j)
 				}
 			}

@@ -215,8 +215,8 @@ func TestApplyPreservesShape(t *testing.T) {
 		t.Fatalf("N = %d, want %d", db.N(), len(d.Transactions))
 	}
 	for i, tx := range d.Transactions {
-		if len(db.Transactions[i]) != len(tx) {
-			t.Fatalf("transaction %d length changed: %d vs %d", i, len(db.Transactions[i]), len(tx))
+		if db.TxLen(i) != len(tx) {
+			t.Fatalf("transaction %d length changed: %d vs %d", i, db.TxLen(i), len(tx))
 		}
 	}
 	if err := db.Validate(); err != nil {

@@ -94,7 +94,9 @@ func WriteFIMI(w io.Writer, d *Deterministic) error {
 func ReadUncertain(r io.Reader, name string) (*core.Database, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
-	var raw [][]core.Unit
+	// Stream straight into the columnar arena: no intermediate [][]Unit
+	// materialization, no per-transaction row allocation.
+	b := core.NewBuilder(name)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -106,16 +108,14 @@ func ReadUncertain(r io.Reader, name string) (*core.Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: %s line %d: %w", name, lineNo, err)
 		}
-		raw = append(raw, units)
+		if err := b.Add(units); err != nil {
+			return nil, fmt.Errorf("dataset: %s line %d: %w", name, lineNo, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: %s line %d: %w", name, lineNo, err)
 	}
-	db, err := core.NewDatabase(name, raw)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %s: %w", name, err)
-	}
-	return db, nil
+	return b.Build(), nil
 }
 
 // ParseUnits parses one transaction line of the item:prob text format into
@@ -151,14 +151,15 @@ func ParseUnits(line string) ([]core.Unit, error) {
 // full float64 round-trip precision.
 func WriteUncertain(w io.Writer, db *core.Database) error {
 	bw := bufio.NewWriter(w)
-	for _, tx := range db.Transactions {
-		for i, u := range tx {
+	for j, n := 0, db.N(); j < n; j++ {
+		tx := db.Tx(j)
+		for i, it := range tx.Items {
 			if i > 0 {
 				if err := bw.WriteByte(' '); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(bw, "%d:%s", u.Item, strconv.FormatFloat(u.Prob, 'g', 17, 64)); err != nil {
+			if _, err := fmt.Fprintf(bw, "%d:%s", it, strconv.FormatFloat(tx.Probs[i], 'g', 17, 64)); err != nil {
 				return err
 			}
 		}

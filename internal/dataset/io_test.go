@@ -83,10 +83,10 @@ func TestReadUncertain(t *testing.T) {
 	if db.N() != 3 {
 		t.Fatalf("N = %d", db.N())
 	}
-	if got := db.Transactions[0].Prob(4); got != 0.95 {
+	if got := db.Tx(0).Prob(4); got != 0.95 {
 		t.Fatalf("prob = %v", got)
 	}
-	if len(db.Transactions[1]) != 0 {
+	if db.TxLen(1) != 0 {
 		t.Fatal("blank line must be empty transaction")
 	}
 	if err := db.Validate(); err != nil {
@@ -136,15 +136,10 @@ func TestUncertainRoundTripExact(t *testing.T) {
 	if got.N() != db.N() {
 		t.Fatalf("N %d vs %d", got.N(), db.N())
 	}
-	for i := range db.Transactions {
-		a, b := db.Transactions[i], got.Transactions[i]
-		if len(a) != len(b) {
-			t.Fatalf("transaction %d length %d vs %d", i, len(a), len(b))
-		}
-		for j := range a {
-			if a[j] != b[j] {
-				t.Fatalf("transaction %d unit %d: %v vs %v (probabilities must round-trip bit-exactly)", i, j, a[j], b[j])
-			}
+	for i, n := 0, db.N(); i < n; i++ {
+		a, b := db.Tx(i), got.Tx(i)
+		if !a.Equal(b) {
+			t.Fatalf("transaction %d: %v vs %v (probabilities must round-trip bit-exactly)", i, a, b)
 		}
 	}
 }

@@ -219,10 +219,9 @@ func TestIngestInvalidatesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grown := &core.Database{
-		Name:         db.Name,
-		Transactions: append(append([]core.Transaction{}, db.Transactions...), tx),
-		NumItems:     db.NumItems,
+	grown := core.FromTransactions(db.Name, append(db.Transactions(), tx))
+	if grown.NumItems < db.NumItems {
+		grown.SetNumItems(db.NumItems)
 	}
 	want := directMine(t, "UApriori", grown, th)
 	if !bytes.Equal(marshal(t, second.Results), marshal(t, want)) {

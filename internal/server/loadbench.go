@@ -107,8 +107,12 @@ type LoadBenchReport struct {
 	// ResultCount is the query's frequent-itemset count (sanity: non-empty).
 	ResultCount int `json:"result_count"`
 	// DirectMineMS is the eval.Run in-process single-run baseline.
-	DirectMineMS float64          `json:"direct_mine_ms"`
-	Levels       []LoadBenchLevel `json:"levels"`
+	DirectMineMS float64 `json:"direct_mine_ms"`
+	// DatasetBytesResident is the benchmark dataset's arena footprint as
+	// served (the server's per-dataset bytes_resident), so the report
+	// tracks memory alongside latency.
+	DatasetBytesResident int64            `json:"dataset_bytes_resident"`
+	Levels               []LoadBenchLevel `json:"levels"`
 	// CacheSpeedupP50 is cold p50 / hot p50 at the first level — the
 	// headline cache win.
 	CacheSpeedupP50 float64 `json:"cache_speedup_p50"`
@@ -152,9 +156,11 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 	// MaxInFlight is left at its default (2 × GOMAXPROCS): the bench
 	// measures the served shape, queueing included.
 	srv := New(Config{DefaultWorkers: cfg.Workers})
-	if _, err := srv.RegisterDatabase("bench", db, RegisterOptions{Source: "loadbench"}); err != nil {
+	info, err := srv.RegisterDatabase("bench", db, RegisterOptions{Source: "loadbench"})
+	if err != nil {
 		return nil, err
 	}
+	fmt.Fprintf(cfg.Log, "loadbench: dataset resident: %d bytes\n", info.BytesResident)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -171,18 +177,19 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 128
 
 	report := &LoadBenchReport{
-		Benchmark:    "server-load",
-		Profile:      cfg.Profile,
-		Scale:        cfg.Scale,
-		Seed:         cfg.Seed,
-		Algorithm:    cfg.Algorithm,
-		MinESup:      cfg.MinESup,
-		NumTrans:     db.N(),
-		NumItems:     db.NumItems,
-		ResultCount:  meas.Results.Len(),
-		DirectMineMS: float64(meas.Elapsed.Microseconds()) / 1000,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Benchmark:            "server-load",
+		Profile:              cfg.Profile,
+		Scale:                cfg.Scale,
+		Seed:                 cfg.Seed,
+		Algorithm:            cfg.Algorithm,
+		MinESup:              cfg.MinESup,
+		NumTrans:             db.N(),
+		NumItems:             db.NumItems,
+		ResultCount:          meas.Results.Len(),
+		DirectMineMS:         float64(meas.Elapsed.Microseconds()) / 1000,
+		DatasetBytesResident: info.BytesResident,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Timestamp:            time.Now().UTC().Format(time.RFC3339),
 	}
 
 	for _, clients := range cfg.Levels {

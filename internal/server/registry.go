@@ -79,8 +79,12 @@ type DatasetInfo struct {
 	Watched    int  `json:"watched,omitempty"`
 	// Shards > 1 marks the dataset for scatter-gather mining across that
 	// many sub-shards (see RegisterOptions.Shards).
-	Shards     int    `json:"shards,omitempty"`
-	Registered string `json:"registered"`
+	Shards int `json:"shards,omitempty"`
+	// BytesResident is the snapshot's arena footprint (columns + offset
+	// table + any built vertical index). Sharded views slice the one arena,
+	// so this is the whole dataset's storage, not a per-shard multiple.
+	BytesResident int64  `json:"bytes_resident"`
+	Registered    string `json:"registered"`
 }
 
 // dsEntry is one registered dataset: an immutable snapshot swapped under mu.
@@ -95,6 +99,33 @@ type dsEntry struct {
 	ingested   int64
 	source     string
 	registered time.Time
+
+	// Cached scatter backend for the current snapshot: rebuilding slices
+	// per request would discard the shards' lazily built per-item indexes.
+	// Invalidation is implicit — the cache is keyed on the snapshot
+	// pointer, which every ingest swaps.
+	shardBE   ShardBackend
+	shardBEdb *core.Database
+	shardBEk  int
+}
+
+// backendFor returns the scatter backend for the given snapshot and shard
+// count, building it with mk on first use and caching it until the
+// snapshot is swapped (ingest) or the clamped width changes. A backend for
+// a snapshot that is no longer current (an in-flight mine racing an
+// ingest) is built but never cached — storing it would re-pin the replaced
+// arena indefinitely.
+func (d *dsEntry) backendFor(db *core.Database, k int, mk func(*core.Database, int) ShardBackend) ShardBackend {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shardBE != nil && d.shardBEdb == db && d.shardBEk == k {
+		return d.shardBE
+	}
+	be := mk(db, k)
+	if db == d.db {
+		d.shardBE, d.shardBEdb, d.shardBEk = be, db, k
+	}
+	return be
 }
 
 // snapshot returns the current immutable database and its version.
@@ -109,13 +140,14 @@ func (d *dsEntry) info() DatasetInfo {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	info := DatasetInfo{
-		Name:       d.name,
-		Version:    d.version,
-		NumTrans:   d.db.N(),
-		NumItems:   d.db.NumItems,
-		Ingested:   d.ingested,
-		Source:     d.source,
-		Registered: d.registered.UTC().Format(time.RFC3339),
+		Name:          d.name,
+		Version:       d.version,
+		NumTrans:      d.db.N(),
+		NumItems:      d.db.NumItems,
+		Ingested:      d.ingested,
+		Source:        d.source,
+		BytesResident: d.db.BytesResident(),
+		Registered:    d.registered.UTC().Format(time.RFC3339),
 	}
 	if d.window != nil {
 		info.Windowed = true
@@ -124,9 +156,19 @@ func (d *dsEntry) info() DatasetInfo {
 	}
 	if d.shards > 1 {
 		info.Shards = d.shards
+		// Per-shard views share the snapshot's arena (never double-counted)
+		// but build their own per-item indexes; an in-process backend can
+		// report those so bytes_resident covers the sharded state too.
+		if be, ok := d.shardBE.(indexResident); ok && d.shardBEdb == d.db {
+			info.BytesResident += be.indexBytes()
+		}
 	}
 	return info
 }
+
+// indexResident is implemented by in-process shard backends that can
+// report their shards' derived per-item index footprint.
+type indexResident interface{ indexBytes() int64 }
 
 // IngestResult reports one Ingest call.
 type IngestResult struct {
@@ -179,9 +221,11 @@ func (d *dsEntry) ingest(ctx context.Context, raw [][]core.Unit) (IngestResult, 
 	var refreshErr error
 	if d.window != nil {
 		for _, t := range txs {
-			// txs are pre-normalized, so an error here is a refresh
-			// re-mine failure, after the push itself already applied.
-			r, err := d.window.PushCanonical(ctx, t)
+			// txs are pre-normalized with columns this loop owns (built by
+			// NormalizeTransaction above, never retained), so PushOwned
+			// skips the defensive copy; an error here is a refresh re-mine
+			// failure, after the push itself already applied.
+			r, err := d.window.PushOwned(ctx, t)
 			if err != nil {
 				refreshErr = err
 			}
@@ -194,18 +238,29 @@ func (d *dsEntry) ingest(ctx context.Context, raw [][]core.Unit) (IngestResult, 
 		}
 		d.db = snap
 	} else {
+		// Rebuild the arena with the batch appended: one columnar copy of
+		// the old snapshot plus the new transactions, so the new snapshot is
+		// again one contiguous backing store shared by every reader. This
+		// keeps every mine maximally scan-friendly at the cost of O(N) copy
+		// per ingest batch — fine for batch-append workloads; the ROADMAP's
+		// "delta arenas" item covers amortizing append-heavy streams.
 		old := d.db
-		all := make([]core.Transaction, 0, len(old.Transactions)+len(txs))
-		all = append(all, old.Transactions...)
-		all = append(all, txs...)
-		numItems := old.NumItems
+		b := core.NewBuilder(d.name)
+		units := old.NumUnits()
 		for _, t := range txs {
-			if len(t) > 0 && int(t[len(t)-1].Item) >= numItems {
-				numItems = int(t[len(t)-1].Item) + 1
-			}
+			units += t.Len()
 		}
-		d.db = &core.Database{Name: d.name, Transactions: all, NumItems: numItems}
+		b.Grow(old.N()+len(txs), units)
+		b.AddDatabase(old)
+		for _, t := range txs {
+			b.AddCanonical(t)
+		}
+		d.db = b.Build()
 	}
+	// The scatter-backend cache is keyed on the snapshot pointer; drop it
+	// with the snapshot so the replaced arena does not stay pinned until
+	// (or beyond) the next sharded mine.
+	d.shardBE, d.shardBEdb, d.shardBEk = nil, nil, 0
 	d.version++
 	d.ingested += int64(len(txs))
 	res := IngestResult{
@@ -301,7 +356,7 @@ func (s *Server) RegisterDatabase(name string, db *core.Database, opts RegisterO
 		// Registration is a one-shot setup call, so the seed replay's
 		// refresh runs uncancellable; per-request contexts govern ingest
 		// and mining, not registration.
-		if err := w.Load(context.Background(), db.Transactions); err != nil {
+		if err := w.Load(context.Background(), db.Transactions()); err != nil {
 			return DatasetInfo{}, err
 		}
 		snap := w.Snapshot()

@@ -250,7 +250,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return nil, err
 			}
 			defer s.release() // released even if the miner panics
-			return s.runMine(ctx, req, d.shards, db)
+			return s.runMine(ctx, req, d, db)
 		}()
 		if err != nil {
 			s.countError(err)
@@ -279,7 +279,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return mineOutcome{rs: rs, kind: kind}, nil
 			}
 		}
-		rs, err := s.runMine(ctx, req, d.shards, db)
+		rs, err := s.runMine(ctx, req, d, db)
 		if err != nil {
 			return mineOutcome{}, err
 		}
@@ -314,8 +314,9 @@ const minShardTransactions = 64
 // dataset is sharded and the algorithm partition-capable (bit-identical to
 // the plain path, so cache entries stay interchangeable), the plain mineFn
 // otherwise.
-func (s *Server) runMine(ctx context.Context, req MineRequest, shards int, db *core.Database) (*core.ResultSet, error) {
+func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *core.Database) (*core.ResultSet, error) {
 	opts := core.Options{Workers: s.workers(req.Workers)}
+	shards := d.shards
 	if maxK := db.N() / minShardTransactions; shards > maxK {
 		// Clamp so every shard holds at least minShardTransactions
 		// transactions of the current snapshot (tiny dataset, shrunken
@@ -323,7 +324,7 @@ func (s *Server) runMine(ctx context.Context, req MineRequest, shards int, db *c
 		shards = maxK
 	}
 	if shards > 1 && algo.SupportsPartitions(req.Algorithm) {
-		return s.mineSharded(ctx, req.Algorithm, db, shards, req.Thresholds, opts)
+		return s.mineSharded(ctx, req.Algorithm, d, db, shards, req.Thresholds, opts)
 	}
 	return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, opts)
 }
@@ -441,6 +442,11 @@ type Stats struct {
 	PartitionsMined  uint64  `json:"partitions_mined"`
 	Phase2Candidates uint64  `json:"phase2_candidates"`
 	PartitionMergeMS float64 `json:"partition_merge_ms"`
+	// BytesResident totals the datasets' arena footprints (columns, offset
+	// tables, built vertical indexes); DatasetBytesResident breaks it down
+	// per dataset. Sharded views share one arena, counted once.
+	BytesResident        int64            `json:"bytes_resident"`
+	DatasetBytesResident map[string]int64 `json:"dataset_bytes_resident,omitempty"`
 }
 
 // Stats snapshots the server counters.
@@ -465,6 +471,16 @@ func (s *Server) Stats() Stats {
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
+	}
+	for _, d := range s.reg.list() {
+		// info() folds in any cached shard backend's per-view index bytes,
+		// so /stats and /datasets agree on a sharded dataset's footprint.
+		b := d.info().BytesResident
+		if st.DatasetBytesResident == nil {
+			st.DatasetBytesResident = make(map[string]int64)
+		}
+		st.DatasetBytesResident[d.name] = b
+		st.BytesResident += b
 	}
 	return st
 }

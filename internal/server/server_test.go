@@ -76,8 +76,8 @@ func TestWindowedRetention(t *testing.T) {
 	// transactions are its tail.
 	d, _ := s.reg.get("w")
 	snap, _ := d.snapshot()
-	last := snap.Transactions[len(snap.Transactions)-1]
-	if len(last) != 1 || last[0].Item != 1 {
+	last := snap.Tx(snap.N() - 1)
+	if last.Len() != 1 || last.Items[0] != 1 {
 		t.Fatalf("window tail %v, want the last ingested transaction", last)
 	}
 }
@@ -312,5 +312,37 @@ func TestStatsCounters(t *testing.T) {
 	}
 	if st.CacheEntries == 0 {
 		t.Error("cache entries not counted")
+	}
+}
+
+// TestStatsBytesResident: /stats (and DatasetInfo) must report each
+// dataset's arena footprint, totalled across the registry.
+func TestStatsBytesResident(t *testing.T) {
+	s := New(Config{})
+	db := testDB(t)
+	info, err := s.RegisterDatabase("a", db, RegisterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BytesResident != db.BytesResident() || info.BytesResident <= 0 {
+		t.Fatalf("DatasetInfo.BytesResident = %d, want %d", info.BytesResident, db.BytesResident())
+	}
+	if _, err := s.RegisterDatabase("b", coretest.PaperDB(), RegisterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.DatasetBytesResident) != 2 {
+		t.Fatalf("per-dataset map %v, want 2 entries", st.DatasetBytesResident)
+	}
+	if st.BytesResident != st.DatasetBytesResident["a"]+st.DatasetBytesResident["b"] {
+		t.Fatalf("total %d does not sum the per-dataset entries %v", st.BytesResident, st.DatasetBytesResident)
+	}
+	// Ingest grows the arena and therefore the reported footprint.
+	before := st.DatasetBytesResident["a"]
+	if _, err := s.Ingest(context.Background(), "a", [][]core.Unit{{{Item: 0, Prob: 0.5}, {Item: 2, Prob: 0.25}}}); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().DatasetBytesResident["a"]; after <= before {
+		t.Fatalf("bytes_resident did not grow on ingest: %d -> %d", before, after)
 	}
 }

@@ -75,14 +75,14 @@ func (l *localShards) MineShard(ctx context.Context, shard int, algorithm string
 // engine drives phase 1 through the shard backend and phase 2 through the
 // restricted target miner, and its RunStats feed the /stats partition
 // counters. Results are bit-identical to s.mineFn on the same snapshot.
-func (s *Server) mineSharded(ctx context.Context, algorithm string, db *core.Database, k int, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, db *core.Database, k int, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
 	opts.Partitions = k
 	eng, err := algo.NewPartitionEngine(algorithm, opts)
 	if err != nil {
 		return nil, err
 	}
 	phase1, _ := algo.PartitionPhase1(algorithm)
-	backend := s.shardBackend(db, k)
+	backend := d.backendFor(db, k, s.shardBackend)
 	if got := backend.Shards(); got != k {
 		// The engine fans out over Boundaries(N, k); a backend with a
 		// different shard count (a misconfigured process-per-shard
@@ -101,11 +101,27 @@ func (s *Server) mineSharded(ctx context.Context, algorithm string, db *core.Dat
 	return eng.Mine(ctx, db, th)
 }
 
-// shardBackend returns the backend mining a snapshot's shards; tests (and,
+// shardBackend builds the backend mining a snapshot's shards; tests (and,
 // later, a process-per-shard deployment) substitute newShardBackend.
+// dsEntry.backendFor caches the result per (snapshot, K), so the shards'
+// lazily built per-item indexes (TID counts, vertical postings) amortize
+// across every cold mine of the same snapshot instead of being rebuilt
+// and discarded per request.
 func (s *Server) shardBackend(db *core.Database, k int) ShardBackend {
 	if s.newShardBackend != nil {
 		return s.newShardBackend(db, k)
 	}
 	return newLocalShards(db, k)
+}
+
+// indexBytes reports the shards' derived per-item index footprint (TID
+// counts + vertical postings). The arena itself is shared with the parent
+// snapshot and already counted by Database.BytesResident, so only the
+// index overhead is added here (the registry's indexResident hook).
+func (l *localShards) indexBytes() int64 {
+	var b int64
+	for _, db := range l.dbs {
+		b += db.IndexBytes()
+	}
+	return b
 }

@@ -137,14 +137,32 @@ func (w *Window) Push(ctx context.Context, units []core.Unit) (refreshed bool, e
 	if err != nil {
 		return false, fmt.Errorf("stream: %w", err)
 	}
-	return w.PushCanonical(ctx, tx)
+	// tx owns freshly allocated columns — no defensive clone needed.
+	return w.arrive(ctx, tx)
 }
 
 // PushCanonical is Push for an already-canonical transaction (one produced
 // by NormalizeTransaction, or taken from a Database), skipping the
-// redundant normalization pass — the ingest hot path of callers that
-// validate batches up front.
+// redundant normalization pass. The transaction's columns are copied into
+// the ring: retaining the caller's view unchanged would pin the whole
+// arena it aliases for as long as the entry survives. Callers that built
+// the columns themselves can skip the copy with PushOwned.
 func (w *Window) PushCanonical(ctx context.Context, tx core.Transaction) (refreshed bool, err error) {
+	return w.arrive(ctx, tx.Clone())
+}
+
+// PushOwned is PushCanonical transferring ownership: the window keeps tx's
+// columns as-is, so they must be freshly allocated for this call (e.g. by
+// NormalizeTransaction) and never retained, reused or arena-backed by the
+// caller. This is the ingest hot path of callers that normalize batches up
+// front — one copy total instead of two.
+func (w *Window) PushOwned(ctx context.Context, tx core.Transaction) (refreshed bool, err error) {
+	return w.arrive(ctx, tx)
+}
+
+// arrive applies one owned transaction and triggers a refresh re-mine at
+// the configured boundaries.
+func (w *Window) arrive(ctx context.Context, tx core.Transaction) (refreshed bool, err error) {
 	w.push(tx)
 	if w.cfg.RefreshEvery > 0 && w.arrived%int64(w.cfg.RefreshEvery) == 0 {
 		return true, w.Refresh(ctx)
@@ -155,10 +173,21 @@ func (w *Window) PushCanonical(ctx context.Context, tx core.Transaction) (refres
 // Load bulk-appends already-canonical transactions (oldest first, e.g. a
 // Database's) without triggering per-arrival refresh re-mines, then runs a
 // single refresh if one is configured — the seeding counterpart of Push,
-// where only the state after the last transaction matters.
+// where only the state after the last transaction matters. Views are
+// copied into the ring (see PushCanonical); with no watch list, the
+// evicted prefix of an over-long seed carries no observable state, so only
+// the surviving tail is copied at all.
 func (w *Window) Load(ctx context.Context, txs []core.Transaction) error {
-	for _, tx := range txs {
-		w.push(tx)
+	skip := 0
+	if len(w.watch) == 0 && len(txs) > w.cfg.Size {
+		// Only the trailing Size transactions survive and no running sums
+		// depend on the evicted prefix; count the skipped arrivals so
+		// Arrived() still reflects the whole load.
+		skip = len(txs) - w.cfg.Size
+		w.arrived += int64(skip)
+	}
+	for _, tx := range txs[skip:] {
+		w.push(tx.Clone())
 	}
 	if w.cfg.RefreshEvery > 0 && len(txs) > 0 {
 		return w.Refresh(ctx)
@@ -166,8 +195,9 @@ func (w *Window) Load(ctx context.Context, txs []core.Transaction) error {
 	return nil
 }
 
-// push is the arrival bookkeeping shared by Push and Load: evict, insert,
-// update the watched running sums.
+// push is the arrival bookkeeping shared by the entry points above: evict,
+// insert, update the watched running sums. The transaction must be owned
+// by the window (callers clone arena views before handing them over).
 func (w *Window) push(tx core.Transaction) {
 	if w.filled == w.cfg.Size {
 		old := w.ring[w.head]
@@ -212,23 +242,20 @@ func (w *Window) slot(i int) int {
 }
 
 // Snapshot materializes the window as a Database (oldest first), for batch
-// mining or inspection. Transactions are shared, not copied.
+// mining or inspection. The window's transactions are copied into a fresh
+// columnar arena (one O(Σ|T|) pass), so the snapshot is as scan-friendly as
+// any loaded database and shares no mutable state with the ring.
 func (w *Window) Snapshot() *core.Database {
-	txs := make([]core.Transaction, w.filled)
+	b := core.NewBuilder(fmt.Sprintf("window@%d", w.arrived))
+	units := 0
 	for i := 0; i < w.filled; i++ {
-		txs[i] = w.ring[w.slot(i)]
+		units += w.ring[w.slot(i)].Len()
 	}
-	maxItem := -1
-	for _, t := range txs {
-		if len(t) > 0 && int(t[len(t)-1].Item) > maxItem {
-			maxItem = int(t[len(t)-1].Item)
-		}
+	b.Grow(w.filled, units)
+	for i := 0; i < w.filled; i++ {
+		b.AddCanonical(w.ring[w.slot(i)])
 	}
-	return &core.Database{
-		Name:         fmt.Sprintf("window@%d", w.arrived),
-		Transactions: txs,
-		NumItems:     maxItem + 1,
-	}
+	return b.Build()
 }
 
 // ESup returns the watched itemset's expected support over the current

@@ -127,8 +127,8 @@ func TestUnwatch(t *testing.T) {
 func TestEvictionExactness(t *testing.T) {
 	w := newTestWindow(t, 3, core.ExpectedSupport)
 	w.Watch(core.NewItemset(coretest.A))
-	for _, tx := range coretest.PaperDB().Transactions {
-		if _, err := w.Push(context.Background(), tx); err != nil {
+	for _, tx := range coretest.PaperDB().Transactions() {
+		if _, err := w.PushCanonical(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -149,8 +149,8 @@ func TestFrequentExpectedSupport(t *testing.T) {
 	} {
 		w.Watch(x)
 	}
-	for _, tx := range coretest.PaperDB().Transactions {
-		if _, err := w.Push(context.Background(), tx); err != nil {
+	for _, tx := range coretest.PaperDB().Transactions() {
+		if _, err := w.PushCanonical(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,8 +171,8 @@ func TestFreqProbMatchesNormalApprox(t *testing.T) {
 	w := newTestWindow(t, 4, core.Probabilistic)
 	x := core.NewItemset(coretest.A)
 	w.Watch(x)
-	for _, tx := range coretest.PaperDB().Transactions {
-		if _, err := w.Push(context.Background(), tx); err != nil {
+	for _, tx := range coretest.PaperDB().Transactions() {
+		if _, err := w.PushCanonical(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,7 +258,7 @@ func TestSnapshotOrder(t *testing.T) {
 	}
 	// Oldest surviving first: pushes 3, 4, 5 → probs 0.3, 0.4, 0.5.
 	for i, want := range []float64{0.3, 0.4, 0.5} {
-		if got := db.Transactions[i][0].Prob; math.Abs(got-want) > 1e-12 {
+		if got := db.Tx(i).Probs[0]; math.Abs(got-want) > 1e-12 {
 			t.Fatalf("snapshot[%d] prob %v, want %v", i, got, want)
 		}
 	}
@@ -323,7 +323,7 @@ func TestLoadDefersRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := loaded.Load(context.Background(), db.Transactions); err != nil {
+	if err := loaded.Load(context.Background(), db.Transactions()); err != nil {
 		t.Fatal(err)
 	}
 	if cm.calls != 1 {
@@ -334,8 +334,8 @@ func TestLoadDefersRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tx := range db.Transactions {
-		if _, err := pushed.Push(context.Background(), tx); err != nil {
+	for _, tx := range db.Transactions() {
+		if _, err := pushed.PushCanonical(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -376,7 +376,7 @@ func TestRefreshCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Load(context.Background(), db.Transactions); err != nil {
+	if err := w.Load(context.Background(), db.Transactions()); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Refresh(context.Background()); err != nil {
@@ -393,5 +393,27 @@ func TestRefreshCancel(t *testing.T) {
 	}
 	if got := len(w.Watched()); got != watched {
 		t.Fatalf("canceled refresh changed the watch list: %d -> %d itemsets", watched, got)
+	}
+}
+
+// TestPushDoesNotRetainCallerArena: the ring must own copies of pushed
+// transactions — retaining a caller's view would pin the arena it aliases
+// (the whole seed database, for windowed registration) until eviction.
+func TestPushDoesNotRetainCallerArena(t *testing.T) {
+	w := newTestWindow(t, 4, core.ExpectedSupport)
+	db := coretest.PaperDB()
+	tx := db.Tx(0)
+	if _, err := w.PushCanonical(context.Background(), tx); err != nil {
+		t.Fatal(err)
+	}
+	stored := w.ring[0]
+	if !stored.Equal(tx) {
+		t.Fatalf("stored transaction %v differs from pushed %v", stored, tx)
+	}
+	if len(stored.Items) > 0 && &stored.Items[0] == &tx.Items[0] {
+		t.Fatal("ring aliases the pushed view's item column (arena retained)")
+	}
+	if len(stored.Probs) > 0 && &stored.Probs[0] == &tx.Probs[0] {
+		t.Fatal("ring aliases the pushed view's probability column (arena retained)")
 	}
 }
