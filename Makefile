@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race test-cancel test-partition bench bench-storage smoke-server bench-server ci
+.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards bench-server bench-gate ci
 
 all: build
 
@@ -21,6 +21,21 @@ fmt:
 ## vet: static analysis
 vet:
 	$(GO) vet ./...
+
+## lint: staticcheck + govulncheck. The CI lint job installs both with
+## `go install`; locally they are skipped (with a warning) when not on PATH,
+## so `make ci` stays green on a machine without them.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi
 
 ## test: the full suite (tier-1 verify), no shortcuts
 test:
@@ -43,6 +58,14 @@ test-cancel:
 test-partition:
 	$(GO) test -race -count=1 -run 'Partition|Shard|RegistryCapability' ./internal/partition/... ./internal/algo ./internal/server
 
+## test-shardrpc: the distributed shard backend's fault-injection suites
+## under the race detector — timeout→retry, straggler→hedge, dead
+## shard→failover, stale version→re-push, goroutine-leak checks, and the
+## server-level RPC bit-identity matrix
+test-shardrpc:
+	$(GO) test -race -count=1 ./internal/shardrpc
+	$(GO) test -race -count=1 -run 'TestRPCShard' ./internal/server
+
 ## bench: benchmark smoke run — one iteration each, so perf code keeps compiling and running
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -58,10 +81,28 @@ bench-storage:
 smoke-server:
 	sh scripts/smoke_userve.sh
 
+## smoke-shards: multi-process sharded mining — boot 2 ushard shard servers
+## plus a userve coordinator routing phase 1 over them; /mine must be
+## byte-identical to the in-process path, including after an /ingest version
+## bump invalidates the shards' pinned slices
+smoke-shards:
+	sh scripts/smoke_userve.sh shards
+
 ## bench-server: closed-loop load benchmark at 1/8/64 clients; writes
 ## BENCH_server.json plus the partitioned cold-mine comparison BENCH_partition.json
 bench-server:
 	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
 
+## bench-gate: re-run the storage and partition benchmarks into *.fresh.json
+## and fail on >25% p50 regression against the committed baselines (the
+## server load bench is shrunk to one client level — its report is not
+## gated, only the partition comparison is). `make bench-server` + copying
+## the fresh files over the baselines re-baselines after an intended change.
+bench-gate:
+	BENCH_STORAGE_OUT=$$(pwd)/BENCH_storage.fresh.json $(GO) test ./internal/algo/apriori -run TestWriteStorageBench -count=1
+	$(GO) run ./cmd/userve -loadbench -bench_clients 1 -bench_requests 8 \
+		-bench_out BENCH_server.fresh.json -bench_partition_out BENCH_partition.fresh.json
+	$(GO) run ./scripts/benchgate BENCH_storage.json=BENCH_storage.fresh.json BENCH_partition.json=BENCH_partition.fresh.json
+
 ## ci: everything the pipeline runs
-ci: build fmt vet race test-cancel test-partition bench bench-storage smoke-server bench-server
+ci: build fmt vet lint race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards bench-server bench-gate

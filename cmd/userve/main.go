@@ -40,7 +40,10 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "default per-request timeout (0 = none)")
 		preload      = flag.String("preload", "", "comma-separated profiles to register at boot: name[:scale[:seed]] (e.g. gazelle:0.02,connect:0.002)")
 		window       = flag.Int("window", 0, "sliding-window retention (in transactions) for preloaded datasets (0 = unbounded)")
-		shards       = flag.Int("shards", 0, "scatter-gather shard count for preloaded datasets: /mine runs a SON two-phase mine across this many sub-shards, bit-identical to an unsharded mine (0/1 = unsharded)")
+		shards       = flag.String("shards", "", "scatter-gather sharding for preloaded datasets: an integer K mines across K in-process sub-shards; a comma-separated host:port list runs phase 1 on those ushard processes (one shard per address) — either way bit-identical to an unsharded mine (empty/0/1 = unsharded)")
+		shardTimeout = flag.Duration("shard_timeout", 0, "per-attempt shard RPC timeout (0 = default 60s)")
+		shardRetries = flag.Int("shard_retries", 0, "shard RPC retries per request (0 = default 2, negative = none)")
+		shardHedge   = flag.Duration("shard_hedge", 0, "hedge a straggling shard RPC after this delay (0 = disabled)")
 
 		loadbench        = flag.Bool("loadbench", false, "run the closed-loop load benchmark instead of serving, write the reports and exit")
 		benchOut         = flag.String("bench_out", "BENCH_server.json", "load benchmark report file")
@@ -68,13 +71,34 @@ func main() {
 		return
 	}
 
-	srv := umine.NewServer(umine.ServerConfig{
+	shardCount, shardAddrs, err := parseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := umine.ServerConfig{
 		DefaultWorkers: *workers,
 		MaxInFlight:    *maxInflight,
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cacheEntries,
-	})
-	if err := preloadProfiles(srv, *preload, *window, *shards); err != nil {
+	}
+	if len(shardAddrs) > 0 {
+		pool, err := umine.NewShardPool(umine.ShardPoolConfig{
+			Addrs: shardAddrs,
+			Tuning: umine.ShardTuning{
+				RequestTimeout: *shardTimeout,
+				MaxRetries:     *shardRetries,
+				HedgeAfter:     *shardHedge,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ShardPool = pool
+		cfg.ShardProgress = logShardEvents
+		fmt.Printf("userve: shard pool: %s\n", strings.Join(pool.Addrs(), ", "))
+	}
+	srv := umine.NewServer(cfg)
+	if err := preloadProfiles(srv, *preload, *window, shardCount); err != nil {
 		fatal(err)
 	}
 
@@ -120,6 +144,39 @@ func main() {
 	// Shutdown makes ListenAndServe return immediately; wait for the drain
 	// (bounded by the 5s grace period) before exiting.
 	<-drained
+}
+
+// parseShards interprets the -shards flag: empty means unsharded, a bare
+// integer K means K in-process sub-shards, and anything else is a
+// comma-separated shard-server address list (one shard per address).
+func parseShards(spec string) (count int, addrs []string, err error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return 0, nil, nil
+	}
+	if k, perr := strconv.Atoi(spec); perr == nil {
+		if k < 0 {
+			return 0, nil, fmt.Errorf("userve: -shards %d must be non-negative", k)
+		}
+		return k, nil, nil
+	}
+	for _, a := range strings.Split(spec, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return 0, nil, fmt.Errorf("userve: empty address in -shards %q", spec)
+		}
+		addrs = append(addrs, a)
+	}
+	return len(addrs), addrs, nil
+}
+
+// logShardEvents surfaces the RPC backend's robustness events on stderr
+// (the /stats counters carry the totals; this is the per-event trace).
+func logShardEvents(ev umine.ProgressEvent) {
+	switch ev.Phase {
+	case umine.PhaseShardRetry, umine.PhaseShardHedge, umine.PhaseShardFailover, umine.PhaseShardRepush:
+		fmt.Fprintf(os.Stderr, "userve: %s: shard %d (%s)\n", ev.Phase, ev.Level, ev.Algorithm)
+	}
 }
 
 // preloadProfiles registers each name[:scale[:seed]] spec as a dataset under

@@ -1,0 +1,64 @@
+// Command ushard runs one shard server of a distributed scatter-gather
+// mining deployment: it hosts fixed-boundary slices of the coordinator's
+// dataset arenas (pushed to it on demand over /push) and answers pinned
+// phase-1 candidate mines over /mine1, plus /healthz, /readyz and /stats.
+//
+// A two-shard cluster:
+//
+//	ushard -addr :8391 &
+//	ushard -addr :8392 &
+//	userve -addr :8380 -preload gazelle:0.02 -shards localhost:8391,localhost:8392
+//
+// The shard holds no durable state: a restarted (or freshly added) shard is
+// transparently repopulated by the coordinator's next scatter.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"umine"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8391", "listen address")
+		quiet = flag.Bool("quiet", false, "suppress per-push log lines")
+	)
+	flag.Parse()
+
+	cfg := umine.ShardServerConfig{Log: os.Stderr}
+	if *quiet {
+		cfg.Log = nil
+	}
+	shard := umine.NewShardServer(cfg)
+	hs := &http.Server{Addr: *addr, Handler: shard.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "ushard: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+	}()
+
+	fmt.Printf("ushard: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ushard:", err)
+		os.Exit(1)
+	}
+	<-done
+}

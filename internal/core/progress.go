@@ -22,6 +22,24 @@ const (
 	// umine/internal/partition). Level carries the 1-based partition
 	// ordinal and Stats the completed partition's own work counters.
 	PhasePartition ProgressPhase = "partition"
+	// PhaseShardRetry is a remote shard request being retried after a
+	// transport failure or per-attempt timeout (umine/internal/shardrpc).
+	// Level carries the 1-based shard ordinal; Stats is empty — robustness
+	// events describe the transport, not mining work.
+	PhaseShardRetry ProgressPhase = "shard-retry"
+	// PhaseShardHedge is a hedged duplicate request being launched against
+	// a straggling shard; the first response to arrive wins and the loser
+	// is canceled. Level carries the 1-based shard ordinal.
+	PhaseShardHedge ProgressPhase = "shard-hedge"
+	// PhaseShardFailover is a shard's phase-1 mine degrading to the
+	// coordinator's local slice after the remote exhausted its retries.
+	// Level carries the 1-based shard ordinal.
+	PhaseShardFailover ProgressPhase = "shard-failover"
+	// PhaseShardRepush is the coordinator re-pushing a dataset slice to a
+	// shard that rejected a pinned version it does not hold (the coherence
+	// protocol's invalidation path). Level carries the 1-based shard
+	// ordinal.
+	PhaseShardRepush ProgressPhase = "shard-repush"
 	// PhaseDone is the final event of a completed (uncanceled) run, with
 	// the run's total counters.
 	PhaseDone ProgressPhase = "done"

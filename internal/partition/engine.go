@@ -28,6 +28,12 @@ type RunStats struct {
 	Phase1Elapsed time.Duration
 	MergeElapsed  time.Duration
 	Phase2Elapsed time.Duration
+	// SlowestShard is the wall-clock time of the slowest single partition
+	// mine inside phase 1 — the straggler. With enough workers the fan-out
+	// finishes when its slowest shard does, so the gap between
+	// Phase1Elapsed and SlowestShard is queueing, and a SlowestShard far
+	// above the typical shard is the signal a hedged deployment acts on.
+	SlowestShard time.Duration
 }
 
 // Engine runs the two-phase SON mine for one target algorithm. It
@@ -90,9 +96,10 @@ func (e *Engine) SetProgress(fn core.ProgressFunc) { e.Progress = fn }
 
 // shardOutcome collects one partition's phase-1 output in its index slot.
 type shardOutcome struct {
-	sets  []core.Itemset
-	stats core.MiningStats
-	err   error
+	sets    []core.Itemset
+	stats   core.MiningStats
+	elapsed time.Duration
+	err     error
 }
 
 // Mine implements core.Miner: the two-phase partitioned mine. A completed
@@ -143,13 +150,14 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 		if r.Len() == 0 {
 			return shardOutcome{}
 		}
+		ts := time.Now()
 		sets, stats, err := e.MineShard(fanCtx, i, db.Slice(r.Lo, r.Hi), th1, perShard)
 		if err != nil {
 			cancelFan()
 			return shardOutcome{err: err}
 		}
 		e.Progress.Emit(e.Algorithm, core.PhasePartition, i+1, stats)
-		return shardOutcome{sets: sets, stats: stats}
+		return shardOutcome{sets: sets, stats: stats, elapsed: time.Since(ts)}
 	})
 	if err := ctx.Err(); err != nil {
 		// The caller's cancellation/deadline outranks any shard error.
@@ -169,6 +177,7 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 	union := NewCandidateSet()
 	var phase1Itemsets, mined int
 	var phase1Stats core.MiningStats
+	var slowest time.Duration
 	for i, o := range outs {
 		if ranges[i].Len() > 0 {
 			mined++
@@ -176,6 +185,9 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 		phase1Itemsets += len(o.sets)
 		union.Add(o.sets...)
 		phase1Stats.Add(o.stats)
+		if o.elapsed > slowest {
+			slowest = o.elapsed
+		}
 	}
 	merge := time.Since(t1)
 
@@ -210,6 +222,7 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 			Phase1Elapsed:  phase1,
 			MergeElapsed:   merge,
 			Phase2Elapsed:  phase2,
+			SlowestShard:   slowest,
 		})
 	}
 	return rs, nil

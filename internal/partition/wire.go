@@ -1,0 +1,113 @@
+package partition
+
+// The wire format for phase-1 scatter traffic: what a process-per-shard
+// deployment (umine/internal/shardrpc) puts on the network when a
+// coordinator asks a shard server for its partition-local candidates. The
+// format lives here — next to the candidate-floor derivations it transports
+// — so the in-process engine and every remote transport agree on exactly
+// one encoding of thresholds, itemsets and work counters, and bit-identity
+// proofs about the floors carry over to the RPC deployment unchanged.
+//
+// All numbers are carried losslessly: itemsets are integer item lists and
+// the float64 threshold ratios round-trip through JSON's number encoding
+// (encoding/json formats float64 with full precision), so a remote phase 1
+// mines at exactly the thresholds the coordinator derived.
+
+import (
+	"fmt"
+
+	"umine/internal/core"
+)
+
+// WireThresholds is the on-wire form of core.Thresholds: the phase-1
+// candidate floor travels as the min_esup ratio Phase1Thresholds derived
+// (min_sup/pft ride along for transports that forward full target queries).
+type WireThresholds struct {
+	MinESup float64 `json:"min_esup,omitempty"`
+	MinSup  float64 `json:"min_sup,omitempty"`
+	PFT     float64 `json:"pft,omitempty"`
+}
+
+// ToWireThresholds converts core thresholds to their wire form.
+func ToWireThresholds(th core.Thresholds) WireThresholds {
+	return WireThresholds{MinESup: th.MinESup, MinSup: th.MinSup, PFT: th.PFT}
+}
+
+// Thresholds converts back to core thresholds.
+func (w WireThresholds) Thresholds() core.Thresholds {
+	return core.Thresholds{MinESup: w.MinESup, MinSup: w.MinSup, PFT: w.PFT}
+}
+
+// WireStats is the on-wire form of core.MiningStats, so a shard's phase-1
+// work counters fold into the coordinator's run totals exactly as an
+// in-process partition's would.
+type WireStats struct {
+	CandidatesGenerated int   `json:"candidates_generated,omitempty"`
+	CandidatesPruned    int   `json:"candidates_pruned,omitempty"`
+	ChernoffPruned      int   `json:"chernoff_pruned,omitempty"`
+	ExactEvaluations    int   `json:"exact_evaluations,omitempty"`
+	DBScans             int   `json:"db_scans,omitempty"`
+	PeakTrackedBytes    int64 `json:"peak_tracked_bytes,omitempty"`
+}
+
+// ToWireStats converts core mining counters to their wire form.
+func ToWireStats(s core.MiningStats) WireStats {
+	return WireStats{
+		CandidatesGenerated: s.CandidatesGenerated,
+		CandidatesPruned:    s.CandidatesPruned,
+		ChernoffPruned:      s.ChernoffPruned,
+		ExactEvaluations:    s.ExactEvaluations,
+		DBScans:             s.DBScans,
+		PeakTrackedBytes:    s.PeakTrackedBytes,
+	}
+}
+
+// Stats converts back to core mining counters.
+func (w WireStats) Stats() core.MiningStats {
+	return core.MiningStats{
+		CandidatesGenerated: w.CandidatesGenerated,
+		CandidatesPruned:    w.CandidatesPruned,
+		ChernoffPruned:      w.ChernoffPruned,
+		ExactEvaluations:    w.ExactEvaluations,
+		DBScans:             w.DBScans,
+		PeakTrackedBytes:    w.PeakTrackedBytes,
+	}
+}
+
+// EncodeItemsets converts candidate itemsets to their wire form: one
+// uint32 list per itemset, in the order given. core.Itemset is already a
+// []core.Item with Item = uint32, so the conversion is shape-only.
+func EncodeItemsets(sets []core.Itemset) [][]uint32 {
+	out := make([][]uint32, len(sets))
+	for i, s := range sets {
+		row := make([]uint32, len(s))
+		for j, it := range s {
+			row[j] = uint32(it)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// DecodeItemsets converts wire itemsets back to core form, validating that
+// every itemset is canonical (non-empty, strictly ascending): phase 2's
+// candidate-set membership keys on the canonical encoding, so a transport
+// must never smuggle in a non-canonical itemset that would silently fail
+// every Contains lookup.
+func DecodeItemsets(rows [][]uint32) ([]core.Itemset, error) {
+	out := make([]core.Itemset, len(rows))
+	for i, row := range rows {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("partition: wire itemset %d is empty", i)
+		}
+		s := make(core.Itemset, len(row))
+		for j, it := range row {
+			if j > 0 && it <= row[j-1] {
+				return nil, fmt.Errorf("partition: wire itemset %d is not canonical (item %d after %d)", i, it, row[j-1])
+			}
+			s[j] = core.Item(it)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

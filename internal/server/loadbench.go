@@ -304,6 +304,12 @@ type PartitionBenchLevel struct {
 	Phase1P50MS float64 `json:"phase1_p50_ms"`
 	Phase2P50MS float64 `json:"phase2_p50_ms"`
 	MergeP50MS  float64 `json:"merge_p50_ms"`
+	// MaxShardP50MS is the p50 of each run's slowest single partition mine
+	// — the straggler. Phase1P50MS − MaxShardP50MS is queueing; a
+	// MaxShardP50MS far above Phase1P50MS / K is the imbalance a hedged
+	// deployment acts on, and MaxShardP50MS vs MergeP50MS is the per-shard
+	// latency breakdown (mining dominates merging by orders of magnitude).
+	MaxShardP50MS float64 `json:"max_shard_p50_ms,omitempty"`
 	// Candidates is the phase-2 candidate-union size of the last run
 	// (identical across runs: the decomposition is deterministic).
 	Candidates int `json:"candidates,omitempty"`
@@ -390,6 +396,7 @@ func RunPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) 
 		phase1 := make([]time.Duration, 0, cfg.Runs)
 		phase2 := make([]time.Duration, 0, cfg.Runs)
 		merge := make([]time.Duration, 0, cfg.Runs)
+		slowest := make([]time.Duration, 0, cfg.Runs)
 		for run := 0; run < cfg.Runs; run++ {
 			var st partition.RunStats
 			var m core.Miner
@@ -435,6 +442,7 @@ func RunPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) 
 				phase1 = append(phase1, st.Phase1Elapsed)
 				phase2 = append(phase2, st.Phase2Elapsed)
 				merge = append(merge, st.MergeElapsed)
+				slowest = append(slowest, st.SlowestShard)
 				level.Candidates = st.Candidates
 			}
 		}
@@ -443,10 +451,11 @@ func RunPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) 
 		if len(phase2) > 0 {
 			level.Phase2P50MS = p50(phase2)
 			level.MergeP50MS = p50(merge)
+			level.MaxShardP50MS = p50(slowest)
 		}
 		report.Levels = append(report.Levels, level)
-		fmt.Fprintf(cfg.Log, "partitionbench: K=%d: cold p50=%.2fms phase1 p50=%.2fms phase2 p50=%.2fms candidates=%d\n",
-			k, level.ColdP50MS, level.Phase1P50MS, level.Phase2P50MS, level.Candidates)
+		fmt.Fprintf(cfg.Log, "partitionbench: K=%d: cold p50=%.2fms phase1 p50=%.2fms (slowest shard %.2fms, merge %.3fms) phase2 p50=%.2fms candidates=%d\n",
+			k, level.ColdP50MS, level.Phase1P50MS, level.MaxShardP50MS, level.MergeP50MS, level.Phase2P50MS, level.Candidates)
 	}
 	// The headline metric needs the K = 1 single-shot baseline and the
 	// largest partitioned level; a Ks list without either simply omits it

@@ -109,19 +109,19 @@ type dsEntry struct {
 	shardBEk  int
 }
 
-// backendFor returns the scatter backend for the given snapshot and shard
-// count, building it with mk on first use and caching it until the
-// snapshot is swapped (ingest) or the clamped width changes. A backend for
-// a snapshot that is no longer current (an in-flight mine racing an
-// ingest) is built but never cached — storing it would re-pin the replaced
-// arena indefinitely.
-func (d *dsEntry) backendFor(db *core.Database, k int, mk func(*core.Database, int) ShardBackend) ShardBackend {
+// backendFor returns the scatter backend for the given snapshot (identified
+// by pointer and registry version) and shard count, building it with mk on
+// first use and caching it until the snapshot is swapped (ingest) or the
+// clamped width changes. A backend for a snapshot that is no longer current
+// (an in-flight mine racing an ingest) is built but never cached — storing
+// it would re-pin the replaced arena indefinitely.
+func (d *dsEntry) backendFor(db *core.Database, version uint64, k int, mk func(name string, version uint64, db *core.Database, k int) ShardBackend) ShardBackend {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.shardBE != nil && d.shardBEdb == db && d.shardBEk == k {
 		return d.shardBE
 	}
-	be := mk(db, k)
+	be := mk(d.name, version, db, k)
 	if db == d.db {
 		d.shardBE, d.shardBEdb, d.shardBEk = be, db, k
 	}

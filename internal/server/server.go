@@ -36,6 +36,7 @@ import (
 
 	"umine/internal/algo"
 	"umine/internal/core"
+	"umine/internal/shardrpc"
 )
 
 // Config parameterizes a Server. The zero value is a usable default.
@@ -54,6 +55,16 @@ type Config struct {
 	// CacheEntries caps the result cache (0 = default 256 entries,
 	// negative = cache disabled).
 	CacheEntries int
+	// ShardPool, when non-nil, serves sharded datasets' phase-1 mines over
+	// remote shard servers (process-per-shard; umine/internal/shardrpc). The
+	// scatter width is clamped to the pool's width, a shard exhausting its
+	// retries fails over to an in-process mine of its slice, and results stay
+	// bit-identical to the local backend. Nil mines shards in-process.
+	ShardPool *shardrpc.Pool
+	// ShardProgress observes the remote backend's robustness events
+	// (PhaseShardRetry/Hedge/Failover/Repush; Level is the 1-based shard
+	// ordinal). Must be fast and safe for concurrent use. May be nil.
+	ShardProgress core.ProgressFunc
 }
 
 // defaultCacheEntries is the result-cache capacity when Config leaves it 0.
@@ -73,9 +84,9 @@ type Server struct {
 	// timing and observe cancellation.
 	mineFn func(ctx context.Context, algorithm string, db *core.Database, th core.Thresholds, opts core.Options) (*core.ResultSet, error)
 	// newShardBackend builds the phase-1 backend for a sharded dataset's
-	// snapshot; nil means the in-process localShards. Tests substitute it
-	// to observe the scatter; a process-per-shard deployment would too.
-	newShardBackend func(db *core.Database, k int) ShardBackend
+	// snapshot; nil means Config.ShardPool when set, the in-process
+	// localShards otherwise. Tests substitute it to observe the scatter.
+	newShardBackend func(name string, version uint64, db *core.Database, k int) ShardBackend
 
 	requests      atomic.Uint64
 	cacheHits     atomic.Uint64
@@ -93,6 +104,13 @@ type Server struct {
 	partitionsMined     atomic.Uint64
 	partitionCandidates atomic.Uint64
 	partitionMergeNanos atomic.Uint64
+	partitionStragNanos atomic.Uint64
+	// Remote-shard robustness counters (the /stats shard block); only the
+	// RPC backend moves them.
+	shardRetries   atomic.Uint64
+	shardHedges    atomic.Uint64
+	shardFailovers atomic.Uint64
+	shardRepushes  atomic.Uint64
 }
 
 // New constructs a Server from cfg.
@@ -250,7 +268,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return nil, err
 			}
 			defer s.release() // released even if the miner panics
-			return s.runMine(ctx, req, d, db)
+			return s.runMine(ctx, req, d, db, version)
 		}()
 		if err != nil {
 			s.countError(err)
@@ -279,7 +297,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 				return mineOutcome{rs: rs, kind: kind}, nil
 			}
 		}
-		rs, err := s.runMine(ctx, req, d, db)
+		rs, err := s.runMine(ctx, req, d, db, version)
 		if err != nil {
 			return mineOutcome{}, err
 		}
@@ -313,8 +331,9 @@ const minShardTransactions = 64
 // runMine executes one mining job on the snapshot: scatter-gather when the
 // dataset is sharded and the algorithm partition-capable (bit-identical to
 // the plain path, so cache entries stay interchangeable), the plain mineFn
-// otherwise.
-func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *core.Database) (*core.ResultSet, error) {
+// otherwise. version is the snapshot's registry version — the pin a remote
+// backend stamps on every shard request.
+func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *core.Database, version uint64) (*core.ResultSet, error) {
 	opts := core.Options{Workers: s.workers(req.Workers)}
 	shards := d.shards
 	if maxK := db.N() / minShardTransactions; shards > maxK {
@@ -323,8 +342,13 @@ func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *c
 		// window): the scatter must narrow, never degenerate.
 		shards = maxK
 	}
+	if p := s.cfg.ShardPool; p != nil && s.newShardBackend == nil && shards > p.Width() {
+		// A scatter can't be wider than the shard pool; narrow it rather
+		// than failing the mine (results are shard-count independent).
+		shards = p.Width()
+	}
 	if shards > 1 && algo.SupportsPartitions(req.Algorithm) {
-		return s.mineSharded(ctx, req.Algorithm, d, db, shards, req.Thresholds, opts)
+		return s.mineSharded(ctx, req.Algorithm, d, db, version, shards, req.Thresholds, opts)
 	}
 	return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, opts)
 }
@@ -437,11 +461,26 @@ type Stats struct {
 	CacheEntries int    `json:"cache_entries"`
 	// Scatter-gather counters: completed sharded mines, partitions mined
 	// across them (phase 1), candidates the phase-2 verification checked,
-	// and cumulative candidate-union merge time.
+	// and cumulative candidate-union merge time. ShardSlowestMS accumulates
+	// each sharded mine's slowest single shard (the straggler) — divided by
+	// ShardedMines it is the mean per-mine straggler cost, directly
+	// comparable against PartitionMergeMS for the phase-1-vs-merge latency
+	// breakdown.
 	ShardedMines     uint64  `json:"sharded_mines"`
 	PartitionsMined  uint64  `json:"partitions_mined"`
 	Phase2Candidates uint64  `json:"phase2_candidates"`
 	PartitionMergeMS float64 `json:"partition_merge_ms"`
+	ShardSlowestMS   float64 `json:"shard_slowest_ms"`
+	// Remote-shard robustness counters (zero unless a shard pool is
+	// configured): retried shard RPC attempts, hedged duplicates launched
+	// against stragglers, shards failed over to in-process mining, and
+	// coherence re-pushes after a shard rejected a pinned version.
+	ShardRetries   uint64 `json:"shard_retries"`
+	ShardHedges    uint64 `json:"shard_hedges"`
+	ShardFailovers uint64 `json:"shard_failovers"`
+	ShardRepushes  uint64 `json:"shard_repushes"`
+	// RemoteShards is the configured shard pool's width (0 = in-process).
+	RemoteShards int `json:"remote_shards,omitempty"`
 	// BytesResident totals the datasets' arena footprints (columns, offset
 	// tables, built vertical indexes); DatasetBytesResident breaks it down
 	// per dataset. Sharded views share one arena, counted once.
@@ -468,6 +507,14 @@ func (s *Server) Stats() Stats {
 		PartitionsMined:  s.partitionsMined.Load(),
 		Phase2Candidates: s.partitionCandidates.Load(),
 		PartitionMergeMS: float64(s.partitionMergeNanos.Load()) / 1e6,
+		ShardSlowestMS:   float64(s.partitionStragNanos.Load()) / 1e6,
+		ShardRetries:     s.shardRetries.Load(),
+		ShardHedges:      s.shardHedges.Load(),
+		ShardFailovers:   s.shardFailovers.Load(),
+		ShardRepushes:    s.shardRepushes.Load(),
+	}
+	if s.cfg.ShardPool != nil {
+		st.RemoteShards = s.cfg.ShardPool.Width()
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()

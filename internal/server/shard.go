@@ -7,6 +7,7 @@ import (
 	"umine/internal/algo"
 	"umine/internal/core"
 	"umine/internal/partition"
+	"umine/internal/shardrpc"
 )
 
 // Scatter-gather sharding: a dataset registered with Shards = K is mined in
@@ -75,14 +76,16 @@ func (l *localShards) MineShard(ctx context.Context, shard int, algorithm string
 // engine drives phase 1 through the shard backend and phase 2 through the
 // restricted target miner, and its RunStats feed the /stats partition
 // counters. Results are bit-identical to s.mineFn on the same snapshot.
-func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, db *core.Database, k int, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+// version is the snapshot's registry version, pinned onto every remote
+// shard request.
+func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, db *core.Database, version uint64, k int, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
 	opts.Partitions = k
 	eng, err := algo.NewPartitionEngine(algorithm, opts)
 	if err != nil {
 		return nil, err
 	}
 	phase1, _ := algo.PartitionPhase1(algorithm)
-	backend := d.backendFor(db, k, s.shardBackend)
+	backend := d.backendFor(db, version, k, s.shardBackend)
 	if got := backend.Shards(); got != k {
 		// The engine fans out over Boundaries(N, k); a backend with a
 		// different shard count (a misconfigured process-per-shard
@@ -97,21 +100,44 @@ func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, 
 		s.partitionsMined.Add(uint64(st.Partitions))
 		s.partitionCandidates.Add(uint64(st.Candidates))
 		s.partitionMergeNanos.Add(uint64(st.MergeElapsed.Nanoseconds()))
+		s.partitionStragNanos.Add(uint64(st.SlowestShard.Nanoseconds()))
 	}
 	return eng.Mine(ctx, db, th)
 }
 
-// shardBackend builds the backend mining a snapshot's shards; tests (and,
-// later, a process-per-shard deployment) substitute newShardBackend.
-// dsEntry.backendFor caches the result per (snapshot, K), so the shards'
-// lazily built per-item indexes (TID counts, vertical postings) amortize
-// across every cold mine of the same snapshot instead of being rebuilt
-// and discarded per request.
-func (s *Server) shardBackend(db *core.Database, k int) ShardBackend {
+// shardBackend builds the backend mining a snapshot's shards: the test
+// substitution hook first, then the configured remote pool, then the
+// in-process localShards. dsEntry.backendFor caches the result per
+// (snapshot, K), so the local shards' lazily built per-item indexes (TID
+// counts, vertical postings) — or the remote backend's pushed slices —
+// amortize across every cold mine of the same snapshot instead of being
+// rebuilt and discarded per request.
+func (s *Server) shardBackend(name string, version uint64, db *core.Database, k int) ShardBackend {
 	if s.newShardBackend != nil {
-		return s.newShardBackend(db, k)
+		return s.newShardBackend(name, version, db, k)
+	}
+	if p := s.cfg.ShardPool; p != nil {
+		be, err := p.Backend(name, version, db, k, s.shardHooks(), s.cfg.ShardProgress)
+		if err == nil {
+			return be
+		}
+		// A width the pool cannot serve (runMine clamps, so only a racing
+		// reconfiguration lands here) degrades to the in-process backend —
+		// the same graceful degradation a dead shard gets.
+		s.shardFailovers.Add(1)
 	}
 	return newLocalShards(db, k)
+}
+
+// shardHooks binds the remote backend's robustness events to the /stats
+// counters.
+func (s *Server) shardHooks() shardrpc.Hooks {
+	return shardrpc.Hooks{
+		OnRetry:    func(int) { s.shardRetries.Add(1) },
+		OnHedge:    func(int) { s.shardHedges.Add(1) },
+		OnFailover: func(int) { s.shardFailovers.Add(1) },
+		OnRepush:   func(int) { s.shardRepushes.Add(1) },
+	}
 }
 
 // indexBytes reports the shards' derived per-item index footprint (TID

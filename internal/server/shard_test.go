@@ -128,7 +128,7 @@ func (c *countingBackend) MineShard(ctx context.Context, shard int, alg string, 
 func TestShardBackendSubstitution(t *testing.T) {
 	s := New(Config{})
 	var backend *countingBackend
-	s.newShardBackend = func(db *core.Database, k int) ShardBackend {
+	s.newShardBackend = func(_ string, _ uint64, db *core.Database, k int) ShardBackend {
 		backend = &countingBackend{inner: newLocalShards(db, k)}
 		return backend
 	}

@@ -1,0 +1,176 @@
+package shardrpc
+
+// The HTTP/JSON wire protocol between the coordinator and shard servers.
+// Candidate itemsets, thresholds and work counters travel in the canonical
+// wire forms of umine/internal/partition; transactions travel as item:prob
+// lines (the exact format of /ingest and dataset.ReadUncertain, with
+// full-precision float64 round-tripping so pushed slices are bit-identical
+// to the coordinator's arena).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+
+	"umine/internal/core"
+	"umine/internal/dataset"
+	"umine/internal/partition"
+)
+
+// Shard-server endpoint paths.
+const (
+	pathHealthz = "/healthz"
+	pathReadyz  = "/readyz"
+	pathStats   = "/stats"
+	pathPush    = "/push"
+	pathMine1   = "/mine1"
+)
+
+// PushRequest installs (or extends) one dataset slice on a shard server.
+type PushRequest struct {
+	Dataset string `json:"dataset"`
+	// Version is the coordinator snapshot version the slice belongs to.
+	Version uint64 `json:"version"`
+	// Lo/Hi are the slice's global transaction boundaries — the shard's
+	// range under partition.Boundaries(N, K) at this version.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// NumItems is the snapshot's item-universe size; the shard widens its
+	// rebuilt slice to it so per-item index shapes match the coordinator's.
+	NumItems int `json:"num_items"`
+	// Append, when true, extends the currently held slice instead of
+	// replacing it: the held slice must start at Lo, span BaseN
+	// transactions whose content hash equals BaseHash, and Transactions
+	// carries only the tail [Lo+BaseN, Hi).
+	Append   bool   `json:"append,omitempty"`
+	BaseN    int    `json:"base_n,omitempty"`
+	BaseHash uint64 `json:"base_hash,omitempty"`
+	// Transactions are item:prob lines, one per transaction (empty lines
+	// are empty transactions).
+	Transactions []string `json:"transactions"`
+}
+
+// PushResponse acknowledges an installed slice.
+type PushResponse struct {
+	Dataset string `json:"dataset"`
+	Version uint64 `json:"version"`
+	// N is the held slice's transaction count after the push.
+	N int `json:"n"`
+	// Appended reports whether the delta path applied.
+	Appended bool `json:"appended,omitempty"`
+}
+
+// MineShardRequest asks a shard to run one phase-1 candidate mine over its
+// held slice. The request pins (Version, Lo, Hi); a shard holding anything
+// else answers 409 with a StaleResponse instead of mining.
+type MineShardRequest struct {
+	Dataset   string                   `json:"dataset"`
+	Version   uint64                   `json:"version"`
+	Lo        int                      `json:"lo"`
+	Hi        int                      `json:"hi"`
+	Algorithm string                   `json:"algorithm"`
+	Th        partition.WireThresholds `json:"thresholds"`
+	Workers   int                      `json:"workers,omitempty"`
+}
+
+// MineShardResponse carries a shard's locally frequent itemsets and work
+// counters back to the coordinator.
+type MineShardResponse struct {
+	Itemsets [][]uint32          `json:"itemsets"`
+	Stats    partition.WireStats `json:"stats"`
+	// Cached reports a shard-local result-cache hit (no mine ran).
+	Cached bool `json:"cached,omitempty"`
+}
+
+// StaleResponse is the 409 body a shard answers a pinned version it does
+// not hold with; it describes the held state so the coordinator can decide
+// between a delta and a full re-push.
+type StaleResponse struct {
+	Error   string `json:"error"`
+	Dataset string `json:"dataset"`
+	// Held reports whether the shard holds any version of the dataset.
+	Held        bool   `json:"held"`
+	HeldVersion uint64 `json:"held_version,omitempty"`
+	HeldLo      int    `json:"held_lo,omitempty"`
+	HeldHi      int    `json:"held_hi,omitempty"`
+	// HeldHash is the content hash (TxHash) of the held slice.
+	HeldHash uint64 `json:"held_hash,omitempty"`
+}
+
+// errorResponse is the generic non-409 error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// TxHash returns the FNV-1a content hash of db's first n transactions
+// (items and probability bits, with a per-transaction separator). The
+// coordinator and shard compute it over their own arenas; equality proves
+// a held slice is a bit-exact prefix of the slice being pushed, which is
+// what licenses the append-only delta path.
+func TxHash(db *core.Database, n int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for j := 0; j < n; j++ {
+		tx := db.Tx(j)
+		for i, it := range tx.Items {
+			buf[0] = byte(it)
+			buf[1] = byte(it >> 8)
+			buf[2] = byte(it >> 16)
+			buf[3] = byte(it >> 24)
+			h.Write(buf[:4])
+			bits := math.Float64bits(tx.Probs[i])
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(bits >> (8 * b))
+			}
+			h.Write(buf[:8])
+		}
+		buf[0] = 0xFF
+		h.Write(buf[:1])
+	}
+	return h.Sum64()
+}
+
+// encodeTransactions renders db's transactions [lo, hi) as item:prob lines
+// with full float64 round-trip precision (17 significant digits — the same
+// encoding dataset.WriteUncertain uses), so the shard's rebuilt arena is
+// bit-identical to the coordinator's slice.
+func encodeTransactions(db *core.Database, lo, hi int) []string {
+	out := make([]string, 0, hi-lo)
+	var sb strings.Builder
+	for j := lo; j < hi; j++ {
+		sb.Reset()
+		tx := db.Tx(j)
+		for i, it := range tx.Items {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strconv.FormatUint(uint64(it), 10))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatFloat(tx.Probs[i], 'g', 17, 64))
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+// decodeTransactions parses item:prob lines into a fresh arena named name,
+// optionally seeded with the transactions of base (the delta-append path).
+func decodeTransactions(name string, base *core.Database, lines []string) (*core.Database, error) {
+	b := core.NewBuilder(name)
+	if base != nil {
+		b.Grow(base.N()+len(lines), base.NumUnits())
+		b.AddDatabase(base)
+	}
+	for i, line := range lines {
+		units, err := dataset.ParseUnits(line)
+		if err != nil {
+			return nil, fmt.Errorf("shardrpc: transaction %d: %w", i, err)
+		}
+		if err := b.Add(units); err != nil {
+			return nil, fmt.Errorf("shardrpc: transaction %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,286 @@
+package shardrpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/partition"
+)
+
+// maxShardCacheEntries bounds each held slice's result cache. Phase-1
+// queries recur at a handful of (algorithm, threshold) points per version,
+// so a small cap covers the working set; when it fills, new results are
+// served but not retained (never evicting a hot entry for a cold one).
+const maxShardCacheEntries = 64
+
+// ShardConfig parameterizes a ShardServer. The zero value is usable.
+type ShardConfig struct {
+	// Log receives one line per push and failed request (nil discards).
+	Log io.Writer
+}
+
+// heldSlice is one dataset slice a shard holds: an immutable arena tagged
+// with the (version, lo, hi) pin it answers to, plus the slice-local
+// result cache. A push replaces the whole struct, so the cache can never
+// survive a version boundary.
+type heldSlice struct {
+	version uint64
+	lo, hi  int
+	db      *core.Database
+
+	cacheMu sync.Mutex
+	cache   map[string]MineShardResponse
+}
+
+// cacheKey identifies one phase-1 query against a held slice. The version
+// is deliberately absent: the cache lives inside the heldSlice, which a
+// version change replaces wholesale.
+func cacheKey(alg string, th core.Thresholds, workers int) string {
+	// Workers never changes results (the determinism contract), so it is
+	// not part of the key.
+	_ = workers
+	return fmt.Sprintf("%s|%x|%x|%x", alg,
+		math.Float64bits(th.MinESup), math.Float64bits(th.MinSup), math.Float64bits(th.PFT))
+}
+
+// ShardServer hosts dataset slices and serves phase-1 mines over them —
+// the in-process core of the cmd/ushard binary. All methods and the
+// handler are safe for concurrent use.
+type ShardServer struct {
+	cfg ShardConfig
+
+	mu   sync.RWMutex
+	held map[string]*heldSlice
+
+	pushes       atomic.Uint64
+	deltaPushes  atomic.Uint64
+	mines        atomic.Uint64
+	cacheHits    atomic.Uint64
+	staleRejects atomic.Uint64
+	errs         atomic.Uint64
+}
+
+// NewShardServer constructs an empty shard server; slices arrive via /push.
+func NewShardServer(cfg ShardConfig) *ShardServer {
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return &ShardServer{cfg: cfg, held: make(map[string]*heldSlice)}
+}
+
+// ShardStats is the GET /stats document: unsynchronized gauges (the
+// eventual-consistency end of the protocol — observability, not answers).
+type ShardStats struct {
+	Datasets      map[string]ShardDatasetInfo `json:"datasets"`
+	Pushes        uint64                      `json:"pushes"`
+	DeltaPushes   uint64                      `json:"delta_pushes"`
+	Mines         uint64                      `json:"mines"`
+	CacheHits     uint64                      `json:"cache_hits"`
+	StaleRejects  uint64                      `json:"stale_rejects"`
+	Errors        uint64                      `json:"errors"`
+	BytesResident int64                       `json:"bytes_resident"`
+}
+
+// ShardDatasetInfo describes one held slice.
+type ShardDatasetInfo struct {
+	Version uint64 `json:"version"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	N       int    `json:"n"`
+}
+
+// Stats snapshots the shard counters and held slices.
+func (s *ShardServer) Stats() ShardStats {
+	st := ShardStats{
+		Datasets:     map[string]ShardDatasetInfo{},
+		Pushes:       s.pushes.Load(),
+		DeltaPushes:  s.deltaPushes.Load(),
+		Mines:        s.mines.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		StaleRejects: s.staleRejects.Load(),
+		Errors:       s.errs.Load(),
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, h := range s.held {
+		st.Datasets[name] = ShardDatasetInfo{Version: h.version, Lo: h.lo, Hi: h.hi, N: h.db.N()}
+		st.BytesResident += h.db.BytesResident()
+	}
+	return st
+}
+
+// Handler returns the shard server's HTTP surface:
+//
+//	GET  /healthz  liveness
+//	GET  /readyz   readiness + held slices (dataset → version/range)
+//	GET  /stats    shard counters
+//	POST /push     install or delta-extend a dataset slice
+//	POST /mine1    phase-1 candidate mine pinned to (version, lo, hi)
+func (s *ShardServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+pathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		shardWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET "+pathReadyz, s.handleReadyz)
+	mux.HandleFunc("GET "+pathStats, func(w http.ResponseWriter, r *http.Request) {
+		shardWriteJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST "+pathPush, s.handlePush)
+	mux.HandleFunc("POST "+pathMine1, s.handleMine1)
+	return mux
+}
+
+// handleReadyz reports readiness: the process serves as soon as it is up
+// (slices arrive on demand), so readiness is liveness plus an inventory of
+// held slices for operators and boot scripts.
+func (s *ShardServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.held))
+	inventory := make(map[string]ShardDatasetInfo, len(s.held))
+	for name, h := range s.held {
+		names = append(names, name)
+		inventory[name] = ShardDatasetInfo{Version: h.version, Lo: h.lo, Hi: h.hi, N: h.db.N()}
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	shardWriteJSON(w, http.StatusOK, map[string]any{"status": "ready", "datasets": inventory})
+}
+
+// handlePush installs a slice. The delta path (Append) extends the held
+// slice in place after verifying the base pin; any mismatch falls back to
+// an error so the coordinator re-pushes fully — never a silent divergence.
+func (s *ShardServer) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req PushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding push: %w", err))
+		return
+	}
+	if req.Dataset == "" || req.Lo < 0 || req.Hi < req.Lo {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad push pin %q [%d,%d)", req.Dataset, req.Lo, req.Hi))
+		return
+	}
+	var base *core.Database
+	if req.Append {
+		s.mu.RLock()
+		h := s.held[req.Dataset]
+		s.mu.RUnlock()
+		if h == nil || h.lo != req.Lo || h.db.N() != req.BaseN || TxHash(h.db, h.db.N()) != req.BaseHash {
+			s.fail(w, http.StatusConflict, fmt.Errorf("delta base mismatch for %q", req.Dataset))
+			return
+		}
+		base = h.db
+	}
+	db, err := decodeTransactions(req.Dataset, base, req.Transactions)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if got := db.N(); got != req.Hi-req.Lo {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("push carries %d transactions for range [%d,%d)", got, req.Lo, req.Hi))
+		return
+	}
+	if req.NumItems > db.NumItems {
+		db.SetNumItems(req.NumItems)
+	}
+	s.mu.Lock()
+	s.held[req.Dataset] = &heldSlice{version: req.Version, lo: req.Lo, hi: req.Hi, db: db}
+	s.mu.Unlock()
+	s.pushes.Add(1)
+	if req.Append {
+		s.deltaPushes.Add(1)
+	}
+	fmt.Fprintf(s.cfg.Log, "ushard: pushed %s v%d [%d,%d) (%d transactions, append=%v)\n",
+		req.Dataset, req.Version, req.Lo, req.Hi, len(req.Transactions), req.Append)
+	shardWriteJSON(w, http.StatusOK, PushResponse{Dataset: req.Dataset, Version: req.Version, N: db.N(), Appended: req.Append})
+}
+
+// handleMine1 answers one pinned phase-1 mine. The version check is the
+// strong-consistency gate: a pin the shard does not hold exactly is 409,
+// never a best-effort answer over different data.
+func (s *ShardServer) handleMine1(w http.ResponseWriter, r *http.Request) {
+	var req MineShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding mine1: %w", err))
+		return
+	}
+	s.mu.RLock()
+	h := s.held[req.Dataset]
+	s.mu.RUnlock()
+	if h == nil || h.version != req.Version || h.lo != req.Lo || h.hi != req.Hi {
+		s.staleRejects.Add(1)
+		stale := StaleResponse{Dataset: req.Dataset}
+		if h != nil {
+			stale.Held = true
+			stale.HeldVersion = h.version
+			stale.HeldLo, stale.HeldHi = h.lo, h.hi
+			stale.HeldHash = TxHash(h.db, h.db.N())
+			stale.Error = fmt.Sprintf("shard holds %s v%d [%d,%d), request pins v%d [%d,%d)",
+				req.Dataset, h.version, h.lo, h.hi, req.Version, req.Lo, req.Hi)
+		} else {
+			stale.Error = fmt.Sprintf("shard holds no slice of %s", req.Dataset)
+		}
+		shardWriteJSON(w, http.StatusConflict, stale)
+		return
+	}
+
+	th := req.Th.Thresholds()
+	key := cacheKey(req.Algorithm, th, req.Workers)
+	h.cacheMu.Lock()
+	cached, ok := h.cache[key]
+	h.cacheMu.Unlock()
+	if ok {
+		s.cacheHits.Add(1)
+		cached.Cached = true
+		shardWriteJSON(w, http.StatusOK, cached)
+		return
+	}
+
+	m, err := algo.NewWith(req.Algorithm, core.Options{Workers: req.Workers})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	rs, err := m.Mine(r.Context(), h.db, th)
+	if err != nil {
+		// Mining errors (including a canceled hedge loser's ctx) are 422:
+		// semantically final for this attempt, never retried as transport.
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mines.Add(1)
+	resp := MineShardResponse{
+		Itemsets: partition.EncodeItemsets(rs.Itemsets()),
+		Stats:    partition.ToWireStats(rs.Stats),
+	}
+	h.cacheMu.Lock()
+	if h.cache == nil {
+		h.cache = make(map[string]MineShardResponse)
+	}
+	if len(h.cache) < maxShardCacheEntries {
+		h.cache[key] = resp
+	}
+	h.cacheMu.Unlock()
+	shardWriteJSON(w, http.StatusOK, resp)
+}
+
+// fail writes an error response and counts it.
+func (s *ShardServer) fail(w http.ResponseWriter, status int, err error) {
+	s.errs.Add(1)
+	fmt.Fprintf(s.cfg.Log, "ushard: HTTP %d: %v\n", status, err)
+	shardWriteJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func shardWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,138 @@
+// Command benchgate compares fresh benchmark reports against committed
+// baselines and fails when a p50 latency regresses beyond the gate.
+//
+// Each positional argument is a baseline=fresh pair of JSON report files:
+//
+//	go run ./scripts/benchgate BENCH_storage.json=BENCH_storage.fresh.json \
+//	    BENCH_partition.json=BENCH_partition.fresh.json
+//
+// The comparator is schema-agnostic: it walks both documents and pairs up
+// every numeric field whose name ends in "_p50_ms" by its JSON path (array
+// elements by index, so report levels must be written in a stable order).
+// A metric regresses when fresh > baseline*(1+max-pct/100) + slack-ms; the
+// absolute slack keeps sub-millisecond baselines from tripping the gate on
+// runner noise. Metrics present in only one document are reported but do
+// not fail the gate — reports may grow fields across commits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	maxPct := flag.Float64("max-pct", 25, "maximum allowed p50 regression in percent")
+	slackMS := flag.Float64("slack-ms", 25, "absolute slack in ms added to the gate (absorbs runner noise on short runs)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-max-pct N] [-slack-ms N] baseline.json=fresh.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, pair := range flag.Args() {
+		basePath, freshPath, ok := strings.Cut(pair, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: argument %q is not a baseline=fresh pair\n", pair)
+			os.Exit(2)
+		}
+		if !comparePair(basePath, freshPath, *maxPct, *slackMS) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// comparePair gates one baseline/fresh report pair, printing every metric
+// compared. It returns false when any shared metric regresses.
+func comparePair(basePath, freshPath string, maxPct, slackMS float64) bool {
+	base, err := loadP50s(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return false
+	}
+	fresh, err := loadP50s(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return false
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no *_p50_ms metrics — nothing to gate\n", basePath)
+		return false
+	}
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	fmt.Printf("benchgate: %s vs %s (gate: +%.0f%% + %.0fms)\n", basePath, freshPath, maxPct, slackMS)
+	ok := true
+	for _, p := range paths {
+		b := base[p]
+		f, shared := fresh[p]
+		if !shared {
+			fmt.Printf("  %-40s baseline %.3fms, absent from fresh report (skipped)\n", p, b)
+			continue
+		}
+		limit := b*(1+maxPct/100) + slackMS
+		delta := 0.0
+		if b > 0 {
+			delta = (f - b) / b * 100
+		}
+		verdict := "ok"
+		if f > limit {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Printf("  %-40s %.3fms -> %.3fms (%+.1f%%, limit %.3fms) %s\n", p, b, f, delta, limit, verdict)
+	}
+	for p := range fresh {
+		if _, shared := base[p]; !shared {
+			fmt.Printf("  %-40s new metric %.3fms, no baseline (skipped)\n", p, fresh[p])
+		}
+	}
+	return ok
+}
+
+// loadP50s flattens a JSON report into path -> value for every numeric
+// field whose name ends in "_p50_ms".
+func loadP50s(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	walk("", doc, out)
+	return out, nil
+}
+
+func walk(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			walk(p, c, out)
+		}
+	case []any:
+		for i, c := range t {
+			walk(fmt.Sprintf("%s[%d]", prefix, i), c, out)
+		}
+	case float64:
+		if strings.HasSuffix(prefix, "_p50_ms") {
+			out[prefix] = t
+		}
+	}
+}

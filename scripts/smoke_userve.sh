@@ -1,35 +1,45 @@
 #!/bin/sh
-# Smoke test for the userve mining service: boot the real binary, register a
-# generated profile over HTTP, run one /mine query and assert 200 + a
-# non-empty result set, exercise /ingest + the version bump, assert a
-# tiny-timeout /mine aborts its in-flight job promptly (503, canceled count
-# bumped, server still healthy), and shut down.
+# Smoke test for the userve mining service.
+#
+# Default (local) mode: boot the real binary, register a generated profile
+# over HTTP, run one /mine query and assert 200 + a non-empty result set,
+# exercise /ingest + the version bump, assert a tiny-timeout /mine aborts
+# its in-flight job promptly (503, canceled count bumped, server still
+# healthy), and shut down.
 # Mirrored by the "Server smoke" CI job; run locally via `make smoke-server`.
+#
+# `smoke_userve.sh shards` instead boots a real multi-process cluster — two
+# ushard shard servers plus a userve coordinator routing phase 1 over them —
+# and asserts the RPC-backed /mine document is byte-identical to the
+# in-process path, including after an /ingest version bump invalidates the
+# shards' pinned slices. Mirrored by the "Sharded mining (multi-process)"
+# CI job; run locally via `make smoke-shards`.
 set -eu
 
+MODE="${1:-local}"
 ADDR="127.0.0.1:18573"
 BASE="http://$ADDR"
 TMP="$(mktemp -d)"
 SERVER_PID=""
-trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+SHARD1_PID=""
+SHARD2_PID=""
+trap 'kill "${SERVER_PID:-}" "${SHARD1_PID:-}" "${SHARD2_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
 
 echo "smoke: building userve"
 go build -o "$TMP/userve" ./cmd/userve
 
-"$TMP/userve" -addr "$ADDR" >"$TMP/userve.log" 2>&1 &
-SERVER_PID=$!
-
-echo "smoke: waiting for $BASE/healthz"
-i=0
-until curl -sf --max-time 2 "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "smoke: FAIL — server did not come up"
-        cat "$TMP/userve.log"
-        exit 1
-    fi
-    sleep 0.2
-done
+wait_healthz() { # wait_healthz URL LOG
+    i=0
+    until curl -sf --max-time 2 "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "smoke: FAIL — server at $1 did not come up"
+            cat "$2"
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
 
 check() { # check NAME EXPECTED_STATUS BODY_FILE STATUS
     if [ "$4" != "$2" ]; then
@@ -39,6 +49,124 @@ check() { # check NAME EXPECTED_STATUS BODY_FILE STATUS
     fi
     echo "smoke: $1 ok (HTTP $4)"
 }
+
+if [ "$MODE" = "shards" ]; then
+    echo "smoke: building ushard"
+    go build -o "$TMP/ushard" ./cmd/ushard
+
+    SHARD1="127.0.0.1:18671"
+    SHARD2="127.0.0.1:18672"
+    "$TMP/ushard" -addr "$SHARD1" >"$TMP/ushard1.log" 2>&1 &
+    SHARD1_PID=$!
+    "$TMP/ushard" -addr "$SHARD2" >"$TMP/ushard2.log" 2>&1 &
+    SHARD2_PID=$!
+    wait_healthz "http://$SHARD1" "$TMP/ushard1.log"
+    wait_healthz "http://$SHARD2" "$TMP/ushard2.log"
+    echo "smoke: 2 ushard shard servers up"
+
+    "$TMP/userve" -addr "$ADDR" -shards "$SHARD1,$SHARD2" >"$TMP/userve.log" 2>&1 &
+    SERVER_PID=$!
+    wait_healthz "$BASE" "$TMP/userve.log"
+    echo "smoke: coordinator up with shard pool $SHARD1,$SHARD2"
+
+    # Twin datasets from the same generator: "flat" mines single-shot in
+    # the coordinator process, "rpc" scatters phase 1 over the two ushard
+    # processes. Bit-identity of the SON decomposition means the /mine
+    # documents must match byte for byte.
+    STATUS=$(curl -s -o "$TMP/flat.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+        -H 'Content-Type: application/json' \
+        -d '{"name":"flat","profile":"gazelle","scale":0.01,"seed":7}')
+    check "register in-process twin" 201 "$TMP/flat.json" "$STATUS"
+    STATUS=$(curl -s -o "$TMP/rpc.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+        -H 'Content-Type: application/json' \
+        -d '{"name":"rpc","profile":"gazelle","scale":0.01,"seed":7,"shards":2}')
+    check "register RPC-sharded twin" 201 "$TMP/rpc.json" "$STATUS"
+
+    MINE='"algorithm":"UApriori","min_esup":0.005'
+    STATUS=$(curl -s -o "$TMP/mine_flat.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' -d "{\"dataset\":\"flat\",$MINE}")
+    check "/mine in-process twin" 200 "$TMP/mine_flat.json" "$STATUS"
+    STATUS=$(curl -s -o "$TMP/mine_rpc.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' -d "{\"dataset\":\"rpc\",$MINE}")
+    check "/mine RPC-sharded twin" 200 "$TMP/mine_rpc.json" "$STATUS"
+    if ! grep -q '"itemset"' "$TMP/mine_flat.json"; then
+        echo "smoke: FAIL — /mine returned an empty result set"
+        cat "$TMP/mine_flat.json"
+        exit 1
+    fi
+    if ! cmp -s "$TMP/mine_flat.json" "$TMP/mine_rpc.json"; then
+        echo "smoke: FAIL — multi-process sharded /mine differs from in-process"
+        diff "$TMP/mine_flat.json" "$TMP/mine_rpc.json" | head -20
+        exit 1
+    fi
+    echo "smoke: multi-process sharded /mine is byte-identical to in-process"
+
+    STATUS=$(curl -s -o "$TMP/stats.json" -w '%{http_code}' "$BASE/stats")
+    check "/stats" 200 "$TMP/stats.json" "$STATUS"
+    if ! grep -Eq '"remote_shards": *2(,|$)' "$TMP/stats.json"; then
+        echo "smoke: FAIL — /stats did not report the 2-shard pool"
+        cat "$TMP/stats.json"
+        exit 1
+    fi
+    if ! grep -Eq '"shard_repushes": *[1-9]' "$TMP/stats.json"; then
+        echo "smoke: FAIL — /stats counted no shard re-pushes (demand population broken)"
+        cat "$TMP/stats.json"
+        exit 1
+    fi
+    if grep -Eq '"shard_failovers": *[1-9]' "$TMP/stats.json"; then
+        echo "smoke: FAIL — healthy cluster recorded shard failovers"
+        cat "$TMP/stats.json"
+        exit 1
+    fi
+    echo "smoke: /stats shows remote_shards=2, re-pushes counted, no failovers"
+
+    STATUS=$(curl -s -o "$TMP/shard_stats.json" -w '%{http_code}' "http://$SHARD1/stats")
+    check "shard /stats" 200 "$TMP/shard_stats.json" "$STATUS"
+    if ! grep -Eq '"mines": *[1-9]' "$TMP/shard_stats.json"; then
+        echo "smoke: FAIL — shard 1 served no phase-1 mines (work did not distribute)"
+        cat "$TMP/shard_stats.json"
+        exit 1
+    fi
+    echo "smoke: shard process served phase-1 mines"
+
+    # Coherent invalidation: growing both twins bumps their versions, which
+    # must 409 the shards' pinned slices and re-push before the next mine.
+    # The grown datasets must still agree byte for byte.
+    for DS in flat rpc; do
+        STATUS=$(curl -s -o "$TMP/ingest_$DS.json" -w '%{http_code}' -X POST "$BASE/ingest" \
+            -H 'Content-Type: application/json' \
+            -d "{\"dataset\":\"$DS\",\"transactions\":[\"0:0.9 1:0.5\",\"2:1.0 5:0.25\"]}")
+        check "/ingest $DS" 200 "$TMP/ingest_$DS.json" "$STATUS"
+    done
+    STATUS=$(curl -s -o "$TMP/mine_flat2.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' -d "{\"dataset\":\"flat\",$MINE}")
+    check "post-ingest /mine in-process twin" 200 "$TMP/mine_flat2.json" "$STATUS"
+    STATUS=$(curl -s -o "$TMP/mine_rpc2.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' -d "{\"dataset\":\"rpc\",$MINE}")
+    check "post-ingest /mine RPC-sharded twin" 200 "$TMP/mine_rpc2.json" "$STATUS"
+    if ! cmp -s "$TMP/mine_flat2.json" "$TMP/mine_rpc2.json"; then
+        echo "smoke: FAIL — post-ingest sharded /mine differs from in-process"
+        diff "$TMP/mine_flat2.json" "$TMP/mine_rpc2.json" | head -20
+        exit 1
+    fi
+    STATUS=$(curl -s -o "$TMP/shard_stats2.json" -w '%{http_code}' "http://$SHARD1/stats")
+    check "shard /stats after ingest" 200 "$TMP/shard_stats2.json" "$STATUS"
+    if ! grep -Eq '"stale_rejects": *[1-9]' "$TMP/shard_stats2.json"; then
+        echo "smoke: FAIL — shard 1 rejected no stale pins (version invalidation broken)"
+        cat "$TMP/shard_stats2.json"
+        exit 1
+    fi
+    echo "smoke: version bump invalidated the shards' slices coherently"
+
+    echo "smoke: PASS (shards)"
+    exit 0
+fi
+
+"$TMP/userve" -addr "$ADDR" >"$TMP/userve.log" 2>&1 &
+SERVER_PID=$!
+
+echo "smoke: waiting for $BASE/healthz"
+wait_healthz "$BASE" "$TMP/userve.log"
 
 STATUS=$(curl -s -o "$TMP/register.json" -w '%{http_code}' -X POST "$BASE/datasets" \
     -H 'Content-Type: application/json' \

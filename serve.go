@@ -10,6 +10,7 @@ package umine
 
 import (
 	"umine/internal/server"
+	"umine/internal/shardrpc"
 )
 
 // Server-layer types, re-exported.
@@ -42,8 +43,22 @@ type (
 	// (BENCH_partition.json).
 	PartitionBenchReport = server.PartitionBenchReport
 	// ShardBackend mines one shard during phase 1 of a scatter-gather
-	// /mine (in-process today; the seam for process-per-shard tomorrow).
+	// /mine — in-process (the default) or over RPC (ShardPool).
 	ShardBackend = server.ShardBackend
+	// ShardPool is the client side of the process-per-shard RPC backend:
+	// a fixed set of shard servers (cmd/ushard) plus the retry / hedging /
+	// failover policy. Wire one into ServerConfig.ShardPool.
+	ShardPool = shardrpc.Pool
+	// ShardPoolConfig parameterizes NewShardPool.
+	ShardPoolConfig = shardrpc.PoolConfig
+	// ShardTuning bounds the shard RPC robustness machinery (per-attempt
+	// timeouts, retries, hedging).
+	ShardTuning = shardrpc.Tuning
+	// ShardServer hosts dataset slices and answers phase-1 mines — the
+	// in-process core of the cmd/ushard binary.
+	ShardServer = shardrpc.ShardServer
+	// ShardServerConfig parameterizes NewShardServer.
+	ShardServerConfig = shardrpc.ShardConfig
 )
 
 // NewServer constructs a mining service. The zero ServerConfig is a usable
@@ -61,4 +76,16 @@ func RunServerLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 // BENCH_partition.json report.
 func RunServerPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) {
 	return server.RunPartitionBench(cfg)
+}
+
+// NewShardPool validates the shard address list and builds the RPC shard
+// pool backing ServerConfig.ShardPool.
+func NewShardPool(cfg ShardPoolConfig) (*ShardPool, error) {
+	return shardrpc.NewPool(cfg)
+}
+
+// NewShardServer constructs an empty shard server (slices arrive over
+// /push); serve its Handler over HTTP to host shards.
+func NewShardServer(cfg ShardServerConfig) *ShardServer {
+	return shardrpc.NewShardServer(cfg)
 }
