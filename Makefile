@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards bench-server bench-gate ci
+.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards smoke-metrics bench-server bench-gate ci
 
 all: build
 
@@ -88,21 +88,32 @@ smoke-server:
 smoke-shards:
 	sh scripts/smoke_userve.sh shards
 
+## smoke-metrics: observability smoke over the same three-process cluster —
+## /metrics on the coordinator and both shards must parse as Prometheus
+## text with the expected families, histogram counts must stay monotonic
+## across scrapes, and a sharded /mine must leave one stitched trace
+## (coordinator phase spans + wire-propagated shard spans) at /debug/traces
+smoke-metrics:
+	sh scripts/smoke_userve.sh metrics
+
 ## bench-server: closed-loop load benchmark at 1/8/64 clients; writes
 ## BENCH_server.json plus the partitioned cold-mine comparison BENCH_partition.json
 bench-server:
 	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
 
-## bench-gate: re-run the storage and partition benchmarks into *.fresh.json
-## and fail on >25% p50 regression against the committed baselines (the
-## server load bench is shrunk to one client level — its report is not
-## gated, only the partition comparison is). `make bench-server` + copying
-## the fresh files over the baselines re-baselines after an intended change.
+## bench-gate: re-run the storage, partition, and server load benchmarks
+## into *.fresh.json and fail on >25% p50/p95/p99 regression against the
+## committed baselines. The server load bench is shrunk to one client
+## level, so only the shared (1-client) level of BENCH_server.json is
+## compared — the tail quantiles come from the same telemetry histograms
+## /metrics exposes. `make bench-server` + copying the fresh files over
+## the baselines re-baselines after an intended change.
 bench-gate:
 	BENCH_STORAGE_OUT=$$(pwd)/BENCH_storage.fresh.json $(GO) test ./internal/algo/apriori -run TestWriteStorageBench -count=1
 	$(GO) run ./cmd/userve -loadbench -bench_clients 1 -bench_requests 8 \
 		-bench_out BENCH_server.fresh.json -bench_partition_out BENCH_partition.fresh.json
-	$(GO) run ./scripts/benchgate BENCH_storage.json=BENCH_storage.fresh.json BENCH_partition.json=BENCH_partition.fresh.json
+	$(GO) run ./scripts/benchgate BENCH_storage.json=BENCH_storage.fresh.json \
+		BENCH_partition.json=BENCH_partition.fresh.json BENCH_server.json=BENCH_server.fresh.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet lint race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards bench-server bench-gate
+ci: build fmt vet lint race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards smoke-metrics bench-server bench-gate

@@ -21,6 +21,7 @@ import (
 
 	"umine/internal/exp"
 	"umine/internal/profiling"
+	"umine/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		parts   = flag.Int("partitions", 0, "SON-style partitioned mining over this many database partitions per measured miner (0/1 = single-shot); results are bit-identical at every setting")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write an allocation profile after the sweep to this file (go tool pprof)")
+		trace   = flag.Bool("trace", false, "print each experiment's span tree (one span per measured-mine checkpoint) to stderr")
 	)
 	flag.Parse()
 
@@ -81,13 +83,13 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		emit(e.Run(cfg), *format)
+		emit(runExperiment(e, cfg, *trace), *format)
 		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 		exitIfCanceled(ctx)
 	case *all:
 		for _, e := range exp.All() {
 			start := time.Now()
-			emit(e.Run(cfg), *format)
+			emit(runExperiment(e, cfg, *trace), *format)
 			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 			exitIfCanceled(ctx)
 		}
@@ -97,6 +99,23 @@ func main() {
 		os.Exit(2)
 	}
 	exitProf()
+}
+
+// runExperiment runs one experiment, with -trace wrapping the run in a
+// span tree: every measured miner's checkpoint stream (Config.Progress)
+// lands as one span per checkpoint under the experiment's root, rendered
+// to stderr when the run finishes.
+func runExperiment(e exp.Experiment, cfg exp.Config, trace bool) *exp.Report {
+	if !trace {
+		return e.Run(cfg)
+	}
+	tr := telemetry.NewTrace("uexp " + e.ID)
+	cfg.Progress = telemetry.SpanProgress(tr.Root())
+	r := e.Run(cfg)
+	td := tr.Finish()
+	fmt.Fprintf(os.Stderr, "trace %s:\n", td.TraceID)
+	td.Root.Render(os.Stderr)
+	return r
 }
 
 // exitProf flushes any active profiles before the tool exits; installed by

@@ -26,6 +26,7 @@ import (
 
 	"umine"
 	"umine/internal/profiling"
+	"umine/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		parts    = flag.Int("partitions", 0, "SON-style partitioned mine over this many database partitions (0/1 = single-shot); results are bit-identical at every setting")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the mine to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile after the mine to this file (go tool pprof)")
+		trace    = flag.Bool("trace", false, "print the finished mine's span tree (indented, with durations) to stderr")
 	)
 	flag.Parse()
 
@@ -76,9 +78,28 @@ func main() {
 		fatal(err)
 	}
 	snap := &progressSnapshot{}
-	meas, err := umine.MeasureContext(ctx, *algoName, db, th,
-		umine.Options{Workers: *workers, Partitions: *parts, Progress: snap.observe})
+	opts := umine.Options{Workers: *workers, Partitions: *parts, Progress: snap.observe}
+	var tr *telemetry.Trace
+	if *trace {
+		tr = telemetry.NewTrace("umine " + *algoName)
+		ctx = telemetry.ContextWithSpan(ctx, tr.Root())
+		if *parts <= 1 || !umine.SupportsPartitions(*algoName) {
+			// Single-shot mines have no explicit spans; adapt the Progress
+			// checkpoint stream into spans. Partitioned mines instrument
+			// themselves from the context span (phase1/shards/merge/phase2).
+			sp := telemetry.SpanProgress(tr.Root())
+			opts.Progress = func(ev umine.ProgressEvent) { snap.observe(ev); sp(ev) }
+		}
+	}
+	meas, err := umine.MeasureContext(ctx, *algoName, db, th, opts)
 	stopProf()
+	if tr != nil {
+		// Render before error handling so a canceled mine still shows where
+		// the time went (open spans carry an "unfinished" attribute).
+		td := tr.Finish()
+		fmt.Fprintf(os.Stderr, "trace %s:\n", td.TraceID)
+		td.Root.Render(os.Stderr)
+	}
 	if err == nil {
 		err = meas.Err
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	pprofhttp "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +45,9 @@ func main() {
 		shardTimeout = flag.Duration("shard_timeout", 0, "per-attempt shard RPC timeout (0 = default 60s)")
 		shardRetries = flag.Int("shard_retries", 0, "shard RPC retries per request (0 = default 2, negative = none)")
 		shardHedge   = flag.Duration("shard_hedge", 0, "hedge a straggling shard RPC after this delay (0 = disabled)")
+		traceRing    = flag.Int("traces", 0, "completed traces retained at /debug/traces (0 = default 128, negative = none)")
+		slowlog      = flag.Duration("slowlog", 0, "log any mine exceeding this duration as one JSON line with its span breakdown (0 = disabled)")
+		pprof        = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		loadbench        = flag.Bool("loadbench", false, "run the closed-loop load benchmark instead of serving, write the reports and exit")
 		benchOut         = flag.String("bench_out", "BENCH_server.json", "load benchmark report file")
@@ -80,6 +84,11 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cacheEntries,
+		Telemetry: umine.NewTelemetryHub(umine.TelemetryConfig{
+			TraceCapacity:    *traceRing,
+			SlowLogThreshold: *slowlog,
+			SlowLog:          os.Stderr,
+		}),
 	}
 	if len(shardAddrs) > 0 {
 		pool, err := umine.NewShardPool(umine.ShardPoolConfig{
@@ -109,7 +118,7 @@ func main() {
 	defer cancelBase()
 	hs := &http.Server{
 		Addr:        *addr,
-		Handler:     srv.Handler(),
+		Handler:     withPprof(srv.Handler(), *pprof),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 	drained := make(chan struct{})
@@ -144,6 +153,23 @@ func main() {
 	// Shutdown makes ListenAndServe return immediately; wait for the drain
 	// (bounded by the 5s grace period) before exiting.
 	<-drained
+}
+
+// withPprof overlays net/http/pprof's handlers on the service mux when
+// enabled (the import is gated here so the profiling surface is opt-in,
+// never ambiently exposed).
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprofhttp.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprofhttp.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprofhttp.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprofhttp.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprofhttp.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // parseShards interprets the -shards flag: empty means unsharded, a bare

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	pprofhttp "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,17 +30,38 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8391", "listen address")
-		quiet = flag.Bool("quiet", false, "suppress per-push log lines")
+		addr      = flag.String("addr", ":8391", "listen address")
+		quiet     = flag.Bool("quiet", false, "suppress per-push log lines")
+		traceRing = flag.Int("traces", 0, "completed traces retained at /debug/traces (0 = default 128, negative = none)")
+		slowlog   = flag.Duration("slowlog", 0, "log any request exceeding this duration as one JSON line with its span breakdown (0 = disabled)")
+		pprof     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	cfg := umine.ShardServerConfig{Log: os.Stderr}
+	cfg := umine.ShardServerConfig{
+		Log: os.Stderr,
+		Telemetry: umine.NewTelemetryHub(umine.TelemetryConfig{
+			TraceCapacity:    *traceRing,
+			SlowLogThreshold: *slowlog,
+			SlowLog:          os.Stderr,
+		}),
+	}
 	if *quiet {
 		cfg.Log = nil
 	}
 	shard := umine.NewShardServer(cfg)
-	hs := &http.Server{Addr: *addr, Handler: shard.Handler()}
+	handler := shard.Handler()
+	if *pprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprofhttp.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprofhttp.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprofhttp.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprofhttp.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprofhttp.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	done := make(chan struct{})
 	go func() {

@@ -44,6 +44,11 @@ type Config struct {
 	// next cooperative checkpoint and the sweep reports the cancellation as
 	// that measurement's error. Nil means context.Background().
 	Context context.Context
+	// Progress, when non-nil, observes every measured miner's checkpoint
+	// stream (the uexp -trace flag adapts it into a span tree). Like
+	// Workers/Partitions it does not affect results, and like them the
+	// ablation experiments ignore it (they construct miners directly).
+	Progress core.ProgressFunc
 }
 
 // minerOptions bundles the construction-time execution knobs for measured
@@ -51,7 +56,7 @@ type Config struct {
 // the miner in the partition engine), which is why runners build miners
 // with NewWith instead of applying Options post-hoc through eval.Run.
 func (cfg Config) minerOptions() core.Options {
-	return core.Options{Workers: cfg.Workers, Partitions: cfg.Partitions}
+	return core.Options{Workers: cfg.Workers, Partitions: cfg.Partitions, Progress: cfg.Progress}
 }
 
 // ctx resolves the configured context.

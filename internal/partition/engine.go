@@ -8,6 +8,7 @@ import (
 
 	"umine/internal/core"
 	"umine/internal/parallel"
+	"umine/internal/telemetry"
 )
 
 // RunStats summarizes one partitioned mine for observers (the serving
@@ -140,25 +141,36 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 	}
 
 	t0 := time.Now()
+	// When the caller's ctx carries a trace span, the phases below appear
+	// as its children: phase1 with one "shard i" span per partition (the
+	// RPC backend nests its attempt spans under those), then merge, then
+	// phase2. A span-less ctx makes every StartSpan a no-op.
+	p1ctx, p1span := telemetry.StartSpan(ctx, "phase1")
 	// A failing shard cancels its siblings (fail fast — a future RPC
 	// backend's dead shard must not cost a full phase-1 pass of wasted
 	// work); the scan below then reports the original error, not the
 	// induced cancellations.
-	fanCtx, cancelFan := context.WithCancel(ctx)
+	fanCtx, cancelFan := context.WithCancel(p1ctx)
 	defer cancelFan()
 	outs, ferr := parallel.MapCtx(fanCtx, e.Workers, ranges, func(i int, r Range) shardOutcome {
 		if r.Len() == 0 {
 			return shardOutcome{}
 		}
 		ts := time.Now()
-		sets, stats, err := e.MineShard(fanCtx, i, db.Slice(r.Lo, r.Hi), th1, perShard)
+		sctx, sspan := telemetry.StartSpan(fanCtx, fmt.Sprintf("shard %d", i))
+		sets, stats, err := e.MineShard(sctx, i, db.Slice(r.Lo, r.Hi), th1, perShard)
 		if err != nil {
+			sspan.SetAttr("error", err.Error())
+			sspan.End()
 			cancelFan()
 			return shardOutcome{err: err}
 		}
+		sspan.SetAttr("itemsets", fmt.Sprint(len(sets)))
+		sspan.End()
 		e.Progress.Emit(e.Algorithm, core.PhasePartition, i+1, stats)
 		return shardOutcome{sets: sets, stats: stats, elapsed: time.Since(ts)}
 	})
+	p1span.End()
 	if err := ctx.Err(); err != nil {
 		// The caller's cancellation/deadline outranks any shard error.
 		return nil, err
@@ -190,8 +202,13 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 		}
 	}
 	merge := time.Since(t1)
+	if sp := telemetry.SpanFromContext(ctx); sp != nil {
+		sp.Record("merge", t1, time.Now(), [2]string{"candidates", fmt.Sprint(union.Len())})
+	}
 
 	t2 := time.Now()
+	p2ctx, p2span := telemetry.StartSpan(ctx, "phase2")
+	defer p2span.End()
 	if e.Progress != nil {
 		// Fold the accumulated phase-1 counters into every phase-2
 		// snapshot, so observers (and the final PhaseDone event) see the
@@ -206,11 +223,12 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database, th core.Thresholds
 	if err != nil {
 		return nil, err
 	}
-	rs, err := m2.Mine(ctx, db, th)
+	rs, err := m2.Mine(p2ctx, db, th)
 	if err != nil {
 		return nil, err
 	}
 	phase2 := time.Since(t2)
+	p2span.End()
 	// Honest work accounting: the run's counters cover both phases.
 	rs.Stats.Add(phase1Stats)
 

@@ -12,6 +12,7 @@ import (
 
 	"umine/internal/core"
 	"umine/internal/dataset"
+	"umine/internal/telemetry"
 )
 
 // The HTTP/JSON surface. /mine responds with exactly the document
@@ -26,6 +27,7 @@ const (
 	headerCache   = "X-Umine-Cache"
 	headerVersion = "X-Umine-Dataset-Version"
 	headerElapsed = "X-Umine-Elapsed"
+	headerTraceID = "X-Umine-Trace-Id"
 )
 
 // maxRequestBytes caps every POST body before decoding, so one oversized
@@ -65,7 +67,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /mine", s.handleMine)
+	if hub := s.cfg.Telemetry; hub != nil {
+		mux.Handle("GET /metrics", hub.MetricsHandler())
+		mux.Handle("GET /debug/traces", hub.TracesHandler())
+		mux.Handle("GET /debug/traces/{id}", hub.TracesHandler())
+	}
 	return mux
+}
+
+// startTrace opens a request trace (nil without a telemetry hub — every
+// downstream span call no-ops), announcing its ID in the response headers
+// so a slow request can be joined to its /debug/traces entry.
+func (s *Server) startTrace(w http.ResponseWriter, name string) *telemetry.Trace {
+	if s.cfg.Telemetry == nil {
+		return nil
+	}
+	tr := s.cfg.Telemetry.StartTrace(name)
+	w.Header().Set(headerTraceID, tr.ID())
+	return tr
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -168,6 +187,9 @@ type ingestRequest struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(w, "POST /ingest")
+	defer tr.Finish()
+	t0 := time.Now()
 	var req ingestRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -177,7 +199,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.Ingest(r.Context(), req.Dataset, raw)
+	tr.Root().Record("parse", t0, time.Now(),
+		[2]string{"transactions", strconv.Itoa(len(raw))})
+	ctx := telemetry.ContextWithSpan(r.Context(), tr.Root())
+	res, err := s.Ingest(ctx, req.Dataset, raw)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -198,11 +223,16 @@ type mineRequestJSON struct {
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(w, "POST /mine")
+	defer tr.Finish()
+	t0 := time.Now()
 	var req mineRequestJSON
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.Mine(r.Context(), MineRequest{
+	tr.Root().Record("parse", t0, time.Now())
+	ctx := telemetry.ContextWithSpan(r.Context(), tr.Root())
+	resp, err := s.Mine(ctx, MineRequest{
 		Dataset:   req.Dataset,
 		Algorithm: req.Algorithm,
 		Thresholds: core.Thresholds{

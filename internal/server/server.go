@@ -31,12 +31,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"umine/internal/algo"
 	"umine/internal/core"
 	"umine/internal/shardrpc"
+	"umine/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value is a usable default.
@@ -65,6 +67,13 @@ type Config struct {
 	// (PhaseShardRetry/Hedge/Failover/Repush; Level is the 1-based shard
 	// ordinal). Must be fast and safe for concurrent use. May be nil.
 	ShardProgress core.ProgressFunc
+	// Telemetry, when non-nil, collects per-request traces and serves the
+	// Prometheus-style metrics: every /mine and /ingest (and every direct
+	// Mine call) runs under a trace retained in the hub's ring, the
+	// Handler mounts /metrics and /debug/traces, and the per-phase latency
+	// histograms are registered on the hub's Registry. Nil disables all of
+	// it at zero per-request cost.
+	Telemetry *telemetry.Hub
 }
 
 // defaultCacheEntries is the result-cache capacity when Config leaves it 0.
@@ -99,18 +108,37 @@ type Server struct {
 	canceledCount atomic.Uint64
 	inFlight      atomic.Int64
 
-	// Scatter-gather counters (the /stats partition block).
-	shardedMines        atomic.Uint64
-	partitionsMined     atomic.Uint64
-	partitionCandidates atomic.Uint64
-	partitionMergeNanos atomic.Uint64
-	partitionStragNanos atomic.Uint64
+	// Scatter-gather counters (the /stats partition block), guarded by one
+	// mutex instead of independent atomics: a completed sharded mine bumps
+	// all of them in one critical section, and Stats reads them in one, so
+	// a /stats scrape racing a mine can never observe partitions_mined
+	// ahead of sharded_mines (the snapshot-consistency invariant
+	// TestStatsPartitionSnapshotConsistent documents).
+	partMu sync.Mutex
+	part   partitionCounters
 	// Remote-shard robustness counters (the /stats shard block); only the
 	// RPC backend moves them.
 	shardRetries   atomic.Uint64
 	shardHedges    atomic.Uint64
 	shardFailovers atomic.Uint64
 	shardRepushes  atomic.Uint64
+
+	// Per-phase latency histograms, registered on Config.Telemetry's
+	// registry (nil histograms no-op when telemetry is disabled).
+	histMine   *telemetry.Histogram
+	histShard  *telemetry.Histogram
+	histMerge  *telemetry.Histogram
+	histPhase2 *telemetry.Histogram
+}
+
+// partitionCounters is the /stats partition block, moved as a unit under
+// Server.partMu.
+type partitionCounters struct {
+	shardedMines uint64
+	partitions   uint64
+	candidates   uint64
+	mergeNanos   uint64
+	stragNanos   uint64
 }
 
 // New constructs a Server from cfg.
@@ -139,7 +167,81 @@ func New(cfg Config) *Server {
 		}
 		return m.Mine(ctx, db, th)
 	}
+	if cfg.Telemetry != nil {
+		s.registerMetrics(cfg.Telemetry.Metrics)
+	}
 	return s
+}
+
+// registerMetrics exposes the server's counters and gauges as func-backed
+// /metrics families over the same atomics /stats reads (one source of
+// truth, no double counting) and creates the per-phase latency histograms.
+func (s *Server) registerMetrics(reg *telemetry.Registry) {
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, nil, func() float64 { return float64(v.Load()) })
+	}
+	counter("umine_requests_total", "Mine requests received.", &s.requests)
+	counter("umine_ingests_total", "Ingest batches applied.", &s.ingests)
+	counter("umine_errors_total", "Failed mine requests.", &s.errorCount)
+	counter("umine_canceled_total", "Mine requests aborted by cancellation or deadline.", &s.canceledCount)
+	for _, c := range []struct {
+		outcome string
+		v       *atomic.Uint64
+	}{
+		{CacheHit, &s.cacheHits},
+		{CacheFiltered, &s.cacheFiltered},
+		{CacheMiss, &s.cacheMisses},
+		{CacheCoalesced, &s.coalesced},
+		{CacheBypassed, &s.uncached},
+	} {
+		v := c.v
+		reg.CounterFunc("umine_cache_requests_total", "Mine requests by cache outcome.",
+			telemetry.Labels{"outcome": c.outcome}, func() float64 { return float64(v.Load()) })
+	}
+	partCounter := func(name, help string, field func(partitionCounters) uint64) {
+		reg.CounterFunc(name, help, nil, func() float64 {
+			s.partMu.Lock()
+			defer s.partMu.Unlock()
+			return float64(field(s.part))
+		})
+	}
+	partCounter("umine_sharded_mines_total", "Completed scatter-gather mines.",
+		func(p partitionCounters) uint64 { return p.shardedMines })
+	partCounter("umine_partitions_mined_total", "Phase-1 partitions mined across sharded mines.",
+		func(p partitionCounters) uint64 { return p.partitions })
+	partCounter("umine_phase2_candidates_total", "Candidates verified by phase 2 across sharded mines.",
+		func(p partitionCounters) uint64 { return p.candidates })
+	counter("umine_shard_retries_total", "Shard RPC attempts retried.", &s.shardRetries)
+	counter("umine_shard_hedges_total", "Hedged duplicate shard requests launched.", &s.shardHedges)
+	counter("umine_shard_failovers_total", "Shards failed over to in-process mining.", &s.shardFailovers)
+	counter("umine_shard_repushes_total", "Slices re-pushed after a stale-pin reject.", &s.shardRepushes)
+	reg.GaugeFunc("umine_in_flight", "Mining jobs executing or queued past the semaphore.", nil,
+		func() float64 { return float64(s.inFlight.Load()) })
+	reg.GaugeFunc("umine_datasets", "Registered datasets.", nil,
+		func() float64 { return float64(s.reg.len()) })
+	reg.GaugeFunc("umine_cache_entries", "Result-cache entries resident.", nil, func() float64 {
+		if s.cache == nil {
+			return 0
+		}
+		return float64(s.cache.len())
+	})
+	reg.GaugeFunc("umine_bytes_resident", "Total arena bytes across registered datasets.", nil, func() float64 {
+		var b int64
+		for _, d := range s.reg.list() {
+			b += d.info().BytesResident
+		}
+		return float64(b)
+	})
+	reg.GaugeFunc("umine_goroutines", "Goroutines in the serving process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.histMine = reg.Histogram("umine_mine_duration_seconds",
+		"End-to-end latency of Mine requests (cache hits included).", nil, nil)
+	s.histShard = reg.Histogram("umine_shard_phase1_duration_seconds",
+		"Latency of one shard's phase-1 mine inside a scatter (retries and failover included).", nil, nil)
+	s.histMerge = reg.Histogram("umine_merge_duration_seconds",
+		"Latency of the phase-1 candidate-union merge.", nil, nil)
+	s.histPhase2 = reg.Histogram("umine_phase2_duration_seconds",
+		"Latency of the restricted phase-2 verification mine.", nil, nil)
 }
 
 // ErrUnknownDataset reports a query against a dataset name that was never
@@ -217,6 +319,18 @@ type mineOutcome struct {
 func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
 	start := time.Now()
 	s.requests.Add(1)
+	defer func() { s.histMine.Observe(time.Since(start).Seconds()) }()
+	// Every Mine runs under a span: the HTTP layer's when ctx carries one,
+	// a fresh trace otherwise (direct API callers get the same story).
+	span := telemetry.SpanFromContext(ctx)
+	if span == nil && s.cfg.Telemetry != nil {
+		tr := s.cfg.Telemetry.StartTrace("mine " + req.Dataset)
+		defer tr.Finish()
+		span = tr.Root()
+		ctx = telemetry.ContextWithSpan(ctx, span)
+	}
+	span.SetAttr("dataset", req.Dataset)
+	span.SetAttr("algorithm", req.Algorithm)
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -254,6 +368,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 
 	respond := func(rs *core.ResultSet, kind string) *MineResponse {
+		span.SetAttr("cache", kind)
 		return &MineResponse{
 			Results:        adoptThresholds(rs, req.Thresholds),
 			Cache:          kind,
@@ -279,7 +394,10 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 
 	if s.cache != nil {
-		if rs, kind, ok := s.cache.lookup(q); ok {
+		lt := time.Now()
+		rs, kind, ok := s.cache.lookup(q)
+		span.Record("cache lookup", lt, time.Now(), [2]string{"hit", fmt.Sprint(ok)})
+		if ok {
 			s.countCache(kind)
 			return respond(rs, kind), nil
 		}
@@ -334,6 +452,8 @@ const minShardTransactions = 64
 // otherwise. version is the snapshot's registry version — the pin a remote
 // backend stamps on every shard request.
 func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *core.Database, version uint64) (*core.ResultSet, error) {
+	ctx, span := telemetry.StartSpan(ctx, "mine")
+	defer span.End()
 	opts := core.Options{Workers: s.workers(req.Workers)}
 	shards := d.shards
 	if maxK := db.N() / minShardTransactions; shards > maxK {
@@ -348,8 +468,13 @@ func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *c
 		shards = p.Width()
 	}
 	if shards > 1 && algo.SupportsPartitions(req.Algorithm) {
+		span.SetAttr("shards", fmt.Sprint(shards))
 		return s.mineSharded(ctx, req.Algorithm, d, db, version, shards, req.Thresholds, opts)
 	}
+	// Plain (unsharded) path: the miner's own Progress checkpoints become
+	// child spans. The sharded path skips this — the partition engine's
+	// explicit phase spans already cover its structure.
+	opts.Progress = telemetry.SpanProgress(span)
 	return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, opts)
 }
 
@@ -491,28 +616,35 @@ type Stats struct {
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		UptimeSeconds:    time.Since(s.start).Seconds(),
-		Datasets:         s.reg.len(),
-		Requests:         s.requests.Load(),
-		CacheHits:        s.cacheHits.Load(),
-		CacheFiltered:    s.cacheFiltered.Load(),
-		CacheMisses:      s.cacheMisses.Load(),
-		Coalesced:        s.coalesced.Load(),
-		Uncached:         s.uncached.Load(),
-		Ingests:          s.ingests.Load(),
-		Errors:           s.errorCount.Load(),
-		Canceled:         s.canceledCount.Load(),
-		InFlight:         s.inFlight.Load(),
-		ShardedMines:     s.shardedMines.Load(),
-		PartitionsMined:  s.partitionsMined.Load(),
-		Phase2Candidates: s.partitionCandidates.Load(),
-		PartitionMergeMS: float64(s.partitionMergeNanos.Load()) / 1e6,
-		ShardSlowestMS:   float64(s.partitionStragNanos.Load()) / 1e6,
-		ShardRetries:     s.shardRetries.Load(),
-		ShardHedges:      s.shardHedges.Load(),
-		ShardFailovers:   s.shardFailovers.Load(),
-		ShardRepushes:    s.shardRepushes.Load(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Datasets:       s.reg.len(),
+		Requests:       s.requests.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheFiltered:  s.cacheFiltered.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Uncached:       s.uncached.Load(),
+		Ingests:        s.ingests.Load(),
+		Errors:         s.errorCount.Load(),
+		Canceled:       s.canceledCount.Load(),
+		InFlight:       s.inFlight.Load(),
+		ShardRetries:   s.shardRetries.Load(),
+		ShardHedges:    s.shardHedges.Load(),
+		ShardFailovers: s.shardFailovers.Load(),
+		ShardRepushes:  s.shardRepushes.Load(),
 	}
+	// The partition block is read in one critical section — the same one
+	// the sharded-mine Observe hook writes under — so the snapshot is
+	// internally consistent: a scrape racing a sharded mine sees either
+	// all of that mine's counters or none, and partitions_mined can never
+	// lead sharded_mines.
+	s.partMu.Lock()
+	st.ShardedMines = s.part.shardedMines
+	st.PartitionsMined = s.part.partitions
+	st.Phase2Candidates = s.part.candidates
+	st.PartitionMergeMS = float64(s.part.mergeNanos) / 1e6
+	st.ShardSlowestMS = float64(s.part.stragNanos) / 1e6
+	s.partMu.Unlock()
 	if s.cfg.ShardPool != nil {
 		st.RemoteShards = s.cfg.ShardPool.Width()
 	}

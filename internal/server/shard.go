@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"umine/internal/algo"
 	"umine/internal/core"
@@ -93,14 +94,23 @@ func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, 
 		return nil, fmt.Errorf("server: shard backend holds %d shards, dataset scatters %d", got, k)
 	}
 	eng.MineShard = func(ctx context.Context, shard int, _ *core.Database, th1 core.Thresholds, workers int) ([]core.Itemset, core.MiningStats, error) {
-		return backend.MineShard(ctx, shard, phase1, th1, workers)
+		t0 := time.Now()
+		sets, stats, err := backend.MineShard(ctx, shard, phase1, th1, workers)
+		s.histShard.Observe(time.Since(t0).Seconds())
+		return sets, stats, err
 	}
 	eng.Observe = func(st partition.RunStats) {
-		s.shardedMines.Add(1)
-		s.partitionsMined.Add(uint64(st.Partitions))
-		s.partitionCandidates.Add(uint64(st.Candidates))
-		s.partitionMergeNanos.Add(uint64(st.MergeElapsed.Nanoseconds()))
-		s.partitionStragNanos.Add(uint64(st.SlowestShard.Nanoseconds()))
+		// One critical section per completed mine, paired with the one in
+		// Stats — the snapshot-consistency invariant.
+		s.partMu.Lock()
+		s.part.shardedMines++
+		s.part.partitions += uint64(st.Partitions)
+		s.part.candidates += uint64(st.Candidates)
+		s.part.mergeNanos += uint64(st.MergeElapsed.Nanoseconds())
+		s.part.stragNanos += uint64(st.SlowestShard.Nanoseconds())
+		s.partMu.Unlock()
+		s.histMerge.Observe(st.MergeElapsed.Seconds())
+		s.histPhase2.Observe(st.Phase2Elapsed.Seconds())
 	}
 	return eng.Mine(ctx, db, th)
 }

@@ -13,6 +13,7 @@ import (
 	"umine/internal/algo"
 	"umine/internal/core"
 	"umine/internal/partition"
+	"umine/internal/telemetry"
 )
 
 // Tuning bounds the robustness machinery of a Pool. The zero value means
@@ -211,6 +212,21 @@ const (
 	outcomePermanent
 )
 
+// String labels an outcome for span attributes.
+func (k outcomeKind) String() string {
+	switch k {
+	case outcomeOK:
+		return "ok"
+	case outcomeStale:
+		return "stale"
+	case outcomeRetryable:
+		return "retryable"
+	case outcomePermanent:
+		return "permanent"
+	}
+	return "unknown"
+}
+
 // attemptResult is one RPC attempt's outcome.
 type attemptResult struct {
 	resp  MineShardResponse
@@ -232,6 +248,11 @@ func (b *Backend) MineShard(ctx context.Context, shard int, algorithm string, th
 	if shard < 0 || shard >= len(b.bounds) {
 		return nil, core.MiningStats{}, fmt.Errorf("shardrpc: shard %d outside [0,%d)", shard, len(b.bounds))
 	}
+	// The context's span (the engine's "shard i") collects one child per
+	// RPC attempt, hedge, re-push and failover, and the shard's own spans
+	// come back in the response and attach under it. Span-less contexts
+	// make every span call a no-op.
+	span := telemetry.SpanFromContext(ctx)
 	r := b.bounds[shard]
 	req := MineShardRequest{
 		Dataset:   b.dataset,
@@ -241,6 +262,7 @@ func (b *Backend) MineShard(ctx context.Context, shard int, algorithm string, th
 		Algorithm: algorithm,
 		Th:        partition.ToWireThresholds(th),
 		Workers:   workers,
+		TraceID:   span.TraceID(),
 	}
 	t := b.pool.tuning
 	retries, repushes := 0, 0
@@ -248,12 +270,15 @@ func (b *Backend) MineShard(ctx context.Context, shard int, algorithm string, th
 		if err := ctx.Err(); err != nil {
 			return nil, core.MiningStats{}, err
 		}
-		res := b.attempt(ctx, shard, req)
+		res := b.attempt(ctx, shard, req, span)
 		switch res.kind {
 		case outcomeOK:
 			sets, err := partition.DecodeItemsets(res.resp.Itemsets)
 			if err != nil {
 				return nil, core.MiningStats{}, fmt.Errorf("shardrpc: shard %d: %w", shard, err)
+			}
+			for _, sd := range res.resp.Spans {
+				span.Attach(sd)
 			}
 			return sets, res.resp.Stats.Stats(), nil
 		case outcomePermanent:
@@ -268,7 +293,10 @@ func (b *Backend) MineShard(ctx context.Context, shard int, algorithm string, th
 			repushes++
 			call(b.hooks.OnRepush, shard)
 			b.progress.Emit(algorithm, core.PhaseShardRepush, shard+1, core.MiningStats{})
-			if err := b.repush(ctx, shard, res.stale); err != nil {
+			rsp := span.StartChild("repush")
+			err := b.repush(ctx, shard, res.stale, req.TraceID, rsp)
+			rsp.End()
+			if err != nil {
 				if ctx.Err() != nil {
 					return nil, core.MiningStats{}, ctx.Err()
 				}
@@ -285,6 +313,7 @@ func (b *Backend) MineShard(ctx context.Context, shard int, algorithm string, th
 			retries++
 			call(b.hooks.OnRetry, shard)
 			b.progress.Emit(algorithm, core.PhaseShardRetry, shard+1, core.MiningStats{})
+			span.SetAttr("retries", fmt.Sprint(retries))
 			if err := sleepCtx(ctx, backoff); err != nil {
 				return nil, core.MiningStats{}, err
 			}
@@ -297,14 +326,29 @@ func (b *Backend) MineShard(ctx context.Context, shard int, algorithm string, th
 // HedgeAfter. The first decisive response (success, stale, or permanent
 // error) wins and cancels the other; only if every launched request fails
 // retryably does the attempt report retryable.
-func (b *Backend) attempt(ctx context.Context, shard int, req MineShardRequest) attemptResult {
+func (b *Backend) attempt(ctx context.Context, shard int, req MineShardRequest, span *telemetry.Span) attemptResult {
 	t := b.pool.tuning
 	actx, cancel := context.WithTimeout(ctx, t.RequestTimeout)
 	defer cancel()
 
 	ch := make(chan attemptResult, 2)
 	launched := 1
-	go func() { ch <- b.doMine(actx, shard, req) }()
+	// One child span per launched request ("attempt" / "hedge"), annotated
+	// with how it resolved — so a trace shows each wire round-trip,
+	// including the losing half of a hedged pair.
+	launch := func(kind string) {
+		rsp := span.StartChild(kind)
+		go func() {
+			res := b.doMine(actx, shard, req)
+			rsp.SetAttr("outcome", res.kind.String())
+			if res.err != nil {
+				rsp.SetAttr("error", res.err.Error())
+			}
+			rsp.End()
+			ch <- res
+		}()
+	}
+	launch("attempt")
 
 	var hedgeC <-chan time.Time
 	if t.HedgeAfter > 0 {
@@ -329,7 +373,7 @@ func (b *Backend) attempt(ctx context.Context, shard int, req MineShardRequest) 
 			launched++
 			call(b.hooks.OnHedge, shard)
 			b.progress.Emit(req.Algorithm, core.PhaseShardHedge, shard+1, core.MiningStats{})
-			go func() { ch <- b.doMine(actx, shard, req) }()
+			launch("hedge")
 		case <-ctx.Done():
 			return attemptResult{kind: outcomeRetryable, err: ctx.Err()}
 		}
@@ -340,7 +384,7 @@ func (b *Backend) attempt(ctx context.Context, shard int, req MineShardRequest) 
 // doMine performs one /mine1 POST and classifies the outcome.
 func (b *Backend) doMine(ctx context.Context, shard int, req MineShardRequest) attemptResult {
 	addr := b.pool.addrs[shard]
-	status, body, err := b.post(ctx, addr+pathMine1, req)
+	status, body, err := b.post(ctx, addr+pathMine1, req.TraceID, req)
 	if err != nil {
 		return attemptResult{kind: outcomeRetryable, err: err}
 	}
@@ -368,7 +412,8 @@ func (b *Backend) doMine(ctx context.Context, shard int, req MineShardRequest) a
 // held slice is a hash-verified prefix of ours (same lo, content hash of
 // the shared prefix matches), the full slice otherwise. A delta rejected by
 // the shard (a race moved its held state) falls back to one full push.
-func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse) error {
+// span (nil ok) is annotated with which path applied.
+func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse, traceID string, span *telemetry.Span) error {
 	r := b.bounds[shard]
 	req := PushRequest{
 		Dataset:  b.dataset,
@@ -376,6 +421,7 @@ func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse) er
 		Lo:       r.Lo,
 		Hi:       r.Hi,
 		NumItems: b.db.NumItems,
+		TraceID:  traceID,
 	}
 	heldN := stale.HeldHi - stale.HeldLo
 	if stale.Held && stale.HeldLo == r.Lo && heldN > 0 && heldN <= r.Len() &&
@@ -387,6 +433,7 @@ func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse) er
 	} else {
 		req.Transactions = encodeTransactions(b.db, r.Lo, r.Hi)
 	}
+	span.SetAttr("delta", fmt.Sprint(req.Append))
 
 	err := b.doPush(ctx, shard, req)
 	if err != nil && req.Append && ctx.Err() == nil {
@@ -394,6 +441,7 @@ func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse) er
 		req.Append = false
 		req.BaseN, req.BaseHash = 0, 0
 		req.Transactions = encodeTransactions(b.db, r.Lo, r.Hi)
+		span.SetAttr("delta", "false (base moved)")
 		err = b.doPush(ctx, shard, req)
 	}
 	return err
@@ -403,7 +451,7 @@ func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse) er
 func (b *Backend) doPush(ctx context.Context, shard int, req PushRequest) error {
 	pctx, cancel := context.WithTimeout(ctx, b.pool.tuning.RequestTimeout)
 	defer cancel()
-	status, body, err := b.post(pctx, b.pool.addrs[shard]+pathPush, req)
+	status, body, err := b.post(pctx, b.pool.addrs[shard]+pathPush, req.TraceID, req)
 	if err != nil {
 		return err
 	}
@@ -423,7 +471,9 @@ func (b *Backend) failover(ctx context.Context, shard int, algorithm string, th 
 	}
 	call(b.hooks.OnFailover, shard)
 	b.progress.Emit(algorithm, core.PhaseShardFailover, shard+1, core.MiningStats{})
-	_ = cause // absorbed by design; surfaced via the hook and progress event
+	fsp := telemetry.SpanFromContext(ctx).StartChild("failover")
+	fsp.SetAttr("cause", cause.Error())
+	defer fsp.End()
 	r := b.bounds[shard]
 	m, err := algo.NewWith(algorithm, core.Options{Workers: workers})
 	if err != nil {
@@ -436,8 +486,9 @@ func (b *Backend) failover(ctx context.Context, shard int, algorithm string, th 
 	return rs.Itemsets(), rs.Stats, nil
 }
 
-// post sends one JSON POST and returns the status and body.
-func (b *Backend) post(ctx context.Context, url string, payload any) (int, []byte, error) {
+// post sends one JSON POST and returns the status and body. traceID, when
+// non-empty, rides the X-Umine-Trace-Id header alongside the proto field.
+func (b *Backend) post(ctx context.Context, url, traceID string, payload any) (int, []byte, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return 0, nil, err
@@ -447,6 +498,9 @@ func (b *Backend) post(ctx context.Context, url string, payload any) (int, []byt
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(headerTraceID, traceID)
+	}
 	resp, err := b.pool.client.Do(req)
 	if err != nil {
 		return 0, nil, err

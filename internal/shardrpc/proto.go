@@ -17,7 +17,14 @@ import (
 	"umine/internal/core"
 	"umine/internal/dataset"
 	"umine/internal/partition"
+	"umine/internal/telemetry"
 )
+
+// headerTraceID carries the coordinator's trace ID on every shard RPC, so
+// shard-side spans stitch into the coordinator's trace. The proto field on
+// the request bodies is authoritative; the header exists for middleboxes
+// and access logs that only see headers.
+const headerTraceID = "X-Umine-Trace-Id"
 
 // Shard-server endpoint paths.
 const (
@@ -50,6 +57,9 @@ type PushRequest struct {
 	// Transactions are item:prob lines, one per transaction (empty lines
 	// are empty transactions).
 	Transactions []string `json:"transactions"`
+	// TraceID, when set, names the coordinator trace this push belongs to
+	// (a re-push inside a /mine); the shard adopts it for its own spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // PushResponse acknowledges an installed slice.
@@ -73,6 +83,10 @@ type MineShardRequest struct {
 	Algorithm string                   `json:"algorithm"`
 	Th        partition.WireThresholds `json:"thresholds"`
 	Workers   int                      `json:"workers,omitempty"`
+	// TraceID, when set, is the coordinator trace this mine belongs to: the
+	// shard runs its mine under a trace with the same ID and returns its
+	// span tree in MineShardResponse.Spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // MineShardResponse carries a shard's locally frequent itemsets and work
@@ -82,6 +96,11 @@ type MineShardResponse struct {
 	Stats    partition.WireStats `json:"stats"`
 	// Cached reports a shard-local result-cache hit (no mine ran).
 	Cached bool `json:"cached,omitempty"`
+	// Spans is the shard-side span tree of this response (absent when the
+	// request carried no TraceID). The slice cache stores responses without
+	// spans — each response snapshots its own handling, a cache hit
+	// included — so the coordinator never stitches a stale tree.
+	Spans []telemetry.SpanData `json:"spans,omitempty"`
 }
 
 // StaleResponse is the 409 body a shard answers a pinned version it does

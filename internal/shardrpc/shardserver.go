@@ -6,13 +6,16 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"umine/internal/algo"
 	"umine/internal/core"
 	"umine/internal/partition"
+	"umine/internal/telemetry"
 )
 
 // maxShardCacheEntries bounds each held slice's result cache. Phase-1
@@ -25,6 +28,13 @@ const maxShardCacheEntries = 64
 type ShardConfig struct {
 	// Log receives one line per push and failed request (nil discards).
 	Log io.Writer
+	// Telemetry, when non-nil, collects this shard's traces and metrics:
+	// /mine1 and /push run under traces (adopting the coordinator's wire
+	// trace ID when present, so the shard's /debug/traces ring shares IDs
+	// with the coordinator's), and Handler mounts /metrics and
+	// /debug/traces. Nil disables retention; spans still travel back on
+	// /mine1 responses carrying a trace ID.
+	Telemetry *telemetry.Hub
 }
 
 // heldSlice is one dataset slice a shard holds: an immutable arena tagged
@@ -66,6 +76,10 @@ type ShardServer struct {
 	cacheHits    atomic.Uint64
 	staleRejects atomic.Uint64
 	errs         atomic.Uint64
+
+	// Per-endpoint latency histograms; nil (no telemetry hub) no-ops.
+	histMine1 *telemetry.Histogram
+	histPush  *telemetry.Histogram
 }
 
 // NewShardServer constructs an empty shard server; slices arrive via /push.
@@ -73,7 +87,41 @@ func NewShardServer(cfg ShardConfig) *ShardServer {
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
-	return &ShardServer{cfg: cfg, held: make(map[string]*heldSlice)}
+	s := &ShardServer{cfg: cfg, held: make(map[string]*heldSlice)}
+	if hub := cfg.Telemetry; hub != nil {
+		s.registerMetrics(hub.Metrics)
+	}
+	return s
+}
+
+// registerMetrics exposes the shard counters as func-backed /metrics
+// families (no double counting — the atomics above stay authoritative) and
+// creates the endpoint latency histograms.
+func (s *ShardServer) registerMetrics(reg *telemetry.Registry) {
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, nil, func() float64 { return float64(v.Load()) })
+	}
+	counter("ushard_pushes_total", "Slices installed via /push.", &s.pushes)
+	counter("ushard_delta_pushes_total", "Pushes applied via the append-only delta path.", &s.deltaPushes)
+	counter("ushard_mines_total", "Phase-1 mines executed (cache hits excluded).", &s.mines)
+	counter("ushard_cache_hits_total", "Phase-1 mines answered from the slice result cache.", &s.cacheHits)
+	counter("ushard_stale_rejects_total", "Mine requests rejected 409 for pinning a version not held.", &s.staleRejects)
+	counter("ushard_errors_total", "Failed requests.", &s.errs)
+	reg.GaugeFunc("ushard_datasets", "Dataset slices currently held.", nil, func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.held))
+	})
+	reg.GaugeFunc("ushard_bytes_resident", "Total arena bytes of held slices.", nil, func() float64 {
+		return float64(s.Stats().BytesResident)
+	})
+	reg.GaugeFunc("ushard_goroutines", "Goroutines in the shard process.", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	s.histMine1 = reg.Histogram("ushard_mine1_duration_seconds",
+		"Latency of /mine1 phase-1 mines (cache hits included).", nil, nil)
+	s.histPush = reg.Histogram("ushard_push_duration_seconds",
+		"Latency of /push slice installs (full and delta).", nil, nil)
 }
 
 // ShardStats is the GET /stats document: unsynchronized gauges (the
@@ -135,7 +183,25 @@ func (s *ShardServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+pathPush, s.handlePush)
 	mux.HandleFunc("POST "+pathMine1, s.handleMine1)
+	if hub := s.cfg.Telemetry; hub != nil {
+		mux.Handle("GET /metrics", hub.MetricsHandler())
+		mux.Handle("GET /debug/traces", hub.TracesHandler())
+		mux.Handle("GET /debug/traces/{id}", hub.TracesHandler())
+	}
 	return mux
+}
+
+// startTrace opens a trace for one shard request, adopting the
+// coordinator's trace ID from the header or proto field when present so the
+// shard's spans stitch into the coordinator's tree and its /debug/traces
+// ring shares IDs with the coordinator's. Works (hublessly) with Telemetry
+// nil — the spans still travel back on the response.
+func (s *ShardServer) startTrace(r *http.Request, protoID, name string) *telemetry.Trace {
+	id := r.Header.Get(headerTraceID)
+	if id == "" {
+		id = protoID
+	}
+	return s.cfg.Telemetry.StartTraceID(id, name)
 }
 
 // handleReadyz reports readiness: the process serves as soon as it is up
@@ -158,11 +224,16 @@ func (s *ShardServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // slice in place after verifying the base pin; any mismatch falls back to
 // an error so the coordinator re-pushes fully — never a silent divergence.
 func (s *ShardServer) handlePush(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.histPush.Observe(time.Since(start).Seconds()) }()
 	var req PushRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding push: %w", err))
 		return
 	}
+	tr := s.startTrace(r, req.TraceID, "push "+req.Dataset)
+	defer tr.Finish()
+	tr.Root().SetAttr("append", fmt.Sprint(req.Append))
 	if req.Dataset == "" || req.Lo < 0 || req.Hi < req.Lo {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad push pin %q [%d,%d)", req.Dataset, req.Lo, req.Hi))
 		return
@@ -206,16 +277,25 @@ func (s *ShardServer) handlePush(w http.ResponseWriter, r *http.Request) {
 // strong-consistency gate: a pin the shard does not hold exactly is 409,
 // never a best-effort answer over different data.
 func (s *ShardServer) handleMine1(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.histMine1.Observe(time.Since(start).Seconds()) }()
 	var req MineShardRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding mine1: %w", err))
 		return
 	}
+	// traced: the coordinator asked for spans back. The trace itself also
+	// lands in this shard's own /debug/traces ring (same trace ID as the
+	// coordinator's, so operators can join the two views).
+	traced := req.TraceID != "" || r.Header.Get(headerTraceID) != ""
+	tr := s.startTrace(r, req.TraceID, "mine1 "+req.Dataset)
+	defer tr.Finish()
 	s.mu.RLock()
 	h := s.held[req.Dataset]
 	s.mu.RUnlock()
 	if h == nil || h.version != req.Version || h.lo != req.Lo || h.hi != req.Hi {
 		s.staleRejects.Add(1)
+		tr.Root().SetAttr("outcome", "stale")
 		stale := StaleResponse{Dataset: req.Dataset}
 		if h != nil {
 			stale.Held = true
@@ -239,16 +319,29 @@ func (s *ShardServer) handleMine1(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		s.cacheHits.Add(1)
 		cached.Cached = true
+		tr.Root().SetAttr("outcome", "cache-hit")
+		if traced {
+			cached.Spans = []telemetry.SpanData{tr.Finish().Root}
+		}
 		shardWriteJSON(w, http.StatusOK, cached)
 		return
 	}
 
-	m, err := algo.NewWith(req.Algorithm, core.Options{Workers: req.Workers})
+	mineSpan := tr.Root().StartChild("mine")
+	mineSpan.SetAttr("algorithm", req.Algorithm)
+	m, err := algo.NewWith(req.Algorithm, core.Options{
+		Workers: req.Workers,
+		// The miner's own checkpoints (levels, subtrees) become child
+		// spans, so the coordinator's stitched tree shows where the shard's
+		// time went, not just that it went.
+		Progress: telemetry.SpanProgress(mineSpan),
+	})
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	rs, err := m.Mine(r.Context(), h.db, th)
+	mineSpan.End()
 	if err != nil {
 		// Mining errors (including a canceled hedge loser's ctx) are 422:
 		// semantically final for this attempt, never retried as transport.
@@ -265,9 +358,14 @@ func (s *ShardServer) handleMine1(w http.ResponseWriter, r *http.Request) {
 		h.cache = make(map[string]MineShardResponse)
 	}
 	if len(h.cache) < maxShardCacheEntries {
+		// Cached without spans: a later hit snapshots its own (trivial)
+		// handling instead of replaying this mine's tree.
 		h.cache[key] = resp
 	}
 	h.cacheMu.Unlock()
+	if traced {
+		resp.Spans = []telemetry.SpanData{tr.Finish().Root}
+	}
 	shardWriteJSON(w, http.StatusOK, resp)
 }
 

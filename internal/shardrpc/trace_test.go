@@ -1,0 +1,196 @@
+package shardrpc
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"umine/internal/core"
+	"umine/internal/telemetry"
+)
+
+// countSpans counts spans named name in the subtree.
+func countSpans(sd telemetry.SpanData, name string) int {
+	n := 0
+	if sd.Name == name {
+		n++
+	}
+	for _, c := range sd.Children {
+		n += countSpans(c, name)
+	}
+	return n
+}
+
+// TestTracePropagation: the coordinator's trace ID crosses the wire, the
+// shard's own spans come back on the response and stitch into the
+// coordinator's tree, and the shard's /debug/traces ring shares the
+// coordinator's trace ID. Exercises the full 409 → re-push → mine path of
+// a demand-populated shard plus the cache-hit path.
+func TestTracePropagation(t *testing.T) {
+	db := testDB(12, 200)
+	hub := telemetry.NewHub(telemetry.HubConfig{TraceCapacity: 16})
+	ss := NewShardServer(ShardConfig{Telemetry: hub})
+	ts := httptest.NewServer(ss.Handler())
+	defer ts.Close()
+
+	pool, err := NewPool(PoolConfig{Addrs: []string{ts.URL}, Tuning: fastTuning()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c counters
+	be, err := pool.Backend("d", 1, db, 1, c.hooks(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := core.Thresholds{MinESup: 0.1}
+
+	tr := telemetry.NewTrace("coordinator mine")
+	ctx := telemetry.ContextWithSpan(context.Background(), tr.Root())
+	sets, _, err := be.MineShard(ctx, 0, "UApriori", th, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSets, _ := localShardMine(t, db, 0, db.N(), "UApriori", th)
+	requireSameSets(t, sets, wantSets)
+	td := tr.Finish()
+
+	// Demand population ran the coherence loop: a stale attempt, the
+	// re-push, then the answering attempt. Each wire round-trip is a span.
+	if got := c.repushes.Load(); got != 1 {
+		t.Fatalf("repushes = %d, want 1", got)
+	}
+	if got := countSpans(td.Root, "attempt"); got != 2 {
+		t.Fatalf("attempt spans = %d, want 2 (stale + ok)", got)
+	}
+	rp, ok := td.Root.Find("repush")
+	if !ok || rp.Attrs["delta"] != "false" {
+		t.Fatalf("repush span: %+v, ok=%v", rp, ok)
+	}
+
+	// The shard's own span tree rode back on the response: its root
+	// ("mine1 d") with the mine and its per-level checkpoints under it.
+	remote, ok := td.Root.Find("mine1 d")
+	if !ok {
+		t.Fatalf("shard spans not stitched into the coordinator tree:\n%+v", td.Root)
+	}
+	mine, ok := remote.Find("mine")
+	if !ok || mine.Attrs["algorithm"] != "UApriori" {
+		t.Fatalf("shard mine span: %+v, ok=%v", mine, ok)
+	}
+	if _, ok := mine.Find("level 1"); !ok {
+		t.Errorf("shard mine span lost its Progress checkpoints: %+v", mine)
+	}
+
+	// The shard's /debug/traces ring shares the coordinator's trace ID —
+	// the push and both mine1 requests each landed one trace under it.
+	shardTraces := hub.Traces()
+	if len(shardTraces) < 3 {
+		t.Fatalf("shard retained %d traces, want >= 3 (stale mine1, push, mine1)", len(shardTraces))
+	}
+	names := map[string]bool{}
+	for _, st := range shardTraces {
+		if st.TraceID != tr.ID() {
+			t.Fatalf("shard trace %s has ID %s, want coordinator's %s", st.Name, st.TraceID, tr.ID())
+		}
+		names[st.Name] = true
+	}
+	if !names["push d"] || !names["mine1 d"] {
+		t.Errorf("shard trace names = %v, want push d and mine1 d", names)
+	}
+
+	// A repeat of the same pin is a shard cache hit; its response carries a
+	// fresh (trivial) span snapshot, not a replay of the first mine's tree.
+	tr2 := telemetry.NewTrace("second mine")
+	ctx2 := telemetry.ContextWithSpan(context.Background(), tr2.Root())
+	if _, _, err := be.MineShard(ctx2, 0, "UApriori", th, 1); err != nil {
+		t.Fatal(err)
+	}
+	td2 := tr2.Finish()
+	hit, ok := td2.Root.Find("mine1 d")
+	if !ok || hit.Attrs["outcome"] != "cache-hit" {
+		t.Fatalf("cache-hit span: %+v, ok=%v", hit, ok)
+	}
+	if _, ok := hit.Find("mine"); ok {
+		t.Error("cache hit replayed the original mine's span tree")
+	}
+}
+
+// TestTraceRetrySpans: injected 5xx failures leave one annotated span per
+// failed wire attempt, and the parent span reports the retry count.
+func TestTraceRetrySpans(t *testing.T) {
+	db := testDB(13, 200)
+	ss := NewShardServer(ShardConfig{})
+	proxy := &flakyProxy{inner: ss.Handler()}
+	proxy.fails.Store(2)
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	pool, err := NewPool(PoolConfig{Addrs: []string{ts.URL}, Tuning: fastTuning()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c counters
+	be, err := pool.Backend("d", 1, db, 1, c.hooks(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := telemetry.NewTrace("coordinator mine")
+	ctx := telemetry.ContextWithSpan(context.Background(), tr.Root())
+	if _, _, err := be.MineShard(ctx, 0, "UApriori", core.Thresholds{MinESup: 0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	td := tr.Finish()
+
+	// Two injected 503s, then the stale/repush population, then the answer:
+	// 4 wire attempts, the first two marked retryable with their error.
+	if got := countSpans(td.Root, "attempt"); got != 4 {
+		t.Fatalf("attempt spans = %d, want 4:\n%+v", got, td.Root)
+	}
+	if td.Root.Attrs["retries"] != "2" {
+		t.Errorf("parent span retries attr = %q, want 2", td.Root.Attrs["retries"])
+	}
+	retryable := 0
+	for _, child := range td.Root.Children {
+		if child.Name == "attempt" && child.Attrs["outcome"] == "retryable" {
+			if child.Attrs["error"] == "" {
+				t.Errorf("retryable attempt span missing error attr: %+v", child)
+			}
+			retryable++
+		}
+	}
+	if retryable != 2 {
+		t.Errorf("retryable attempt spans = %d, want 2", retryable)
+	}
+}
+
+// TestTracelessMineCarriesNoSpans: without a span in the context no trace
+// ID crosses the wire and the shard spends nothing on span snapshots.
+func TestTracelessMineCarriesNoSpans(t *testing.T) {
+	db := testDB(14, 150)
+	hub := telemetry.NewHub(telemetry.HubConfig{TraceCapacity: 4})
+	ss := NewShardServer(ShardConfig{Telemetry: hub})
+	ts := httptest.NewServer(ss.Handler())
+	defer ts.Close()
+
+	pool, err := NewPool(PoolConfig{Addrs: []string{ts.URL}, Tuning: fastTuning()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c counters
+	be, _ := pool.Backend("d", 1, db, 1, c.hooks(), nil)
+	if _, _, err := be.MineShard(context.Background(), 0, "UApriori", core.Thresholds{MinESup: 0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The shard still traces its own requests (fresh IDs), but none adopt a
+	// coordinator ID and the wire response carried no spans (nothing to
+	// attach — no way to observe that here beyond the mine succeeding, so
+	// assert the ring got fresh, distinct IDs instead).
+	ids := map[string]bool{}
+	for _, st := range hub.Traces() {
+		ids[st.TraceID] = true
+	}
+	if len(ids) != len(hub.Traces()) {
+		t.Errorf("traceless requests shared trace IDs: %v", ids)
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+// SpanProgress bridges the miners' core.Progress stream into a span tree:
+// miners keep emitting ProgressEvents at their cooperative checkpoints,
+// and this adapter turns each one into a completed child span covering the
+// interval since the previous checkpoint — so every miner family's
+// level/subtree structure appears in traces without the miners knowing
+// spans exist.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"umine/internal/core"
+)
+
+// SpanProgress returns a ProgressFunc recording each checkpoint as a
+// completed child of parent. Shard-robustness phases (retry, hedge,
+// failover, repush) are skipped — the shardrpc backend instruments those
+// paths with explicit, better-attributed spans — as is the final "done"
+// event, whose interval is the root span itself.
+//
+// The returned func is safe for concurrent use (miners may emit from
+// parallel workers); concurrent checkpoints are attributed back-to-back in
+// emission order. A nil parent yields a no-op observer, so callers can
+// compose unconditionally. Chain with an existing observer by calling both.
+func SpanProgress(parent *Span) core.ProgressFunc {
+	if parent == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	last := time.Now()
+	return func(ev core.ProgressEvent) {
+		switch ev.Phase {
+		case core.PhaseShardRetry, core.PhaseShardHedge, core.PhaseShardFailover, core.PhaseShardRepush, core.PhaseDone:
+			return
+		}
+		now := time.Now()
+		mu.Lock()
+		start := last
+		last = now
+		mu.Unlock()
+		name := checkpointName(ev)
+		parent.Record(name, start, now,
+			[2]string{"algorithm", ev.Algorithm},
+			[2]string{"candidates", fmt.Sprint(ev.Stats.CandidatesGenerated)},
+		)
+	}
+}
+
+// checkpointName labels a checkpoint span after its phase and ordinal.
+func checkpointName(ev core.ProgressEvent) string {
+	switch ev.Phase {
+	case core.PhaseLevel:
+		return fmt.Sprintf("level %d", ev.Level)
+	case core.PhaseSubtree:
+		return fmt.Sprintf("subtree (depth %d)", ev.Level)
+	case core.PhasePartition:
+		return fmt.Sprintf("partition %d", ev.Level)
+	}
+	return string(ev.Phase)
+}

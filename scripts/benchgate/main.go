@@ -1,5 +1,6 @@
 // Command benchgate compares fresh benchmark reports against committed
-// baselines and fails when a p50 latency regresses beyond the gate.
+// baselines and fails when a gated latency quantile regresses beyond the
+// gate.
 //
 // Each positional argument is a baseline=fresh pair of JSON report files:
 //
@@ -7,12 +8,15 @@
 //	    BENCH_partition.json=BENCH_partition.fresh.json
 //
 // The comparator is schema-agnostic: it walks both documents and pairs up
-// every numeric field whose name ends in "_p50_ms" by its JSON path (array
-// elements by index, so report levels must be written in a stable order).
-// A metric regresses when fresh > baseline*(1+max-pct/100) + slack-ms; the
-// absolute slack keeps sub-millisecond baselines from tripping the gate on
-// runner noise. Metrics present in only one document are reported but do
-// not fail the gate — reports may grow fields across commits.
+// every numeric field named like a latency quantile — p50_ms, p95_ms or
+// p99_ms, bare or as a "_"-suffixed name like cold_p50_ms — by its JSON
+// path (array elements by index, so report levels must be written in a
+// stable order). A metric regresses when fresh > baseline*(1+max-pct/100)
+// + slack-ms; the absolute slack keeps sub-millisecond baselines from
+// tripping the gate on runner noise, and it matters doubly for the tail
+// quantiles, which are noisier than medians on short runs. Metrics present
+// in only one document are reported but do not fail the gate — reports may
+// grow fields across commits.
 package main
 
 import (
@@ -25,7 +29,7 @@ import (
 )
 
 func main() {
-	maxPct := flag.Float64("max-pct", 25, "maximum allowed p50 regression in percent")
+	maxPct := flag.Float64("max-pct", 25, "maximum allowed quantile regression in percent")
 	slackMS := flag.Float64("slack-ms", 25, "absolute slack in ms added to the gate (absorbs runner noise on short runs)")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -51,18 +55,18 @@ func main() {
 // comparePair gates one baseline/fresh report pair, printing every metric
 // compared. It returns false when any shared metric regresses.
 func comparePair(basePath, freshPath string, maxPct, slackMS float64) bool {
-	base, err := loadP50s(basePath)
+	base, err := loadQuantiles(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		return false
 	}
-	fresh, err := loadP50s(freshPath)
+	fresh, err := loadQuantiles(freshPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		return false
 	}
 	if len(base) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s has no *_p50_ms metrics — nothing to gate\n", basePath)
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no p50/p95/p99 _ms metrics — nothing to gate\n", basePath)
 		return false
 	}
 	paths := make([]string, 0, len(base))
@@ -100,9 +104,9 @@ func comparePair(basePath, freshPath string, maxPct, slackMS float64) bool {
 	return ok
 }
 
-// loadP50s flattens a JSON report into path -> value for every numeric
-// field whose name ends in "_p50_ms".
-func loadP50s(path string) (map[string]float64, error) {
+// loadQuantiles flattens a JSON report into path -> value for every
+// numeric field named like a gated latency quantile.
+func loadQuantiles(path string) (map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -131,8 +135,20 @@ func walk(prefix string, v any, out map[string]float64) {
 			walk(fmt.Sprintf("%s[%d]", prefix, i), c, out)
 		}
 	case float64:
-		if strings.HasSuffix(prefix, "_p50_ms") {
+		if gatedQuantile(prefix) {
 			out[prefix] = t
 		}
 	}
+}
+
+// gatedQuantile reports whether a flattened field path names a latency
+// quantile the gate applies to: a field called p50_ms/p95_ms/p99_ms (the
+// "." separator is the JSON path) or one suffixed like cold_p50_ms.
+func gatedQuantile(path string) bool {
+	for _, q := range []string{"p50_ms", "p95_ms", "p99_ms"} {
+		if path == q || strings.HasSuffix(path, "_"+q) || strings.HasSuffix(path, "."+q) {
+			return true
+		}
+	}
+	return false
 }

@@ -14,6 +14,14 @@
 # in-process path, including after an /ingest version bump invalidates the
 # shards' pinned slices. Mirrored by the "Sharded mining (multi-process)"
 # CI job; run locally via `make smoke-shards`.
+#
+# `smoke_userve.sh metrics` boots the same three-process cluster and checks
+# the observability surface: /metrics on the coordinator and both shards
+# parses as Prometheus text with the expected families, histogram counts
+# stay monotonic across scrapes under load, and the sharded /mine leaves
+# one stitched trace (coordinator phases + wire-propagated shard spans) at
+# /debug/traces. Mirrored by the "Telemetry smoke" CI job; run locally via
+# `make smoke-metrics`.
 set -eu
 
 MODE="${1:-local}"
@@ -159,6 +167,122 @@ if [ "$MODE" = "shards" ]; then
     echo "smoke: version bump invalidated the shards' slices coherently"
 
     echo "smoke: PASS (shards)"
+    exit 0
+fi
+
+if [ "$MODE" = "metrics" ]; then
+    echo "smoke: building ushard"
+    go build -o "$TMP/ushard" ./cmd/ushard
+
+    SHARD1="127.0.0.1:18671"
+    SHARD2="127.0.0.1:18672"
+    "$TMP/ushard" -addr "$SHARD1" >"$TMP/ushard1.log" 2>&1 &
+    SHARD1_PID=$!
+    "$TMP/ushard" -addr "$SHARD2" >"$TMP/ushard2.log" 2>&1 &
+    SHARD2_PID=$!
+    wait_healthz "http://$SHARD1" "$TMP/ushard1.log"
+    wait_healthz "http://$SHARD2" "$TMP/ushard2.log"
+    "$TMP/userve" -addr "$ADDR" -shards "$SHARD1,$SHARD2" >"$TMP/userve.log" 2>&1 &
+    SERVER_PID=$!
+    wait_healthz "$BASE" "$TMP/userve.log"
+    echo "smoke: coordinator + 2 shard processes up"
+
+    STATUS=$(curl -s -o "$TMP/obs.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+        -H 'Content-Type: application/json' \
+        -d '{"name":"obs","profile":"gazelle","scale":0.01,"seed":7,"shards":2}')
+    check "register RPC-sharded dataset" 201 "$TMP/obs.json" "$STATUS"
+
+    MINE='"dataset":"obs","algorithm":"UApriori","min_esup":0.005'
+    STATUS=$(curl -s -D "$TMP/mine_hdrs.txt" -o "$TMP/mine.json" -w '%{http_code}' \
+        -X POST "$BASE/mine" -H 'Content-Type: application/json' -d "{$MINE}")
+    check "sharded /mine" 200 "$TMP/mine.json" "$STATUS"
+    TRACE_ID=$(awk -F': ' 'tolower($1) == "x-umine-trace-id" { gsub(/\r/, "", $2); print $2 }' "$TMP/mine_hdrs.txt")
+    if [ -z "$TRACE_ID" ]; then
+        echo "smoke: FAIL — /mine response carried no X-Umine-Trace-Id header"
+        cat "$TMP/mine_hdrs.txt"
+        exit 1
+    fi
+    echo "smoke: /mine traced as $TRACE_ID"
+
+    # scrape NAME URL FILE: fetch /metrics and require every sample line to
+    # parse as Prometheus text exposition (name{labels} value).
+    scrape() {
+        STATUS=$(curl -s -o "$3" -w '%{http_code}' "$2/metrics")
+        check "$1 /metrics" 200 "$3" "$STATUS"
+        BAD=$(grep -Ev '^(#|$)' "$3" | grep -Evc '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$' || true)
+        if [ "$BAD" != "0" ]; then
+            echo "smoke: FAIL — $1 /metrics has $BAD malformed exposition lines"
+            grep -Ev '^(#|$)' "$3" | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$' | head -5
+            exit 1
+        fi
+    }
+    # metric FILE NAME: print the sample value for an exact series name.
+    metric() {
+        awk -v n="$2" '$1 == n { print $2 }' "$1"
+    }
+
+    scrape "coordinator" "$BASE" "$TMP/m1.txt"
+    for FAM in umine_requests_total umine_sharded_mines_total umine_in_flight \
+        umine_mine_duration_seconds_count umine_shard_phase1_duration_seconds_count \
+        umine_merge_duration_seconds_count umine_phase2_duration_seconds_count; do
+        if ! grep -q "^$FAM" "$TMP/m1.txt"; then
+            echo "smoke: FAIL — coordinator /metrics missing $FAM"
+            exit 1
+        fi
+    done
+    if ! grep -q 'umine_mine_duration_seconds_bucket{le="+Inf"}' "$TMP/m1.txt"; then
+        echo "smoke: FAIL — coordinator histogram has no +Inf bucket"
+        exit 1
+    fi
+    echo "smoke: coordinator /metrics parses with all expected families"
+
+    N=1
+    for SH in "$SHARD1" "$SHARD2"; do
+        scrape "shard $N" "http://$SH" "$TMP/shard$N.txt"
+        for FAM in ushard_pushes_total ushard_mines_total ushard_mine1_duration_seconds_count; do
+            if ! grep -q "^$FAM" "$TMP/shard$N.txt"; then
+                echo "smoke: FAIL — shard $N /metrics missing $FAM"
+                exit 1
+            fi
+        done
+        MINES=$(metric "$TMP/shard$N.txt" ushard_mines_total)
+        if [ "${MINES:-0}" = "0" ]; then
+            echo "smoke: FAIL — shard $N served no phase-1 mines"
+            exit 1
+        fi
+        N=$((N + 1))
+    done
+    echo "smoke: both shard /metrics parse and counted phase-1 mines"
+
+    # Histogram counts are monotonic across scrapes while load continues.
+    C1=$(metric "$TMP/m1.txt" umine_mine_duration_seconds_count)
+    STATUS=$(curl -s -o "$TMP/mine2.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' -d "{$MINE,\"no_cache\":true}")
+    check "second sharded /mine" 200 "$TMP/mine2.json" "$STATUS"
+    scrape "coordinator (rescrape)" "$BASE" "$TMP/m2.txt"
+    C2=$(metric "$TMP/m2.txt" umine_mine_duration_seconds_count)
+    if ! awk -v a="$C1" -v b="$C2" 'BEGIN { exit !(b > a) }'; then
+        echo "smoke: FAIL — mine histogram count not monotonic ($C1 -> $C2)"
+        exit 1
+    fi
+    echo "smoke: histogram counts monotonic across scrapes ($C1 -> $C2)"
+
+    # The first mine's trace is retained and stitches the coordinator's
+    # phase spans with the shard spans that rode back over the wire.
+    STATUS=$(curl -s -o "$TMP/traces.json" -w '%{http_code}' "$BASE/debug/traces")
+    check "/debug/traces" 200 "$TMP/traces.json" "$STATUS"
+    STATUS=$(curl -s -o "$TMP/trace.json" -w '%{http_code}' "$BASE/debug/traces/$TRACE_ID")
+    check "/debug/traces/{id}" 200 "$TMP/trace.json" "$STATUS"
+    for SPAN in '"phase1"' '"shard 0"' '"shard 1"' '"merge"' '"phase2"' '"mine1 obs"'; do
+        if ! grep -q "$SPAN" "$TMP/trace.json"; then
+            echo "smoke: FAIL — trace $TRACE_ID missing span $SPAN"
+            cat "$TMP/trace.json"
+            exit 1
+        fi
+    done
+    echo "smoke: sharded mine left one stitched trace (coordinator + shard spans)"
+
+    echo "smoke: PASS (metrics)"
     exit 0
 fi
 

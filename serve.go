@@ -11,6 +11,7 @@ package umine
 import (
 	"umine/internal/server"
 	"umine/internal/shardrpc"
+	"umine/internal/telemetry"
 )
 
 // Server-layer types, re-exported.
@@ -59,6 +60,18 @@ type (
 	ShardServer = shardrpc.ShardServer
 	// ShardServerConfig parameterizes NewShardServer.
 	ShardServerConfig = shardrpc.ShardConfig
+	// TelemetryHub collects a process's traces and metrics: wire one into
+	// ServerConfig.Telemetry or ShardServerConfig.Telemetry and the
+	// handler grows /metrics (Prometheus text format) and /debug/traces
+	// (bounded ring of recent request traces).
+	TelemetryHub = telemetry.Hub
+	// TelemetryConfig parameterizes NewTelemetryHub (trace-ring capacity,
+	// slow-request log).
+	TelemetryConfig = telemetry.HubConfig
+	// TraceData is one completed trace: ID, duration, and span tree.
+	TraceData = telemetry.TraceData
+	// SpanData is one span subtree inside a TraceData.
+	SpanData = telemetry.SpanData
 )
 
 // NewServer constructs a mining service. The zero ServerConfig is a usable
@@ -88,4 +101,12 @@ func NewShardPool(cfg ShardPoolConfig) (*ShardPool, error) {
 // /push); serve its Handler over HTTP to host shards.
 func NewShardServer(cfg ShardServerConfig) *ShardServer {
 	return shardrpc.NewShardServer(cfg)
+}
+
+// NewTelemetryHub builds a telemetry hub: a metrics registry plus a
+// bounded ring of completed request traces and an optional slow-request
+// log. The zero TelemetryConfig retains the default number of traces and
+// logs nothing.
+func NewTelemetryHub(cfg TelemetryConfig) *TelemetryHub {
+	return telemetry.NewHub(cfg)
 }
