@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards smoke-metrics bench-server bench-gate ci
+.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe bench-server bench-gate ci
 
 all: build
 
@@ -66,6 +66,15 @@ test-shardrpc:
 	$(GO) test -race -count=1 ./internal/shardrpc
 	$(GO) test -race -count=1 -run 'TestRPCShard' ./internal/server
 
+## test-incmine: the incremental-maintenance suites under the race detector —
+## ledger-vs-cold bit-identity for every miner family across arbitrary append
+## sequences (including the eviction / non-append / border-exhaustion
+## fallbacks), the delta counting kernel's bitwise additivity, window
+## eviction accounting, and the server's subscribe/ingest/SSE surface
+test-incmine:
+	$(GO) test -race -count=1 ./internal/incmine ./internal/stream
+	$(GO) test -race -count=1 -run 'Subscribe|Incremental|Ingest|Delta|Eviction' ./internal/server ./internal/core
+
 ## bench: benchmark smoke run — one iteration each, so perf code keeps compiling and running
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -96,13 +105,23 @@ smoke-shards:
 smoke-metrics:
 	sh scripts/smoke_userve.sh metrics
 
-## bench-server: closed-loop load benchmark at 1/8/64 clients; writes
-## BENCH_server.json plus the partitioned cold-mine comparison BENCH_partition.json
-bench-server:
-	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
+## smoke-subscribe: continuous-query smoke — usub subscribes over SSE, an
+## /ingest batch streams a refresh diff, and the diff's result-set size must
+## match a direct /mine of the grown dataset
+smoke-subscribe:
+	sh scripts/smoke_userve.sh subscribe
 
-## bench-gate: re-run the storage, partition, and server load benchmarks
-## into *.fresh.json and fail on >25% p50/p95/p99 regression against the
+## bench-server: closed-loop load benchmark at 1/8/64 clients; writes
+## BENCH_server.json plus the partitioned cold-mine comparison
+## BENCH_partition.json and the incremental-maintenance comparison
+## BENCH_incremental.json (ingest→notify latency vs cold re-mine)
+bench-server:
+	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json \
+		-bench_incremental_out BENCH_incremental.json
+
+## bench-gate: re-run the storage, partition, server load, and incremental
+## maintenance benchmarks into *.fresh.json and fail on >25% p50/p95/p99
+## regression against the
 ## committed baselines. The server load bench is shrunk to one client
 ## level, so only the shared (1-client) level of BENCH_server.json is
 ## compared — the tail quantiles come from the same telemetry histograms
@@ -111,9 +130,11 @@ bench-server:
 bench-gate:
 	BENCH_STORAGE_OUT=$$(pwd)/BENCH_storage.fresh.json $(GO) test ./internal/algo/apriori -run TestWriteStorageBench -count=1
 	$(GO) run ./cmd/userve -loadbench -bench_clients 1 -bench_requests 8 \
-		-bench_out BENCH_server.fresh.json -bench_partition_out BENCH_partition.fresh.json
+		-bench_out BENCH_server.fresh.json -bench_partition_out BENCH_partition.fresh.json \
+		-bench_incremental_out BENCH_incremental.fresh.json -bench_ingest_rounds 5
 	$(GO) run ./scripts/benchgate BENCH_storage.json=BENCH_storage.fresh.json \
-		BENCH_partition.json=BENCH_partition.fresh.json BENCH_server.json=BENCH_server.fresh.json
+		BENCH_partition.json=BENCH_partition.fresh.json BENCH_server.json=BENCH_server.fresh.json \
+		BENCH_incremental.json=BENCH_incremental.fresh.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet lint race test-cancel test-partition test-shardrpc bench bench-storage smoke-server smoke-shards smoke-metrics bench-server bench-gate
+ci: build fmt vet lint race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe bench-server bench-gate

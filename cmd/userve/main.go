@@ -8,8 +8,9 @@
 //	curl -s localhost:8380/healthz
 //	curl -s -X POST localhost:8380/mine -d '{"dataset":"gazelle","algorithm":"UApriori","min_esup":0.005}'
 //
-// Load-benchmark mode (writes BENCH_server.json and the partitioned
-// cold-mine comparison BENCH_partition.json, then exits):
+// Load-benchmark mode (writes BENCH_server.json, the partitioned cold-mine
+// comparison BENCH_partition.json, and the incremental-maintenance
+// comparison BENCH_incremental.json, then exits):
 //
 //	userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json
 package main
@@ -62,6 +63,9 @@ func main() {
 		benchPartAlgo    = flag.String("bench_partition_algo", "", "partition benchmark algorithm (default DPNB: phase 1 replaces the per-candidate DP verification with cheap partition-local candidate mines)")
 		benchPartProfile = flag.String("bench_partition_profile", "", "partition benchmark dataset profile (default accident, the verification-dominated regime)")
 		benchPartScale   = flag.Float64("bench_partition_scale", 0, "partition benchmark profile scale (default 0.01)")
+		benchIncOut      = flag.String("bench_incremental_out", "BENCH_incremental.json", "incremental-maintenance benchmark report file")
+		benchIncRounds   = flag.Int("bench_ingest_rounds", 0, "incremental benchmark ingest rounds (default 9)")
+		benchIncBatch    = flag.Int("bench_ingest_batch", 0, "incremental benchmark transactions per ingest (default 2)")
 	)
 	flag.Parse()
 
@@ -70,6 +74,9 @@ func main() {
 			fatal(err)
 		}
 		if err := runPartitionBench(*benchPartOut, *benchPartProfile, *benchPartScale, *benchPartAlgo, *benchPartition, *workers); err != nil {
+			fatal(err)
+		}
+		if err := runIncrementalBench(*benchIncOut, *benchIncRounds, *benchIncBatch, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -292,6 +299,31 @@ func runPartitionBench(out, profile string, scale float64, alg, partitions strin
 		Ks:        ks,
 		Workers:   workers,
 		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("userve: wrote %s\n", out)
+	return nil
+}
+
+// runIncrementalBench executes the incremental-maintenance benchmark (a
+// continuous query's ingest→notification latency against the cold re-mine
+// of the same query) and writes its report.
+func runIncrementalBench(out string, rounds, batch, workers int) error {
+	report, err := umine.RunServerIncrementalBench(umine.IncrementalBenchConfig{
+		Rounds:  rounds,
+		Batch:   batch,
+		Workers: workers,
+		Log:     os.Stderr,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,83 @@
+// Command usub tails a userve continuous query: it opens the /subscribe SSE
+// stream and prints each result-set diff as one JSON document per line — the
+// first line is the full current result set (a snapshot diff), every later
+// line is the delta an ingest produced. Pipe into jq to watch itemsets enter
+// and leave the result set live:
+//
+//	usub -addr localhost:8380 -dataset gazelle -algo UApriori -min_esup 0.01 | jq .
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8380", "userve address (host:port)")
+		dataset   = flag.String("dataset", "", "dataset to subscribe to (required)")
+		algorithm = flag.String("algo", "UApriori", "mining algorithm")
+		minESup   = flag.Float64("min_esup", 0, "expected-support threshold (expected-support algorithms)")
+		minSup    = flag.Float64("min_sup", 0, "support threshold (probabilistic algorithms)")
+		pft       = flag.Float64("pft", 0, "probabilistic frequentness threshold")
+		threshold = flag.Float64("threshold", 0, "shorthand for whichever support threshold fits the algorithm")
+		n         = flag.Int("n", 0, "exit after this many events (0 = stream forever)")
+	)
+	flag.Parse()
+	if *dataset == "" {
+		fatal(fmt.Errorf("-dataset is required"))
+	}
+	q := url.Values{"dataset": {*dataset}, "algo": {*algorithm}}
+	setNum := func(key string, v float64) {
+		if v > 0 {
+			q.Set(key, fmt.Sprintf("%g", v))
+		}
+	}
+	setNum("min_esup", *minESup)
+	setNum("min_sup", *minSup)
+	setNum("pft", *pft)
+	setNum("threshold", *threshold)
+
+	resp, err := http.Get("http://" + *addr + "/subscribe?" + q.Encode())
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			msg.WriteString(sc.Text())
+		}
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(msg.String())))
+	}
+
+	// SSE framing: each event is a "data: <json>" line followed by a blank
+	// line. Print the payloads; any other line is framing to skip.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	seen := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		fmt.Println(strings.TrimPrefix(line, "data: "))
+		if seen++; *n > 0 && seen >= *n {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "usub:", err)
+	os.Exit(1)
+}

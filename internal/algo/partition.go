@@ -51,6 +51,28 @@ func PartitionPhase1(name string) (string, bool) {
 	return p1, true
 }
 
+// Phase1ThresholdsFor returns the expected-support candidate floor the
+// named algorithm's partitioned mines use for phase-1 candidate generation:
+// the provable esup lower bound of its acceptance region (own threshold for
+// expected-support miners, the Markov / Poisson / Normal inversions for the
+// probabilistic families), relaxed by the engine's float-slack margin and
+// expressed as thresholds for a database of n transactions. External
+// maintainers (the incremental-maintenance ledger, umine/internal/incmine)
+// use it as the support cutoff below which an itemset provably cannot be in
+// the algorithm's result set. Non-partitionable algorithms (MCSampling) have
+// no such floor and are errors.
+func Phase1ThresholdsFor(name string, th core.Thresholds, n int) (core.Thresholds, error) {
+	e, ok := lookup(name)
+	if !ok {
+		return core.Thresholds{}, errUnknown(name)
+	}
+	if !e.Partition {
+		return core.Thresholds{}, fmt.Errorf("algo: %s has no expected-support candidate floor", name)
+	}
+	_, bound := partitionPlan(e)
+	return partition.Phase1Thresholds(bound, th, n)
+}
+
 // familySemantics maps a registry family to its frequentness definition.
 func familySemantics(f Family) core.Semantics {
 	if f == ExpectedSupportFamily {

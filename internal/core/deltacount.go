@@ -1,0 +1,64 @@
+package core
+
+// Delta-restricted support accumulation: the counting kernel behind
+// incremental result maintenance (umine/internal/incmine). Expected support
+// is a plain sum over transactions, so an append-only delta's contribution
+// to esup(X) is itself a sum over just the appended suffix — no rescan of
+// the prefix. AccumulateESup computes those contributions for a batch of
+// tracked itemsets in one flat pass over the arena columns.
+
+// AccumulateESup adds, for every sets[i], the expected-support contribution
+// of transactions [lo, hi) to into[i]:
+//
+//	into[i] += Σ_{j ∈ [lo,hi)} Pr(sets[i] ⊆ T_j)
+//
+// The per-set summation runs in ascending TID order with the same
+// multiply/accumulate grouping as Database.ESup on the equivalent Slice, so
+// a screen maintained by repeated AccumulateESup calls over successive
+// deltas stays bitwise equal to the sum of the per-slice ESup values. Sets
+// must be canonical; into must have at least len(sets) entries. The scan
+// walks the arena columns directly (no per-transaction view construction) —
+// this is the ingest-side hot loop, called once per tracked itemset per
+// delta.
+func (db *Database) AccumulateESup(lo, hi int, sets []Itemset, into []float64) {
+	if n := db.N(); hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return
+	}
+	items, probs, offsets := db.Columns()
+	for i, x := range sets {
+		for j := lo; j < hi; j++ {
+			a, b := int(offsets[j]), int(offsets[j+1])
+			// Inline merge of x against the transaction's sorted item
+			// column — the same walk (and multiply order) as
+			// Transaction.ItemsetProb, so contributions are bit-identical
+			// to the view-based path.
+			p := 1.0
+			k := a
+			ok := true
+			for _, want := range x {
+				for k < b && items[k] < want {
+					k++
+				}
+				if k == b || items[k] != want {
+					ok = false
+					break
+				}
+				p *= probs[k]
+				k++
+			}
+			if ok {
+				// Add straight into the accumulator, one transaction at a
+				// time: a float sum is order- AND grouping-sensitive, and
+				// only the full scan's exact addition sequence keeps screens
+				// spread across several delta calls bitwise equal to it.
+				into[i] += p
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDeltaDB builds a deterministic random arena database for the delta
+// accumulation tests.
+func randomDeltaDB(t *testing.T, n, items int, seed int64) *Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("delta")
+	for j := 0; j < n; j++ {
+		var units []Unit
+		for it := 0; it < items; it++ {
+			if rng.Float64() < 0.4 {
+				units = append(units, Unit{Item: Item(it), Prob: 0.05 + 0.95*rng.Float64()})
+			}
+		}
+		if len(units) == 0 {
+			units = append(units, Unit{Item: Item(rng.Intn(items)), Prob: 1})
+		}
+		if err := b.Add(units); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return b.Build()
+}
+
+// TestDeltaAccumulateESupMatchesSliceESup pins the additivity contract: the
+// contribution AccumulateESup reports for [lo, hi) is bitwise equal to
+// Slice(lo, hi).ESup, and summing per-delta contributions over a split of
+// the database reproduces the full-scan ESup bit for bit.
+func TestDeltaAccumulateESupMatchesSliceESup(t *testing.T) {
+	db := randomDeltaDB(t, 200, 10, 7)
+	sets := []Itemset{
+		{0}, {3}, {9},
+		{0, 1}, {2, 5}, {0, 3, 7}, {1, 2, 3, 4},
+	}
+	cuts := [][2]int{{0, 200}, {0, 57}, {57, 130}, {130, 200}, {199, 200}, {50, 50}}
+	for _, c := range cuts {
+		lo, hi := c[0], c[1]
+		got := make([]float64, len(sets))
+		db.AccumulateESup(lo, hi, sets, got)
+		sl := db.Slice(lo, hi)
+		for i, x := range sets {
+			want := 0.0
+			if hi > lo {
+				want = sl.ESup(x)
+			}
+			if got[i] != want {
+				t.Errorf("AccumulateESup[%d,%d) of %v = %v, Slice.ESup = %v", lo, hi, x, got[i], want)
+			}
+		}
+	}
+
+	// Screens maintained by successive delta scans must equal the full-scan
+	// esup bitwise: same TID order, same grouping.
+	screens := make([]float64, len(sets))
+	for _, c := range [][2]int{{0, 57}, {57, 130}, {130, 200}} {
+		db.AccumulateESup(c[0], c[1], sets, screens)
+	}
+	for i, x := range sets {
+		if want := db.ESup(x); screens[i] != want {
+			t.Errorf("delta-accumulated esup of %v = %v, full scan = %v", x, screens[i], want)
+		}
+	}
+}
+
+// TestDeltaAccumulateESupBounds checks the defensive clamping: out-of-range
+// deltas contribute exactly the in-range part, and empty ranges nothing.
+func TestDeltaAccumulateESupBounds(t *testing.T) {
+	db := randomDeltaDB(t, 20, 6, 3)
+	sets := []Itemset{{0}, {1, 2}}
+	got := make([]float64, len(sets))
+	db.AccumulateESup(10, 999, sets, got)
+	for i, x := range sets {
+		if want := db.Slice(10, 20).ESup(x); got[i] != want {
+			t.Errorf("clamped AccumulateESup of %v = %v, want %v", x, got[i], want)
+		}
+	}
+	before := append([]float64(nil), got...)
+	db.AccumulateESup(5, 5, sets, got)
+	db.AccumulateESup(-3, 0, sets, got)
+	for i := range got {
+		if got[i] != before[i] {
+			t.Errorf("empty delta changed accumulator %d: %v -> %v", i, before[i], got[i])
+		}
+	}
+}

@@ -59,6 +59,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 //	POST /datasets  register {"name", "profile","scale","seed"} or {"name","text"}
 //	POST /ingest    {"dataset", "transactions": ["item:prob item:prob", ...]}
 //	POST /mine      {"dataset","algorithm","min_esup","min_sup","pft",...}
+//	GET  /subscribe SSE diff stream for ?dataset=&algo=&threshold= (subscribe.go)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -67,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /mine", s.handleMine)
+	mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	if hub := s.cfg.Telemetry; hub != nil {
 		mux.Handle("GET /metrics", hub.MetricsHandler())
 		mux.Handle("GET /debug/traces", hub.TracesHandler())
@@ -181,9 +183,14 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingestRequest is the POST /ingest body; transactions are item:prob lines.
+// The batched form ("transactions") applies the whole array under one
+// snapshot swap — one version bump, one cache invalidation, one refresh
+// kick — regardless of batch size; the original single-transaction form
+// ("transaction") still works and may be combined with a batch.
 type ingestRequest struct {
 	Dataset      string   `json:"dataset"`
 	Transactions []string `json:"transactions"`
+	Transaction  string   `json:"transaction,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +201,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	raw, err := parseTransactionLines(req.Transactions)
+	lines := req.Transactions
+	if req.Transaction != "" {
+		lines = append(lines, req.Transaction)
+	}
+	raw, err := parseTransactionLines(lines)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

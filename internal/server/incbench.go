@@ -1,0 +1,254 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"umine/internal/algo"
+	"umine/internal/core"
+	"umine/internal/dataset"
+)
+
+// The incremental-maintenance benchmark behind `userve -loadbench` and
+// BENCH_incremental.json: one generated dataset is registered with its tail
+// held back as an ingest feed, a continuous query subscribes, and each round
+// ingests one batch and measures ingest→notification latency — the time
+// until the subscriber holds the refreshed (bit-identical) result set.
+// The baseline is the cold re-mine of the same query: the latency a serving
+// deployment pays per ingest without the ledger.
+
+// IncrementalBenchConfig parameterizes RunIncrementalBench. Zero fields
+// take defaults — the partition benchmark's verification-dominated
+// accident @ 0.01 DPNB workload, where re-mining from scratch is most
+// expensive and the incremental ledger's restricted refresh pays most.
+type IncrementalBenchConfig struct {
+	Profile string
+	Scale   float64
+	Seed    int64
+	// Algorithm defaults to DPNB (see PartitionBenchConfig.Algorithm — the
+	// same per-candidate exact verification dominates here).
+	Algorithm string
+	// MinESup / MinSup / PFT parameterize the query; whichever matches the
+	// algorithm's semantics applies (defaults 0.2 / 0.2 @ pft 0.7).
+	MinESup float64
+	MinSup  float64
+	PFT     float64
+	// Rounds is how many ingest batches the feed replays (default 9; odd
+	// keeps the p50 exact).
+	Rounds int
+	// Batch is the transactions per ingest (default 2). Rounds × Batch
+	// stays under the ledger's border budget so every round measures the
+	// delta path, not a rebuild.
+	Batch int
+	// ColdRuns is the number of uncached re-mines for the baseline
+	// (default 3).
+	ColdRuns int
+	// Workers is the mining parallelism (default -1 = GOMAXPROCS).
+	Workers int
+	Log     io.Writer
+}
+
+func (c *IncrementalBenchConfig) fillDefaults() {
+	if c.Profile == "" {
+		c.Profile = "accident"
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "DPNB"
+	}
+	if c.MinESup == 0 {
+		c.MinESup = 0.2
+	}
+	if c.MinSup == 0 {
+		c.MinSup = 0.2
+	}
+	if c.PFT == 0 {
+		c.PFT = 0.7
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 9
+	}
+	if c.Batch == 0 {
+		c.Batch = 2
+	}
+	if c.ColdRuns == 0 {
+		c.ColdRuns = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = -1
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+}
+
+// IncrementalBenchReport is the BENCH_incremental.json document. The two
+// *_p50_ms fields are the gated pair: ingest→notify against the cold
+// re-mine of the same query.
+type IncrementalBenchReport struct {
+	Benchmark   string  `json:"benchmark"`
+	Profile     string  `json:"profile"`
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Algorithm   string  `json:"algorithm"`
+	MinESup     float64 `json:"min_esup,omitempty"`
+	MinSup      float64 `json:"min_sup,omitempty"`
+	PFT         float64 `json:"pft,omitempty"`
+	NumTrans    int     `json:"num_trans"`
+	NumItems    int     `json:"num_items"`
+	ResultCount int     `json:"result_count"`
+	Rounds      int     `json:"rounds"`
+	Batch       int     `json:"batch"`
+	// IngestToNotifyP50MS is the p50 latency from Ingest arrival to the
+	// subscriber holding the refreshed result set.
+	IngestToNotifyP50MS float64 `json:"ingest_to_notify_p50_ms"`
+	// ColdRemineP50MS is the p50 of uncached full re-mines of the same
+	// query — the per-ingest cost without the ledger.
+	ColdRemineP50MS float64 `json:"cold_remine_p50_ms"`
+	// IncrementalSpeedupP50 = ColdRemineP50MS / IngestToNotifyP50MS.
+	IncrementalSpeedupP50 float64 `json:"incremental_speedup_p50"`
+	// Fallbacks counts rounds that rebuilt instead of taking the delta path
+	// (expected 0: the feed stays under the border budget).
+	Fallbacks  int    `json:"fallbacks"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// WriteJSON writes the report as an indented JSON document.
+func (r *IncrementalBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunIncrementalBench measures ingest→notification latency for a continuous
+// query against the cold re-mine baseline.
+func RunIncrementalBench(cfg IncrementalBenchConfig) (*IncrementalBenchReport, error) {
+	cfg.fillDefaults()
+	p, ok := dataset.Profiles[cfg.Profile]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown benchmark profile %q", cfg.Profile)
+	}
+	sem, ok := algo.SemanticsOf(cfg.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown benchmark algorithm %q (known: %v)", cfg.Algorithm, algo.Names())
+	}
+	th := core.Thresholds{MinESup: cfg.MinESup}
+	if sem == core.Probabilistic {
+		th = core.Thresholds{MinSup: cfg.MinSup, PFT: cfg.PFT}
+	}
+	full := p.GenerateUncertain(cfg.Scale, cfg.Seed)
+	feed := cfg.Rounds * cfg.Batch
+	if full.N() <= feed {
+		return nil, fmt.Errorf("server: %s@%g has %d transactions, too few for a %d-transaction ingest feed",
+			cfg.Profile, cfg.Scale, full.N(), feed)
+	}
+	head := full.N() - feed
+	fmt.Fprintf(cfg.Log, "incbench: %s @%g: N=%d items=%d, %s %+v; holding back %d×%d transactions as the ingest feed\n",
+		cfg.Profile, cfg.Scale, full.N(), full.NumItems, cfg.Algorithm, th, cfg.Rounds, cfg.Batch)
+
+	srv := New(Config{DefaultWorkers: cfg.Workers})
+	if _, err := srv.RegisterDatabase("bench", full.Slice(0, head), RegisterOptions{Source: "incbench"}); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	sub, err := srv.Subscribe(ctx, SubscribeRequest{Dataset: "bench", Algorithm: cfg.Algorithm, Thresholds: th})
+	if err != nil {
+		return nil, err
+	}
+	defer sub.Cancel()
+	snap := <-sub.C
+	fmt.Fprintf(cfg.Log, "incbench: subscribed: %d itemsets at N=%d\n", snap.Total, snap.N)
+
+	report := &IncrementalBenchReport{
+		Benchmark:  "incremental-maintenance",
+		Profile:    cfg.Profile,
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		Algorithm:  cfg.Algorithm,
+		MinESup:    th.MinESup,
+		MinSup:     th.MinSup,
+		PFT:        th.PFT,
+		NumItems:   full.NumItems,
+		Rounds:     cfg.Rounds,
+		Batch:      cfg.Batch,
+		Workers:    cfg.Workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	latencies := make([]time.Duration, 0, cfg.Rounds)
+	for round := 0; round < cfg.Rounds; round++ {
+		batch := make([][]core.Unit, 0, cfg.Batch)
+		for j := head + round*cfg.Batch; j < head+(round+1)*cfg.Batch; j++ {
+			tx := full.Tx(j)
+			units := make([]core.Unit, tx.Len())
+			for k := range units {
+				units[k] = core.Unit{Item: tx.Items[k], Prob: tx.Probs[k]}
+			}
+			batch = append(batch, units)
+		}
+		t0 := time.Now()
+		if _, err := srv.Ingest(ctx, "bench", batch); err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		select {
+		case diff, ok := <-sub.C:
+			if !ok {
+				return nil, fmt.Errorf("round %d: subscription dropped", round)
+			}
+			lat := time.Since(t0)
+			latencies = append(latencies, lat)
+			if diff.Fallback {
+				report.Fallbacks++
+			}
+			report.ResultCount = diff.Total
+			fmt.Fprintf(cfg.Log, "incbench: round %d: %d itemsets in %.2fms (fallback=%v)\n",
+				round, diff.Total, float64(lat.Nanoseconds())/1e6, diff.Fallback)
+		case <-time.After(10 * time.Minute):
+			return nil, fmt.Errorf("round %d: no notification within 10 minutes", round)
+		}
+	}
+
+	d, _ := srv.reg.get("bench")
+	fdb, _ := d.snapshot()
+	report.NumTrans = fdb.N()
+
+	cold := make([]time.Duration, 0, cfg.ColdRuns)
+	for run := 0; run < cfg.ColdRuns; run++ {
+		resp, err := srv.Mine(ctx, MineRequest{Dataset: "bench", Algorithm: cfg.Algorithm, Thresholds: th, NoCache: true})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Results.Len() != report.ResultCount {
+			return nil, fmt.Errorf("server: incremental benchmark diverged: cold re-mine found %d itemsets, the maintained set holds %d",
+				resp.Results.Len(), report.ResultCount)
+		}
+		cold = append(cold, resp.Elapsed)
+		fmt.Fprintf(cfg.Log, "incbench: cold re-mine %d: %.2fms\n", run, float64(resp.Elapsed.Nanoseconds())/1e6)
+	}
+
+	p50 := func(ds []time.Duration) float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return float64(ds[len(ds)/2].Nanoseconds()) / 1e6
+	}
+	report.IngestToNotifyP50MS = p50(latencies)
+	report.ColdRemineP50MS = p50(cold)
+	if report.IngestToNotifyP50MS > 0 {
+		report.IncrementalSpeedupP50 = report.ColdRemineP50MS / report.IngestToNotifyP50MS
+	}
+	fmt.Fprintf(cfg.Log, "incbench: ingest→notify p50=%.2fms, cold re-mine p50=%.2fms: %.1f× (fallbacks=%d)\n",
+		report.IngestToNotifyP50MS, report.ColdRemineP50MS, report.IncrementalSpeedupP50, report.Fallbacks)
+	return report, nil
+}

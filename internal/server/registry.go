@@ -181,6 +181,11 @@ type IngestResult struct {
 	Added int `json:"added"`
 	// Refreshed reports whether a windowed refresh re-mine ran.
 	Refreshed bool `json:"refreshed,omitempty"`
+	// Evicted reports whether the ingest pushed transactions out of a
+	// sliding window — the signal that incremental result maintenance for
+	// this dataset cannot treat the new snapshot as an append-only
+	// extension.
+	Evicted bool `json:"evicted,omitempty"`
 	// RefreshError carries a refresh re-mine failure. The ingest itself
 	// still committed (transactions applied, version bumped); only the
 	// watch-list re-discovery is stale.
@@ -218,8 +223,10 @@ func (d *dsEntry) ingest(ctx context.Context, raw [][]core.Unit) (IngestResult, 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	refreshed := false
+	evicted := false
 	var refreshErr error
 	if d.window != nil {
+		ev0 := d.window.Evictions()
 		for _, t := range txs {
 			// txs are pre-normalized with columns this loop owns (built by
 			// NormalizeTransaction above, never retained), so PushOwned
@@ -231,6 +238,7 @@ func (d *dsEntry) ingest(ctx context.Context, raw [][]core.Unit) (IngestResult, 
 			}
 			refreshed = refreshed || r
 		}
+		evicted = d.window.Evictions() != ev0
 		snap := d.window.Snapshot()
 		snap.Name = d.name
 		if snap.NumItems < d.db.NumItems {
@@ -269,6 +277,7 @@ func (d *dsEntry) ingest(ctx context.Context, raw [][]core.Unit) (IngestResult, 
 		N:         d.db.N(),
 		Added:     len(txs),
 		Refreshed: refreshed,
+		Evicted:   evicted,
 	}
 	if refreshErr != nil {
 		res.RefreshError = refreshErr.Error()

@@ -129,6 +129,15 @@ type Server struct {
 	histShard  *telemetry.Histogram
 	histMerge  *telemetry.Histogram
 	histPhase2 *telemetry.Histogram
+	histNotify *telemetry.Histogram
+
+	// Continuous queries (subscribe.go): incremental-maintenance ledgers by
+	// (dataset, algorithm, thresholds) and their counters.
+	ledgerMu     sync.Mutex
+	ledgers      map[string]*ledgerEntry
+	incUpdates   atomic.Uint64
+	incFallbacks atomic.Uint64
+	subscribers  atomic.Int64
 }
 
 // partitionCounters is the /stats partition block, moved as a unit under
@@ -143,7 +152,7 @@ type partitionCounters struct {
 
 // New constructs a Server from cfg.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, start: time.Now()}
+	s := &Server{cfg: cfg, start: time.Now(), ledgers: map[string]*ledgerEntry{}}
 	s.reg.init()
 	if cfg.CacheEntries >= 0 {
 		max := cfg.CacheEntries
@@ -215,6 +224,12 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	counter("umine_shard_hedges_total", "Hedged duplicate shard requests launched.", &s.shardHedges)
 	counter("umine_shard_failovers_total", "Shards failed over to in-process mining.", &s.shardFailovers)
 	counter("umine_shard_repushes_total", "Slices re-pushed after a stale-pin reject.", &s.shardRepushes)
+	counter("umine_incremental_updates_total", "Ledger refreshes applied for continuous queries.", &s.incUpdates)
+	counter("umine_incremental_fallbacks_total", "Ledger refreshes that fell back to a full rebuild.", &s.incFallbacks)
+	reg.GaugeFunc("umine_subscribers", "Live continuous-query subscribers.", nil,
+		func() float64 { return float64(s.subscribers.Load()) })
+	reg.GaugeFunc("umine_incremental_border_itemsets", "Itemsets tracked below the cutoff across registered ledgers.", nil,
+		func() float64 { return float64(s.borderItemsets()) })
 	reg.GaugeFunc("umine_in_flight", "Mining jobs executing or queued past the semaphore.", nil,
 		func() float64 { return float64(s.inFlight.Load()) })
 	reg.GaugeFunc("umine_datasets", "Registered datasets.", nil,
@@ -242,6 +257,8 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 		"Latency of the phase-1 candidate-union merge.", nil, nil)
 	s.histPhase2 = reg.Histogram("umine_phase2_duration_seconds",
 		"Latency of the restricted phase-2 verification mine.", nil, nil)
+	s.histNotify = reg.Histogram("umine_ingest_notify_duration_seconds",
+		"Latency from ingest arrival to the refreshed diff's broadcast.", nil, nil)
 }
 
 // ErrUnknownDataset reports a query against a dataset name that was never
@@ -549,6 +566,7 @@ func adoptThresholds(rs *core.ResultSet, th core.Thresholds) *core.ResultSet {
 // pushed through the sliding window (evicting the oldest beyond its size and
 // triggering a configured refresh re-mine).
 func (s *Server) Ingest(ctx context.Context, name string, raw [][]core.Unit) (IngestResult, error) {
+	t0 := time.Now()
 	d, ok := s.reg.get(name)
 	if !ok {
 		return IngestResult{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
@@ -562,6 +580,10 @@ func (s *Server) Ingest(ctx context.Context, name string, raw [][]core.Unit) (In
 			s.cache.invalidate(name)
 		}
 		s.ingests.Add(1)
+		// Kick the dataset's continuous queries off the request path: the
+		// ingest responds now, subscribers get their diffs when the
+		// background refresh lands (subscribe.go).
+		s.notifyIngest(name, t0)
 	}
 	return res, nil
 }
@@ -606,6 +628,14 @@ type Stats struct {
 	ShardRepushes  uint64 `json:"shard_repushes"`
 	// RemoteShards is the configured shard pool's width (0 = in-process).
 	RemoteShards int `json:"remote_shards,omitempty"`
+	// Continuous-query counters: registered incremental ledgers, live
+	// subscribers, ledger refreshes applied, and how many of those fell
+	// back to a full rebuild (window eviction, shrink, border exhaustion,
+	// or an algorithm with no candidate floor).
+	Ledgers              int    `json:"ledgers"`
+	Subscribers          int64  `json:"subscribers"`
+	IncrementalUpdates   uint64 `json:"incremental_updates"`
+	IncrementalFallbacks uint64 `json:"incremental_fallbacks"`
 	// BytesResident totals the datasets' arena footprints (columns, offset
 	// tables, built vertical indexes); DatasetBytesResident breaks it down
 	// per dataset. Sharded views share one arena, counted once.
@@ -632,6 +662,11 @@ func (s *Server) Stats() Stats {
 		ShardHedges:    s.shardHedges.Load(),
 		ShardFailovers: s.shardFailovers.Load(),
 		ShardRepushes:  s.shardRepushes.Load(),
+
+		Ledgers:              len(s.ledgerEntries()),
+		Subscribers:          s.subscribers.Load(),
+		IncrementalUpdates:   s.incUpdates.Load(),
+		IncrementalFallbacks: s.incFallbacks.Load(),
 	}
 	// The partition block is read in one critical section — the same one
 	// the sharded-mine Observe hook writes under — so the snapshot is

@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"umine/internal/core"
+)
+
+// TestWindowEvictions pins the eviction counter: zero until the window
+// fills, one per over-capacity arrival afterwards, and consistent with
+// Arrived − N at all times (including a Load that skips an over-long seed's
+// prefix).
+func TestWindowEvictions(t *testing.T) {
+	w, err := NewWindow(Config{Size: 3, Thresholds: core.Thresholds{MinESup: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	push := func(item core.Item) {
+		t.Helper()
+		if _, err := w.Push(ctx, []core.Unit{{Item: item, Prob: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		push(core.Item(i))
+		if w.Evictions() != 0 {
+			t.Fatalf("evictions = %d before the window filled", w.Evictions())
+		}
+	}
+	for i := 3; i < 7; i++ {
+		push(core.Item(i))
+	}
+	if got := w.Evictions(); got != 4 {
+		t.Errorf("evictions = %d after 7 arrivals into size 3, want 4", got)
+	}
+	if got, want := w.Evictions(), w.Arrived()-int64(w.N()); got != want {
+		t.Errorf("evictions = %d, Arrived − N = %d", got, want)
+	}
+
+	// A seed longer than the window counts its skipped prefix as evicted.
+	w2, err := NewWindow(Config{Size: 2, Thresholds: core.Thresholds{MinESup: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := []core.Transaction{
+		core.TxOf(core.Unit{Item: 0, Prob: 1}),
+		core.TxOf(core.Unit{Item: 1, Prob: 1}),
+		core.TxOf(core.Unit{Item: 2, Prob: 1}),
+		core.TxOf(core.Unit{Item: 3, Prob: 1}),
+	}
+	if err := w2.Load(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Evictions(); got != 2 {
+		t.Errorf("evictions = %d after loading 4 into size 2, want 2", got)
+	}
+	if got, want := w2.Evictions(), w2.Arrived()-int64(w2.N()); got != want {
+		t.Errorf("evictions = %d, Arrived − N = %d", got, want)
+	}
+}

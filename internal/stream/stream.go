@@ -63,6 +63,7 @@ type Window struct {
 	head    int // next slot to overwrite
 	filled  int
 	arrived int64
+	evicted int64
 	watch   []tracked
 	index   map[string]int // itemset key → watch position
 }
@@ -185,6 +186,9 @@ func (w *Window) Load(ctx context.Context, txs []core.Transaction) error {
 		// Arrived() still reflects the whole load.
 		skip = len(txs) - w.cfg.Size
 		w.arrived += int64(skip)
+		// The skipped prefix was logically pushed and immediately evicted;
+		// counting it keeps Evictions consistent with Arrived − N.
+		w.evicted += int64(skip)
 	}
 	for _, tx := range txs[skip:] {
 		w.push(tx.Clone())
@@ -200,6 +204,7 @@ func (w *Window) Load(ctx context.Context, txs []core.Transaction) error {
 // by the window (callers clone arena views before handing them over).
 func (w *Window) push(tx core.Transaction) {
 	if w.filled == w.cfg.Size {
+		w.evicted++
 		old := w.ring[w.head]
 		for i := range w.watch {
 			p := old.ItemsetProb(w.watch[i].itemset)
@@ -232,6 +237,14 @@ func (w *Window) N() int { return w.filled }
 
 // Arrived returns the total number of pushed transactions.
 func (w *Window) Arrived() int64 { return w.arrived }
+
+// Evictions returns the total number of transactions the window has dropped
+// (arrivals beyond its capacity). Snapshots taken at equal eviction counts
+// and growing N are append-only extensions of each other — the delta check
+// incremental result maintenance (umine/internal/incmine) performs before
+// trusting a delta-only rescan; a changed count means the window slid and
+// the maintained supports must be rebuilt.
+func (w *Window) Evictions() int64 { return w.evicted }
 
 // slot maps a logical window index (0 = oldest) to a ring position.
 func (w *Window) slot(i int) int {

@@ -22,6 +22,13 @@
 # one stitched trace (coordinator phases + wire-propagated shard spans) at
 # /debug/traces. Mirrored by the "Telemetry smoke" CI job; run locally via
 # `make smoke-metrics`.
+#
+# `smoke_userve.sh subscribe` exercises the continuous-query surface with
+# the real usub client: subscribe to a dataset over /subscribe (SSE), ingest
+# a batch, and assert the streamed snapshot + refresh diff arrive and that
+# the refreshed result-set size matches a direct /mine of the grown dataset.
+# Mirrored by the "Continuous queries" CI job; run locally via
+# `make smoke-subscribe`.
 set -eu
 
 MODE="${1:-local}"
@@ -31,7 +38,8 @@ TMP="$(mktemp -d)"
 SERVER_PID=""
 SHARD1_PID=""
 SHARD2_PID=""
-trap 'kill "${SERVER_PID:-}" "${SHARD1_PID:-}" "${SHARD2_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+USUB_PID=""
+trap 'kill "${SERVER_PID:-}" "${SHARD1_PID:-}" "${SHARD2_PID:-}" "${USUB_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
 
 echo "smoke: building userve"
 go build -o "$TMP/userve" ./cmd/userve
@@ -283,6 +291,87 @@ if [ "$MODE" = "metrics" ]; then
     echo "smoke: sharded mine left one stitched trace (coordinator + shard spans)"
 
     echo "smoke: PASS (metrics)"
+    exit 0
+fi
+
+if [ "$MODE" = "subscribe" ]; then
+    echo "smoke: building usub"
+    go build -o "$TMP/usub" ./cmd/usub
+
+    "$TMP/userve" -addr "$ADDR" >"$TMP/userve.log" 2>&1 &
+    SERVER_PID=$!
+    wait_healthz "$BASE" "$TMP/userve.log"
+
+    STATUS=$(curl -s -o "$TMP/register.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+        -H 'Content-Type: application/json' \
+        -d '{"name":"live","profile":"gazelle","scale":0.01,"seed":1}')
+    check "register profile" 201 "$TMP/register.json" "$STATUS"
+
+    # The real client: print the snapshot diff plus one refresh diff, then
+    # exit. Started before the ingest so the refresh is observed live.
+    "$TMP/usub" -addr "$ADDR" -dataset live -algo UApriori -min_esup 0.01 -n 2 \
+        >"$TMP/events.jsonl" 2>"$TMP/usub.log" &
+    USUB_PID=$!
+
+    # Wait until the server has registered the subscriber before ingesting,
+    # so the diff cannot race past a not-yet-attached stream.
+    i=0
+    until curl -s "$BASE/stats" | grep -Eq '"subscribers": *1(,|$)'; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "smoke: FAIL — subscriber never showed up in /stats"
+            cat "$TMP/usub.log"
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "smoke: usub subscribed (visible in /stats)"
+
+    STATUS=$(curl -s -o "$TMP/ingest.json" -w '%{http_code}' -X POST "$BASE/ingest" \
+        -H 'Content-Type: application/json' \
+        -d '{"dataset":"live","transactions":["0:0.9 1:0.5","2:1.0 5:0.25","0:0.4 2:0.8"]}')
+    check "/ingest batch" 200 "$TMP/ingest.json" "$STATUS"
+
+    wait "$USUB_PID"
+    USUB_PID=""
+    EVENTS=$(wc -l <"$TMP/events.jsonl")
+    if [ "$EVENTS" != "2" ]; then
+        echo "smoke: FAIL — usub printed $EVENTS events (want snapshot + refresh)"
+        cat "$TMP/events.jsonl"
+        exit 1
+    fi
+    if ! head -1 "$TMP/events.jsonl" | grep -q '"reason":"snapshot"'; then
+        echo "smoke: FAIL — first event is not the snapshot diff"
+        head -1 "$TMP/events.jsonl"
+        exit 1
+    fi
+    echo "smoke: usub streamed the snapshot diff and the post-ingest refresh"
+
+    # The refresh diff's result-set size must match a direct /mine of the
+    # grown dataset — the continuous query tracks the transactional truth.
+    STATUS=$(curl -s -o "$TMP/mine.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' \
+        -d '{"dataset":"live","algorithm":"UApriori","min_esup":0.01}')
+    check "/mine grown dataset" 200 "$TMP/mine.json" "$STATUS"
+    TOTAL=$(tail -1 "$TMP/events.jsonl" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+    MINED=$(grep -c '"itemset"' "$TMP/mine.json")
+    if [ -z "$TOTAL" ] || [ "$TOTAL" != "$MINED" ]; then
+        echo "smoke: FAIL — refresh diff total=$TOTAL, direct /mine has $MINED itemsets"
+        tail -1 "$TMP/events.jsonl"
+        exit 1
+    fi
+    echo "smoke: refresh diff matches the direct /mine ($TOTAL itemsets)"
+
+    STATUS=$(curl -s -o "$TMP/stats.json" -w '%{http_code}' "$BASE/stats")
+    check "/stats" 200 "$TMP/stats.json" "$STATUS"
+    if ! grep -Eq '"incremental_updates": *[1-9]' "$TMP/stats.json"; then
+        echo "smoke: FAIL — /stats counted no incremental updates"
+        cat "$TMP/stats.json"
+        exit 1
+    fi
+    echo "smoke: /stats counted the ledger refreshes"
+
+    echo "smoke: PASS (subscribe)"
     exit 0
 fi
 

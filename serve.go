@@ -9,6 +9,7 @@ package umine
 // thin wrapper around it).
 
 import (
+	"umine/internal/incmine"
 	"umine/internal/server"
 	"umine/internal/shardrpc"
 	"umine/internal/telemetry"
@@ -43,6 +44,19 @@ type (
 	// PartitionBenchReport is the partitioned cold-mine benchmark outcome
 	// (BENCH_partition.json).
 	PartitionBenchReport = server.PartitionBenchReport
+	// IncrementalBenchConfig parameterizes RunServerIncrementalBench.
+	IncrementalBenchConfig = server.IncrementalBenchConfig
+	// IncrementalBenchReport is the incremental-maintenance benchmark
+	// outcome (BENCH_incremental.json).
+	IncrementalBenchReport = server.IncrementalBenchReport
+	// SubscribeRequest registers a continuous query on a dataset.
+	SubscribeRequest = server.SubscribeRequest
+	// Subscription is one live continuous query's diff stream.
+	Subscription = server.Subscription
+	// ResultDiff is one result-set transition streamed to subscribers:
+	// itemsets entering/leaving the maintained result set and bit-level
+	// support changes.
+	ResultDiff = incmine.Diff
 	// ShardBackend mines one shard during phase 1 of a scatter-gather
 	// /mine — in-process (the default) or over RPC (ShardPool).
 	ShardBackend = server.ShardBackend
@@ -89,6 +103,13 @@ func RunServerLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 // BENCH_partition.json report.
 func RunServerPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) {
 	return server.RunPartitionBench(cfg)
+}
+
+// RunServerIncrementalBench measures ingest→notification latency for a
+// continuous query against the cold re-mine baseline and returns the
+// BENCH_incremental.json report.
+func RunServerIncrementalBench(cfg IncrementalBenchConfig) (*IncrementalBenchReport, error) {
+	return server.RunIncrementalBench(cfg)
 }
 
 // NewShardPool validates the shard address list and builds the RPC shard
