@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe bench-server bench-gate ci
+.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe smoke-explain bench-server bench-gate ci
 
 all: build
 
@@ -111,6 +111,15 @@ smoke-metrics:
 smoke-subscribe:
 	sh scripts/smoke_userve.sh subscribe
 
+## smoke-explain: query-level observability smoke over the real 2-shard
+## cluster — a cold POST /explain must report the executed shardrpc plan
+## (partition steps, shard attempt timeline, pushed bytes), the repeat GET
+## must report the cache-hit path without perturbing the serving cache,
+## /debug/workload must profile the query group, and /debug/dashboard and
+## the SLO burn-rate / build-info gauges must be live
+smoke-explain:
+	sh scripts/smoke_userve.sh explain
+
 ## bench-server: closed-loop load benchmark at 1/8/64 clients; writes
 ## BENCH_server.json plus the partitioned cold-mine comparison
 ## BENCH_partition.json and the incremental-maintenance comparison
@@ -137,4 +146,4 @@ bench-gate:
 		BENCH_incremental.json=BENCH_incremental.fresh.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet lint race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe bench-server bench-gate
+ci: build fmt vet lint race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe smoke-explain bench-server bench-gate

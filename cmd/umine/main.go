@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"syscall"
 
 	"umine"
+	"umine/internal/obsq"
 	"umine/internal/profiling"
 	"umine/internal/telemetry"
 )
@@ -47,6 +49,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the mine to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an allocation profile after the mine to this file (go tool pprof)")
 		trace    = flag.Bool("trace", false, "print the finished mine's span tree (indented, with durations) to stderr")
+		explain  = flag.Bool("explain", false, "print the executed plan and its cost breakdown as JSON instead of the itemsets")
 	)
 	flag.Parse()
 
@@ -78,7 +81,12 @@ func main() {
 		fatal(err)
 	}
 	snap := &progressSnapshot{}
-	opts := umine.Options{Workers: *workers, Partitions: *parts, Progress: snap.observe}
+	observers := []umine.ProgressFunc{snap.observe}
+	var col *obsq.Collector
+	if *explain {
+		col = obsq.NewCollector()
+		observers = append(observers, col.Progress())
+	}
 	var tr *telemetry.Trace
 	if *trace {
 		tr = telemetry.NewTrace("umine " + *algoName)
@@ -87,8 +95,16 @@ func main() {
 			// Single-shot mines have no explicit spans; adapt the Progress
 			// checkpoint stream into spans. Partitioned mines instrument
 			// themselves from the context span (phase1/shards/merge/phase2).
-			sp := telemetry.SpanProgress(tr.Root())
-			opts.Progress = func(ev umine.ProgressEvent) { snap.observe(ev); sp(ev) }
+			observers = append(observers, telemetry.SpanProgress(tr.Root()))
+		}
+	}
+	opts := umine.Options{Workers: *workers, Partitions: *parts, Progress: snap.observe}
+	if len(observers) > 1 {
+		obs := observers
+		opts.Progress = func(ev umine.ProgressEvent) {
+			for _, f := range obs {
+				f(ev)
+			}
 		}
 	}
 	meas, err := umine.MeasureContext(ctx, *algoName, db, th, opts)
@@ -109,7 +125,48 @@ func main() {
 		}
 		fatal(err)
 	}
+	if *explain {
+		printExplain(db, &meas, col, tr, th, *workers, *parts)
+		return
+	}
 	printResults(db, meas.Results, &meas, *format, *top, *stats)
+}
+
+// printExplain renders the executed plan and its cost breakdown as the same
+// Explanation document the server's /explain endpoint serves.
+func printExplain(db *umine.Database, meas *umine.Measurement, col *obsq.Collector, tr *telemetry.Trace, th umine.Thresholds, workers, parts int) {
+	rs := meas.Results
+	steps, totals, events, _ := col.Snapshot()
+	ex := obsq.Explanation{
+		Dataset:   db.Stats().Name,
+		Algorithm: rs.Algorithm,
+		Semantics: rs.Semantics.String(),
+		MinESup:   th.MinESup,
+		MinSup:    th.MinSup,
+		PFT:       th.PFT,
+		Workers:   workers,
+		Backend:   "local",
+		Path:      "mined",
+		Itemsets:  rs.Len(),
+		MaxLevel:  col.MaxLevel(),
+		ElapsedMS: float64(meas.Elapsed.Nanoseconds()) / 1e6,
+		Totals:    obsq.CostFromStats(totals),
+		Steps:     steps,
+	}
+	ex.ShardEvents = events
+	if parts > 1 && umine.SupportsPartitions(rs.Algorithm) {
+		ex.Backend = "sharded"
+		ex.Shards = parts
+	}
+	if tr != nil {
+		ex.TraceID = tr.Root().TraceID()
+		ex.ShardAttempts = obsq.ShardAttemptsFromSpan(tr.Root().Snapshot())
+	}
+	buf, err := json.MarshalIndent(&ex, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(buf, '\n'))
 }
 
 // progressSnapshot retains the most recent ProgressEvent; safe for

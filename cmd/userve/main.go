@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	pprofhttp "net/http/pprof"
@@ -31,7 +32,13 @@ import (
 	"time"
 
 	"umine"
+	"umine/internal/telemetry"
 )
+
+// logger is the process-wide structured logger (JSON lines on stderr).
+// The info-level default keeps helpers usable from tests; main replaces
+// it with the -loglevel setting before serving.
+var logger = telemetry.NewLogger(os.Stderr, "userve", slog.LevelInfo)
 
 func main() {
 	var (
@@ -46,8 +53,10 @@ func main() {
 		shardTimeout = flag.Duration("shard_timeout", 0, "per-attempt shard RPC timeout (0 = default 60s)")
 		shardRetries = flag.Int("shard_retries", 0, "shard RPC retries per request (0 = default 2, negative = none)")
 		shardHedge   = flag.Duration("shard_hedge", 0, "hedge a straggling shard RPC after this delay (0 = disabled)")
+		prewarm      = flag.Int("prewarm", 0, "after an ingest invalidates a dataset's cache, re-mine up to N of its hottest observed query groups off the request path (0 = disabled)")
 		traceRing    = flag.Int("traces", 0, "completed traces retained at /debug/traces (0 = default 128, negative = none)")
 		slowlog      = flag.Duration("slowlog", 0, "log any mine exceeding this duration as one JSON line with its span breakdown (0 = disabled)")
+		loglevel     = flag.String("loglevel", "info", "minimum log level: debug, info, warn, error")
 		pprof        = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		loadbench        = flag.Bool("loadbench", false, "run the closed-loop load benchmark instead of serving, write the reports and exit")
@@ -68,6 +77,13 @@ func main() {
 		benchIncBatch    = flag.Int("bench_ingest_batch", 0, "incremental benchmark transactions per ingest (default 2)")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLogLevel(*loglevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "userve:", err)
+		os.Exit(1)
+	}
+	logger = telemetry.NewLogger(os.Stderr, "userve", level)
 
 	if *loadbench {
 		if err := runLoadBench(*benchOut, *benchProfile, *benchScale, *benchAlgo, *benchMinESup, *benchClients, *benchRequests, *workers); err != nil {
@@ -91,10 +107,11 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cacheEntries,
+		PrewarmHot:     *prewarm,
 		Telemetry: umine.NewTelemetryHub(umine.TelemetryConfig{
 			TraceCapacity:    *traceRing,
 			SlowLogThreshold: *slowlog,
-			SlowLog:          os.Stderr,
+			SlowLogger:       logger,
 		}),
 	}
 	if len(shardAddrs) > 0 {
@@ -111,7 +128,7 @@ func main() {
 		}
 		cfg.ShardPool = pool
 		cfg.ShardProgress = logShardEvents
-		fmt.Printf("userve: shard pool: %s\n", strings.Join(pool.Addrs(), ", "))
+		logger.Info("shard pool connected", "addrs", strings.Join(pool.Addrs(), ","))
 	}
 	srv := umine.NewServer(cfg)
 	if err := preloadProfiles(srv, *preload, *window, shardCount); err != nil {
@@ -134,7 +151,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "userve: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -143,7 +160,7 @@ func main() {
 			// work rather than being killed mid-write by process exit,
 			// then wait (bounded) for the in-flight count to drain before
 			// letting the process exit.
-			fmt.Fprintln(os.Stderr, "userve: drain timed out; canceling in-flight mining")
+			logger.Warn("drain timed out; canceling in-flight mining")
 			cancelBase()
 			deadline := time.Now().Add(2 * time.Second)
 			for srv.Stats().InFlight > 0 && time.Now().Before(deadline) {
@@ -153,7 +170,7 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("userve: listening on %s (%d datasets preloaded)\n", *addr, len(srv.Datasets()))
+	logger.Info("listening", "addr", *addr, "datasets", len(srv.Datasets()))
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -208,7 +225,7 @@ func parseShards(spec string) (count int, addrs []string, err error) {
 func logShardEvents(ev umine.ProgressEvent) {
 	switch ev.Phase {
 	case umine.PhaseShardRetry, umine.PhaseShardHedge, umine.PhaseShardFailover, umine.PhaseShardRepush:
-		fmt.Fprintf(os.Stderr, "userve: %s: shard %d (%s)\n", ev.Phase, ev.Level, ev.Algorithm)
+		logger.Warn("shard event", "kind", string(ev.Phase), "shard", ev.Level, "algo", ev.Algorithm)
 	}
 }
 
@@ -241,7 +258,7 @@ func preloadProfiles(srv *umine.Server, specs string, window, shards int) error 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("userve: preloaded %s: N=%d items=%d\n", info.Name, info.NumTrans, info.NumItems)
+		logger.Info("preloaded dataset", "dataset", info.Name, "transactions", info.NumTrans, "items", info.NumItems)
 	}
 	return nil
 }
@@ -277,7 +294,7 @@ func runLoadBench(out, profile string, scale float64, alg string, minESup float6
 	if err := report.WriteJSON(f); err != nil {
 		return err
 	}
-	fmt.Printf("userve: wrote %s\n", out)
+	logger.Info("wrote report", "file", out)
 	return nil
 }
 
@@ -311,7 +328,7 @@ func runPartitionBench(out, profile string, scale float64, alg, partitions strin
 	if err := report.WriteJSON(f); err != nil {
 		return err
 	}
-	fmt.Printf("userve: wrote %s\n", out)
+	logger.Info("wrote report", "file", out)
 	return nil
 }
 
@@ -336,11 +353,11 @@ func runIncrementalBench(out string, rounds, batch, workers int) error {
 	if err := report.WriteJSON(f); err != nil {
 		return err
 	}
-	fmt.Printf("userve: wrote %s\n", out)
+	logger.Info("wrote report", "file", out)
 	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "userve:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	pprofhttp "net/http/pprof"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"umine"
+	"umine/internal/telemetry"
 )
 
 func main() {
@@ -34,20 +36,30 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-push log lines")
 		traceRing = flag.Int("traces", 0, "completed traces retained at /debug/traces (0 = default 128, negative = none)")
 		slowlog   = flag.Duration("slowlog", 0, "log any request exceeding this duration as one JSON line with its span breakdown (0 = disabled)")
+		loglevel  = flag.String("loglevel", "info", "minimum log level: debug, info, warn, error")
 		pprof     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	level, err := telemetry.ParseLogLevel(*loglevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ushard:", err)
+		os.Exit(1)
+	}
+	logger := telemetry.NewLogger(os.Stderr, "ushard", level)
+	// -quiet keeps warnings and errors; the per-push Info lines drop out.
+	shardLevel := level
+	if *quiet && shardLevel < slog.LevelWarn {
+		shardLevel = slog.LevelWarn
+	}
+
 	cfg := umine.ShardServerConfig{
-		Log: os.Stderr,
+		Logger: telemetry.NewLogger(os.Stderr, "ushard", shardLevel),
 		Telemetry: umine.NewTelemetryHub(umine.TelemetryConfig{
 			TraceCapacity:    *traceRing,
 			SlowLogThreshold: *slowlog,
-			SlowLog:          os.Stderr,
+			SlowLogger:       logger,
 		}),
-	}
-	if *quiet {
-		cfg.Log = nil
 	}
 	shard := umine.NewShardServer(cfg)
 	handler := shard.Handler()
@@ -69,7 +81,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "ushard: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -77,9 +89,9 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("ushard: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "ushard:", err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	<-done

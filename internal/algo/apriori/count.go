@@ -71,6 +71,7 @@ func countLevel(db *core.Database, cands []Candidate, k int, collectProbs bool, 
 	}
 	trie := buildTrie(cands)
 	stats.DBScans++
+	stats.TransactionsScanned += db.N()
 	visit := func(leaf int, p float64) {
 		c := &cands[leaf]
 		c.ESup += p
@@ -131,9 +132,18 @@ func candidateBytes(cands []Candidate, collectProbs bool) int64 {
 // candidates (vertical); on a non-nil error the candidates' aggregates are
 // partial and must be discarded.
 func count(ctx context.Context, db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) error {
+	if len(cands) == 0 {
+		return ctx.Err()
+	}
+	// Plan-choice accounting: one counter bump per level-counting decision,
+	// so an EXPLAIN can report which physical plan each pass executed. The
+	// decision itself (useVertical) is deterministic and worker-independent,
+	// so these counters are too.
 	if useVertical(db, cands, k) {
+		stats.VerticalPlans++
 		return countVertical(ctx, db, cands, cfg.CollectProbs, cfg.Workers, stats)
 	}
+	stats.HorizontalPlans++
 	return countChunked(ctx, db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
 }
 
@@ -172,6 +182,7 @@ func countChunked(ctx context.Context, db *core.Database, cands []Candidate, k i
 	}
 	trie := buildTrie(cands)
 	stats.DBScans++
+	stats.TransactionsScanned += db.N()
 	var err error
 	if parallel.Resolve(workers) == 1 {
 		err = countChunkedSerial(ctx, db, trie, cands, k, collectProbs, size, nc)

@@ -71,6 +71,11 @@ func useVertical(db *core.Database, cands []Candidate, k int) bool {
 type vertAgg struct {
 	esup, varsup float64
 	probs        []float64
+	// probes counts posting-list entries this candidate's intersection
+	// touched (cursor advances across all lists). Deterministic per
+	// candidate, summed in candidate order, so the aggregate is
+	// worker-independent.
+	probes int
 }
 
 // countVertical counts every candidate by postings intersection. Candidates
@@ -99,6 +104,7 @@ func countVertical(ctx context.Context, db *core.Database, cands []Candidate, co
 		if collectProbs && len(outs[ci].probs) > 0 {
 			cands[ci].Probs = append(cands[ci].Probs, outs[ci].probs...)
 		}
+		stats.PostingsProbed += outs[ci].probes
 	}
 	// The index is this plan's dominant live structure — tracked like the
 	// horizontal plan's trie so the paper-style memory reports compare like
@@ -143,6 +149,7 @@ func intersectCount(v *core.VerticalIndex, items core.Itemset, chunkSize int, co
 		chunkEsup, chunkVar = 0, 0
 	}
 	for di, tid := range tidss[drive] {
+		a.probes++    // the driving list's entry
 		match := true // whether every list contains tid
 		for i := 0; i < k; i++ {
 			if i == drive {
@@ -153,6 +160,10 @@ func intersectCount(v *core.VerticalIndex, items core.Itemset, chunkSize int, co
 			lst := tidss[i]
 			for j < len(lst) && lst[j] < tid {
 				j++
+				a.probes++
+			}
+			if j < len(lst) {
+				a.probes++ // the entry compared against tid
 			}
 			cur[i] = j
 			if j == len(lst) {
@@ -202,6 +213,7 @@ func intersectCountPair(v *core.VerticalIndex, items core.Itemset, chunkSize int
 	i, j := 0, 0
 	for i < len(atids) && j < len(btids) {
 		at, bt := atids[i], btids[j]
+		a.probes++
 		switch {
 		case at < bt:
 			i++

@@ -141,6 +141,19 @@ type MiningStats struct {
 	// candidate tries, DC buffers), in bytes. It complements the runtime
 	// heap measurements done by package eval.
 	PeakTrackedBytes int64
+	// TransactionsScanned counts individual transactions visited by
+	// horizontal counting passes (one transaction read during one pass
+	// counts once, so a level counted over the full database adds N).
+	TransactionsScanned int
+	// PostingsProbed counts posting-list entries touched by vertical
+	// (inverted-index) candidate counting — the intersect/multiply work the
+	// vertical plan pays instead of transaction scans.
+	PostingsProbed int
+	// HorizontalPlans / VerticalPlans count per-level plan decisions made
+	// by the horizontal-vs-vertical counting crossover, so an EXPLAIN can
+	// report which physical plan each level executed.
+	HorizontalPlans int
+	VerticalPlans   int
 }
 
 // Add accumulates other into s.
@@ -153,6 +166,10 @@ func (s *MiningStats) Add(other MiningStats) {
 	if other.PeakTrackedBytes > s.PeakTrackedBytes {
 		s.PeakTrackedBytes = other.PeakTrackedBytes
 	}
+	s.TransactionsScanned += other.TransactionsScanned
+	s.PostingsProbed += other.PostingsProbed
+	s.HorizontalPlans += other.HorizontalPlans
+	s.VerticalPlans += other.VerticalPlans
 }
 
 // TrackPeak records a candidate peak value.

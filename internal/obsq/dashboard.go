@@ -1,0 +1,118 @@
+package obsq
+
+import (
+	"html/template"
+	"io"
+)
+
+// The /debug/dashboard page: one dependency-free HTML view of the serving
+// state — SLO burn, the live workload profile, and whatever state sections
+// the server contributes (datasets, cache, shard pool, ledger). Rendered
+// server-side from a snapshot and refreshed by a meta tag, so it works from
+// curl-adjacent browsers with no JS toolchain, no CDN, no build step.
+
+// DashboardSLO is one route's objective line.
+type DashboardSLO struct {
+	Route     string
+	TargetMS  float64
+	Objective float64
+	Burn5m    float64
+	Burn1h    float64
+	Good5m    uint64
+	Total5m   uint64
+}
+
+// DashboardSection is a generic key/value block contributed by the server
+// (dataset registry, cache counters, shard pool, ledger state).
+type DashboardSection struct {
+	Title string
+	Rows  [][2]string
+}
+
+// DashboardData is everything the page shows.
+type DashboardData struct {
+	Service        string
+	GeneratedAt    string
+	RefreshSeconds int
+	SLOs           []DashboardSLO
+	Workload       WorkloadProfile
+	Sections       []DashboardSection
+}
+
+var dashboardFuncs = template.FuncMap{
+	// burnClass colors a burn rate: <1 within budget, <14.4 slow burn,
+	// beyond it the classic fast-burn page threshold.
+	"burnClass": func(burn float64) string {
+		switch {
+		case burn >= 14.4:
+			return "bad"
+		case burn >= 1:
+			return "warn"
+		}
+		return "ok"
+	},
+	"pct": func(r float64) float64 { return r * 100 },
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Funcs(dashboardFuncs).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Service}} dashboard</title>
+{{if gt .RefreshSeconds 0}}<meta http-equiv="refresh" content="{{.RefreshSeconds}}">{{end}}
+<style>
+body{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;background:#111;color:#ddd;margin:1.5rem}
+h1{font-size:1.1rem}h2{font-size:.95rem;border-bottom:1px solid #333;padding-bottom:.2rem;margin-top:1.4rem}
+table{border-collapse:collapse;font-size:.8rem;margin:.4rem 0}
+th,td{padding:.15rem .6rem;text-align:left;border-bottom:1px solid #222}
+th{color:#888;font-weight:normal}
+.num{text-align:right;font-variant-numeric:tabular-nums}
+.ok{color:#6c6}.warn{color:#fb4}.bad{color:#f66}
+.muted{color:#777;font-size:.75rem}
+</style>
+</head>
+<body>
+<h1>{{.Service}} — live dashboard</h1>
+<p class="muted">generated {{.GeneratedAt}}{{if gt .RefreshSeconds 0}} · refreshes every {{.RefreshSeconds}}s{{end}}</p>
+
+<h2>SLO burn</h2>
+<table>
+<tr><th>route</th><th class="num">target ms</th><th class="num">objective</th><th class="num">burn 5m</th><th class="num">burn 1h</th><th class="num">good/total 5m</th></tr>
+{{range .SLOs}}<tr>
+<td>{{.Route}}</td>
+<td class="num">{{printf "%.0f" .TargetMS}}</td>
+<td class="num">{{printf "%.2f" .Objective}}</td>
+<td class="num {{burnClass .Burn5m}}">{{printf "%.2f" .Burn5m}}</td>
+<td class="num {{burnClass .Burn1h}}">{{printf "%.2f" .Burn1h}}</td>
+<td class="num">{{.Good5m}}/{{.Total5m}}</td>
+</tr>{{end}}
+</table>
+
+<h2>workload (half-life {{printf "%.0f" .Workload.HalfLifeSeconds}}s)</h2>
+<table>
+<tr><th>dataset</th><th>algorithm</th><th>band</th><th class="num">rate/min</th><th class="num">cache hit</th><th class="num">ledger</th><th class="num">p50 ms</th><th class="num">p95 ms</th><th class="num">p99 ms</th></tr>
+{{range .Workload.Groups}}<tr>
+<td>{{.Dataset}}</td><td>{{.Algorithm}}</td><td>{{.Band}}</td>
+<td class="num">{{printf "%.2f" .RatePerMin}}</td>
+<td class="num">{{printf "%.0f%%" (pct .CacheHitRatio)}}</td>
+<td class="num">{{printf "%.0f%%" (pct .LedgerRatio)}}</td>
+<td class="num">{{printf "%.1f" .P50MS}}</td>
+<td class="num">{{printf "%.1f" .P95MS}}</td>
+<td class="num">{{printf "%.1f" .P99MS}}</td>
+</tr>{{else}}<tr><td colspan="9" class="muted">no traffic yet</td></tr>{{end}}
+</table>
+
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+<table>
+{{range .Rows}}<tr><th>{{index . 0}}</th><td>{{index . 1}}</td></tr>{{end}}
+</table>
+{{end}}
+</body>
+</html>
+`))
+
+// RenderDashboard writes the page for one snapshot.
+func RenderDashboard(w io.Writer, data DashboardData) error {
+	return dashboardTmpl.Execute(w, data)
+}

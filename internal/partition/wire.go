@@ -48,6 +48,10 @@ type WireStats struct {
 	ExactEvaluations    int   `json:"exact_evaluations,omitempty"`
 	DBScans             int   `json:"db_scans,omitempty"`
 	PeakTrackedBytes    int64 `json:"peak_tracked_bytes,omitempty"`
+	TransactionsScanned int   `json:"transactions_scanned,omitempty"`
+	PostingsProbed      int   `json:"postings_probed,omitempty"`
+	HorizontalPlans     int   `json:"horizontal_plans,omitempty"`
+	VerticalPlans       int   `json:"vertical_plans,omitempty"`
 }
 
 // ToWireStats converts core mining counters to their wire form.
@@ -59,6 +63,10 @@ func ToWireStats(s core.MiningStats) WireStats {
 		ExactEvaluations:    s.ExactEvaluations,
 		DBScans:             s.DBScans,
 		PeakTrackedBytes:    s.PeakTrackedBytes,
+		TransactionsScanned: s.TransactionsScanned,
+		PostingsProbed:      s.PostingsProbed,
+		HorizontalPlans:     s.HorizontalPlans,
+		VerticalPlans:       s.VerticalPlans,
 	}
 }
 
@@ -71,6 +79,10 @@ func (w WireStats) Stats() core.MiningStats {
 		ExactEvaluations:    w.ExactEvaluations,
 		DBScans:             w.DBScans,
 		PeakTrackedBytes:    w.PeakTrackedBytes,
+		TransactionsScanned: w.TransactionsScanned,
+		PostingsProbed:      w.PostingsProbed,
+		HorizontalPlans:     w.HorizontalPlans,
+		VerticalPlans:       w.VerticalPlans,
 	}
 }
 

@@ -81,11 +81,20 @@ var pftMonotonic = func() map[string]bool {
 	return m
 }()
 
+// Cache-entry provenance labels: who computed the stored result set. A
+// filtered entry inherits its superset's source, so /explain can report that
+// a hit was ultimately served from an incremental-ledger refresh.
+const (
+	cacheSourceMine   = "mine"
+	cacheSourceLedger = "ledger"
+)
+
 // cacheEntry is one cached result set at the thresholds it was mined at.
 type cacheEntry struct {
 	dataset  string
 	th       core.Thresholds
 	rs       *core.ResultSet
+	source   string
 	lastUsed uint64
 }
 
@@ -107,8 +116,9 @@ func newResultCache(max int) *resultCache {
 // monotonic filter of a compatible lower-threshold entry ("filtered"). The
 // filtered set is stored back so the next identical query is an exact hit.
 // The returned ResultSet still carries the cached run's thresholds; callers
-// adopt the request's (adoptThresholds) before serializing.
-func (c *resultCache) lookup(q cacheQuery) (*core.ResultSet, string, bool) {
+// adopt the request's (adoptThresholds) before serializing. src is the
+// serving entry's provenance (cacheSourceMine / cacheSourceLedger).
+func (c *resultCache) lookup(q cacheQuery) (rs *core.ResultSet, kind, src string, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	group := c.groups[q.groupKey()]
@@ -116,7 +126,7 @@ func (c *resultCache) lookup(q cacheQuery) (*core.ResultSet, string, bool) {
 	for _, e := range group {
 		if thresholdKey(q.semantics, e.th) == thresholdKey(q.semantics, q.th) {
 			c.touch(e)
-			return e.rs, CacheHit, true
+			return e.rs, CacheHit, e.source, true
 		}
 	}
 
@@ -139,33 +149,34 @@ func (c *resultCache) lookup(q cacheQuery) (*core.ResultSet, string, bool) {
 		}
 	}
 	if best == nil {
-		return nil, "", false
+		return nil, "", "", false
 	}
 	c.touch(best)
-	rs := filterMonotonic(best.rs, q)
-	c.insert(q, rs)
-	return rs, CacheFiltered, true
+	rs = filterMonotonic(best.rs, q)
+	c.insert(q, rs, best.source)
+	return rs, CacheFiltered, best.source, true
 }
 
-// store caches a freshly-mined result set for q.
-func (c *resultCache) store(q cacheQuery, rs *core.ResultSet) {
+// store caches a freshly-computed result set for q with its provenance.
+func (c *resultCache) store(q cacheQuery, rs *core.ResultSet, source string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.insert(q, rs)
+	c.insert(q, rs, source)
 }
 
 // insert adds an entry under c.mu, replacing an equal-threshold entry and
 // evicting the least-recently-used entry when over capacity.
-func (c *resultCache) insert(q cacheQuery, rs *core.ResultSet) {
+func (c *resultCache) insert(q cacheQuery, rs *core.ResultSet, source string) {
 	gk := q.groupKey()
 	for _, e := range c.groups[gk] {
 		if thresholdKey(q.semantics, e.th) == thresholdKey(q.semantics, q.th) {
 			e.rs = rs
+			e.source = source
 			c.touch(e)
 			return
 		}
 	}
-	e := &cacheEntry{dataset: q.dataset, th: q.th, rs: rs}
+	e := &cacheEntry{dataset: q.dataset, th: q.th, rs: rs, source: source}
 	c.touch(e)
 	c.groups[gk] = append(c.groups[gk], e)
 	c.count++

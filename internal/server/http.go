@@ -12,6 +12,7 @@ import (
 
 	"umine/internal/core"
 	"umine/internal/dataset"
+	"umine/internal/obsq"
 	"umine/internal/telemetry"
 )
 
@@ -59,7 +60,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 //	POST /datasets  register {"name", "profile","scale","seed"} or {"name","text"}
 //	POST /ingest    {"dataset", "transactions": ["item:prob item:prob", ...]}
 //	POST /mine      {"dataset","algorithm","min_esup","min_sup","pft",...}
+//	GET  /explain   ?dataset=&algo=&threshold= — executed plan + cost breakdown
+//	POST /explain   same body as /mine, same answer as GET /explain
 //	GET  /subscribe SSE diff stream for ?dataset=&algo=&threshold= (subscribe.go)
+//	GET  /debug/workload   rolling workload profile (rates, quantiles, hit ratios)
+//	GET  /debug/dashboard  live HTML dashboard (SLO burn, workload, shards, ledger)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -68,7 +73,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /mine", s.handleMine)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /subscribe", s.handleSubscribe)
+	mux.HandleFunc("GET /debug/workload", s.handleWorkload)
+	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	if hub := s.cfg.Telemetry; hub != nil {
 		mux.Handle("GET /metrics", hub.MetricsHandler())
 		mux.Handle("GET /debug/traces", hub.TracesHandler())
@@ -267,6 +276,96 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	// serializing the equivalent direct MineWith call.
 	if err := resp.Results.WriteJSON(w); err != nil {
 		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// handleExplain serves /explain: the query runs exactly as /mine would
+// (cache, coalescing, backend selection — results stay bit-identical) and
+// the response is the executed plan with its observed cost breakdown. GET
+// takes the /subscribe-style query parameters (dataset, algo, min_esup /
+// min_sup / pft or threshold, plus workers and no_cache); POST takes the
+// /mine body.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	tr := s.startTrace(w, r.Method+" /explain")
+	defer tr.Finish()
+	var req MineRequest
+	if r.Method == http.MethodPost {
+		var body mineRequestJSON
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+		req = MineRequest{
+			Dataset:   body.Dataset,
+			Algorithm: body.Algorithm,
+			Thresholds: core.Thresholds{
+				MinESup: body.MinESup,
+				MinSup:  body.MinSup,
+				PFT:     body.PFT,
+			},
+			Workers: body.Workers,
+			Timeout: time.Duration(body.TimeoutMS) * time.Millisecond,
+			NoCache: body.NoCache,
+		}
+	} else {
+		q := r.URL.Query()
+		req.Dataset = q.Get("dataset")
+		req.Algorithm = q.Get("algo")
+		if req.Algorithm == "" {
+			req.Algorithm = q.Get("algorithm")
+		}
+		if req.Dataset == "" || req.Algorithm == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("need dataset and algo parameters"))
+			return
+		}
+		th, err := subscribeThresholds(q, req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Thresholds = th
+		if v := q.Get("workers"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parameter workers: %w", err))
+				return
+			}
+			req.Workers = n
+		}
+		if v := q.Get("timeout_ms"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parameter timeout_ms: %w", err))
+				return
+			}
+			req.Timeout = time.Duration(n) * time.Millisecond
+		}
+		req.NoCache = q.Get("no_cache") == "true" || q.Get("no_cache") == "1"
+	}
+	ctx := r.Context()
+	if tr != nil {
+		ctx = telemetry.ContextWithSpan(ctx, tr.Root())
+	}
+	ex, err := s.Explain(ctx, req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+// handleWorkload serves GET /debug/workload: the rolling profile of the
+// query mix, hottest group first.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.WorkloadProfile())
+}
+
+// handleDashboard serves GET /debug/dashboard: the dependency-free live
+// HTML view of the serving state.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := obsq.RenderDashboard(w, s.dashboardData()); err != nil {
+		// Headers are gone; drop the connection.
 		return
 	}
 }

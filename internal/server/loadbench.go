@@ -89,6 +89,12 @@ type LoadBenchStats struct {
 	P99MS         float64 `json:"p99_ms"`
 	MeanMS        float64 `json:"mean_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+	// CacheHitRatio is the fraction of the pass's requests served without
+	// mining (cache hit, monotone filter, or coalesced onto another job) —
+	// recorded on the hot pass only, where anything under 1.0 means the
+	// cache stopped answering the serving shape. Gated by
+	// scripts/benchgate with inverted direction: a drop is the regression.
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 }
 
 // benchBuckets is the latency grid behind the histogram-derived tail
@@ -126,8 +132,11 @@ type LoadBenchReport struct {
 	// CacheSpeedupP50 is cold p50 / hot p50 at the first level — the
 	// headline cache win.
 	CacheSpeedupP50 float64 `json:"cache_speedup_p50"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	Timestamp       string  `json:"timestamp"`
+	// CacheHitRatio is the served-from-cache fraction across every hot
+	// pass (the per-level ratios weighted by request count).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Timestamp     string  `json:"timestamp"`
 }
 
 // WriteJSON writes the report as an indented JSON document.
@@ -202,6 +211,8 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 		Timestamp:            time.Now().UTC().Format(time.RFC3339),
 	}
 
+	var hotServed uint64
+	var hotRequests int
 	for _, clients := range cfg.Levels {
 		requests := cfg.Requests
 		if requests < clients {
@@ -215,23 +226,34 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 		if _, err := postMine(client, ts.URL, body(false)); err != nil {
 			return nil, err
 		}
+		before := srv.Stats()
 		hot, err := drive(client, ts.URL, body(false), clients, requests)
 		if err != nil {
 			return nil, fmt.Errorf("hot pass at %d clients: %w", clients, err)
 		}
+		after := srv.Stats()
+		served := (after.CacheHits - before.CacheHits) +
+			(after.CacheFiltered - before.CacheFiltered) +
+			(after.Coalesced - before.Coalesced)
+		hot.CacheHitRatio = float64(served) / float64(requests)
+		hotServed += served
+		hotRequests += requests
 		report.Levels = append(report.Levels, LoadBenchLevel{
 			Clients:  clients,
 			Requests: requests,
 			Cold:     cold,
 			Hot:      hot,
 		})
-		fmt.Fprintf(cfg.Log, "loadbench: %3d clients: cold p50=%.2fms p95=%.2fms p99=%.2fms %.0f req/s | hot p50=%.3fms p95=%.3fms p99=%.3fms %.0f req/s\n",
-			clients, cold.P50MS, cold.P95MS, cold.P99MS, cold.ThroughputRPS, hot.P50MS, hot.P95MS, hot.P99MS, hot.ThroughputRPS)
+		fmt.Fprintf(cfg.Log, "loadbench: %3d clients: cold p50=%.2fms p95=%.2fms p99=%.2fms %.0f req/s | hot p50=%.3fms p95=%.3fms p99=%.3fms %.0f req/s (hit ratio %.3f)\n",
+			clients, cold.P50MS, cold.P95MS, cold.P99MS, cold.ThroughputRPS, hot.P50MS, hot.P95MS, hot.P99MS, hot.ThroughputRPS, hot.CacheHitRatio)
 	}
 
 	if len(report.Levels) > 0 && report.Levels[0].Hot.P50MS > 0 {
 		report.CacheSpeedupP50 = report.Levels[0].Cold.P50MS / report.Levels[0].Hot.P50MS
 		fmt.Fprintf(cfg.Log, "loadbench: cache-hit p50 speedup over cold mine: %.1f×\n", report.CacheSpeedupP50)
+	}
+	if hotRequests > 0 {
+		report.CacheHitRatio = float64(hotServed) / float64(hotRequests)
 	}
 	return report, nil
 }

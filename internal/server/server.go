@@ -37,6 +37,7 @@ import (
 
 	"umine/internal/algo"
 	"umine/internal/core"
+	"umine/internal/obsq"
 	"umine/internal/shardrpc"
 	"umine/internal/telemetry"
 )
@@ -74,7 +75,24 @@ type Config struct {
 	// histograms are registered on the hub's Registry. Nil disables all of
 	// it at zero per-request cost.
 	Telemetry *telemetry.Hub
+	// MineSLOTarget / IngestSLOTarget are the per-route latency objectives
+	// behind the umine_slo_burn_rate gauges and the dashboard's SLO table
+	// (0 selects the defaults below). 99% of requests are expected under
+	// the target; errors burn budget regardless of latency.
+	MineSLOTarget   time.Duration
+	IngestSLOTarget time.Duration
+	// PrewarmHot > 0 re-mines up to this many of a dataset's hottest
+	// workload groups after an ingest invalidates its cache, so the next
+	// queries of the observed mix hit a warm cache instead of paying a cold
+	// mine. 0 disables pre-warming.
+	PrewarmHot int
 }
+
+// Default per-route SLO latency targets.
+const (
+	defaultMineSLOTarget   = 500 * time.Millisecond
+	defaultIngestSLOTarget = 250 * time.Millisecond
+)
 
 // defaultCacheEntries is the result-cache capacity when Config leaves it 0.
 const defaultCacheEntries = 256
@@ -138,6 +156,15 @@ type Server struct {
 	incUpdates   atomic.Uint64
 	incFallbacks atomic.Uint64
 	subscribers  atomic.Int64
+
+	// Query-level observability (obsq.go in this package): the rolling
+	// workload profile behind /debug/workload and the ingest pre-warm, the
+	// per-route SLO trackers, and the pre-warm coalescing state.
+	workload  *obsq.Workload
+	sloMine   *obsq.SLO
+	sloIngest *obsq.SLO
+	prewarmMu sync.Mutex
+	prewarms  map[string]*prewarmState
 }
 
 // partitionCounters is the /stats partition block, moved as a unit under
@@ -153,6 +180,18 @@ type partitionCounters struct {
 // New constructs a Server from cfg.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, start: time.Now(), ledgers: map[string]*ledgerEntry{}}
+	s.workload = obsq.NewWorkload(0)
+	mineTarget := cfg.MineSLOTarget
+	if mineTarget == 0 {
+		mineTarget = defaultMineSLOTarget
+	}
+	ingestTarget := cfg.IngestSLOTarget
+	if ingestTarget == 0 {
+		ingestTarget = defaultIngestSLOTarget
+	}
+	s.sloMine = obsq.NewSLO(mineTarget, 0)
+	s.sloIngest = obsq.NewSLO(ingestTarget, 0)
+	s.prewarms = map[string]*prewarmState{}
 	s.reg.init()
 	if cfg.CacheEntries >= 0 {
 		max := cfg.CacheEntries
@@ -249,6 +288,28 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	})
 	reg.GaugeFunc("umine_goroutines", "Goroutines in the serving process.", nil,
 		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("umine_process_uptime_seconds", "Seconds since the serving process started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("umine_build_info", "Build metadata; always 1.", telemetry.BuildInfoLabels(),
+		func() float64 { return 1 })
+	for _, route := range []struct {
+		name string
+		slo  *obsq.SLO
+	}{{"mine", s.sloMine}, {"ingest", s.sloIngest}} {
+		slo := route.slo
+		reg.GaugeFunc("umine_slo_target_seconds", "Per-route SLO latency target.",
+			telemetry.Labels{"route": route.name},
+			func() float64 { return slo.Target().Seconds() })
+		for _, win := range []struct {
+			label string
+			d     time.Duration
+		}{{"5m", obsq.SLOWindowShort}, {"1h", obsq.SLOWindowLong}} {
+			d := win.d
+			reg.GaugeFunc("umine_slo_burn_rate", "Error-budget burn rate over the trailing window (1.0 = on budget).",
+				telemetry.Labels{"route": route.name, "window": win.label},
+				func() float64 { return slo.BurnRate(d) })
+		}
+	}
 	s.histMine = reg.Histogram("umine_mine_duration_seconds",
 		"End-to-end latency of Mine requests (cache hits included).", nil, nil)
 	s.histShard = reg.Histogram("umine_shard_phase1_duration_seconds",
@@ -305,6 +366,26 @@ type MineRequest struct {
 	// NoCache bypasses the cache and coalescing: the request always mines.
 	// Used by the load benchmark's cold passes.
 	NoCache bool
+
+	// progress, when set, is chained onto the mining run's observer —
+	// Explain threads its cost collector through here without perturbing
+	// the run (events are copies; the nil path costs nothing).
+	progress core.ProgressFunc
+	// exec, when set, receives the execution decisions Explain reports
+	// (which backend ran, how wide the scatter was, a cache entry's
+	// provenance).
+	exec *execRecord
+	// internal marks server-originated requests (cache pre-warm): they mine
+	// and fill the cache normally but stay out of the workload profile and
+	// the SLO — they are not client traffic.
+	internal bool
+}
+
+// execRecord captures one request's execution decisions for /explain.
+type execRecord struct {
+	backend string // local | sharded | shardrpc ("" when nothing executed)
+	shards  int
+	source  string // cache-entry provenance when served without mining
 }
 
 // MineResponse is the outcome of one Mine call.
@@ -325,6 +406,29 @@ type MineResponse struct {
 type mineOutcome struct {
 	rs   *core.ResultSet
 	kind string
+	src  string // cache-entry provenance when served from the cache
+}
+
+// servePath maps a cache-outcome label (plus the serving entry's
+// provenance) to the /explain and workload path label.
+func servePath(kind, src string) string {
+	switch kind {
+	case CacheMiss, CacheBypassed:
+		return "mined"
+	case CacheCoalesced:
+		return "coalesced"
+	case CacheHit:
+		if src == cacheSourceLedger {
+			return "ledger"
+		}
+		return "cache-hit"
+	case CacheFiltered:
+		if src == cacheSourceLedger {
+			return "ledger"
+		}
+		return "cache-filtered"
+	}
+	return kind
 }
 
 // Mine answers one query, consulting the cache (exact hit or monotonic
@@ -336,7 +440,34 @@ type mineOutcome struct {
 func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
 	start := time.Now()
 	s.requests.Add(1)
-	defer func() { s.histMine.Observe(time.Since(start).Seconds()) }()
+	// One deferred observation per request: the latency histogram (with the
+	// trace ID as exemplar, linking a slow scrape sample to /debug/traces),
+	// the mine-route SLO, and the workload profile. path stays "error"
+	// unless respond() relabels it with the serving decision.
+	var traceID string
+	path := "error"
+	defer func() {
+		elapsed := time.Since(start)
+		s.histMine.ObserveExemplar(elapsed.Seconds(), traceID)
+		if req.internal {
+			return
+		}
+		if path == "error" {
+			s.sloMine.ObserveBad()
+		} else {
+			s.sloMine.Observe(elapsed)
+		}
+		s.workload.Observe(obsq.Record{
+			Dataset:   req.Dataset,
+			Algorithm: req.Algorithm,
+			MinESup:   req.Thresholds.MinESup,
+			MinSup:    req.Thresholds.MinSup,
+			PFT:       req.Thresholds.PFT,
+			Workers:   req.Workers,
+			Path:      path,
+			Latency:   elapsed,
+		})
+	}()
 	// Every Mine runs under a span: the HTTP layer's when ctx carries one,
 	// a fresh trace otherwise (direct API callers get the same story).
 	span := telemetry.SpanFromContext(ctx)
@@ -348,6 +479,12 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 	span.SetAttr("dataset", req.Dataset)
 	span.SetAttr("algorithm", req.Algorithm)
+	if t := req.Thresholds; t.MinESup > 0 {
+		span.SetAttr("threshold", fmt.Sprintf("min_esup=%g", t.MinESup))
+	} else if t.MinSup > 0 {
+		span.SetAttr("threshold", fmt.Sprintf("min_sup=%g pft=%g", t.MinSup, t.PFT))
+	}
+	traceID = span.TraceID()
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -384,8 +521,12 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 		n:         db.N(),
 	}
 
-	respond := func(rs *core.ResultSet, kind string) *MineResponse {
+	respond := func(rs *core.ResultSet, kind, src string) *MineResponse {
 		span.SetAttr("cache", kind)
+		path = servePath(kind, src)
+		if req.exec != nil {
+			req.exec.source = src
+		}
 		return &MineResponse{
 			Results:        adoptThresholds(rs, req.Thresholds),
 			Cache:          kind,
@@ -407,16 +548,16 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 			return nil, err
 		}
 		s.uncached.Add(1)
-		return respond(rs, CacheBypassed), nil
+		return respond(rs, CacheBypassed, ""), nil
 	}
 
 	if s.cache != nil {
 		lt := time.Now()
-		rs, kind, ok := s.cache.lookup(q)
+		rs, kind, src, ok := s.cache.lookup(q)
 		span.Record("cache lookup", lt, time.Now(), [2]string{"hit", fmt.Sprint(ok)})
 		if ok {
 			s.countCache(kind)
-			return respond(rs, kind), nil
+			return respond(rs, kind, src), nil
 		}
 	}
 
@@ -428,8 +569,8 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 		// Re-check the cache: a compatible entry (e.g. a lower-threshold
 		// mine that can be filtered) may have landed while queued.
 		if s.cache != nil {
-			if rs, kind, ok := s.cache.lookup(q); ok {
-				return mineOutcome{rs: rs, kind: kind}, nil
+			if rs, kind, src, ok := s.cache.lookup(q); ok {
+				return mineOutcome{rs: rs, kind: kind, src: src}, nil
 			}
 		}
 		rs, err := s.runMine(ctx, req, d, db, version)
@@ -437,9 +578,9 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 			return mineOutcome{}, err
 		}
 		if s.cache != nil {
-			s.cache.store(q, rs)
+			s.cache.store(q, rs, cacheSourceMine)
 		}
-		return mineOutcome{rs: rs, kind: CacheMiss}, nil
+		return mineOutcome{rs: rs, kind: CacheMiss, src: cacheSourceMine}, nil
 	})
 	if err != nil {
 		s.countError(err)
@@ -450,7 +591,7 @@ func (s *Server) Mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 		kind = CacheCoalesced
 	}
 	s.countCache(kind)
-	return respond(out.rs, kind), nil
+	return respond(out.rs, kind, out.src), nil
 }
 
 // minShardTransactions is the smallest partition the scatter-gather path
@@ -486,12 +627,19 @@ func (s *Server) runMine(ctx context.Context, req MineRequest, d *dsEntry, db *c
 	}
 	if shards > 1 && algo.SupportsPartitions(req.Algorithm) {
 		span.SetAttr("shards", fmt.Sprint(shards))
-		return s.mineSharded(ctx, req.Algorithm, d, db, version, shards, req.Thresholds, opts)
+		// The partition engine's PhasePartition/PhaseDone events feed the
+		// request's cost collector (when Explain attached one).
+		opts.Progress = req.progress
+		return s.mineSharded(ctx, req.Algorithm, d, db, version, shards, req.Thresholds, opts, req.exec)
 	}
 	// Plain (unsharded) path: the miner's own Progress checkpoints become
-	// child spans. The sharded path skips this — the partition engine's
-	// explicit phase spans already cover its structure.
-	opts.Progress = telemetry.SpanProgress(span)
+	// child spans, chained with the request's cost collector. The sharded
+	// path skips the span observer — the partition engine's explicit phase
+	// spans already cover its structure.
+	if req.exec != nil {
+		req.exec.backend = "local"
+	}
+	opts.Progress = core.ChainProgress(telemetry.SpanProgress(span), req.progress)
 	return s.mineFn(ctx, req.Algorithm, db, req.Thresholds, opts)
 }
 
@@ -569,10 +717,12 @@ func (s *Server) Ingest(ctx context.Context, name string, raw [][]core.Unit) (In
 	t0 := time.Now()
 	d, ok := s.reg.get(name)
 	if !ok {
+		s.sloIngest.ObserveBad()
 		return IngestResult{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 	res, err := d.ingest(ctx, raw)
 	if err != nil {
+		s.sloIngest.ObserveBad()
 		return IngestResult{}, err
 	}
 	if res.Added > 0 {
@@ -584,7 +734,11 @@ func (s *Server) Ingest(ctx context.Context, name string, raw [][]core.Unit) (In
 		// ingest responds now, subscribers get their diffs when the
 		// background refresh lands (subscribe.go).
 		s.notifyIngest(name, t0)
+		// Re-warm the invalidated cache for the observed hot queries, also
+		// off the request path (obsq.go in this package).
+		s.kickPrewarm(name)
 	}
+	s.sloIngest.Observe(time.Since(t0))
 	return res, nil
 }
 

@@ -79,7 +79,7 @@ func (l *localShards) MineShard(ctx context.Context, shard int, algorithm string
 // counters. Results are bit-identical to s.mineFn on the same snapshot.
 // version is the snapshot's registry version, pinned onto every remote
 // shard request.
-func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, db *core.Database, version uint64, k int, th core.Thresholds, opts core.Options) (*core.ResultSet, error) {
+func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, db *core.Database, version uint64, k int, th core.Thresholds, opts core.Options, exec *execRecord) (*core.ResultSet, error) {
 	opts.Partitions = k
 	eng, err := algo.NewPartitionEngine(algorithm, opts)
 	if err != nil {
@@ -87,6 +87,15 @@ func (s *Server) mineSharded(ctx context.Context, algorithm string, d *dsEntry, 
 	}
 	phase1, _ := algo.PartitionPhase1(algorithm)
 	backend := d.backendFor(db, version, k, s.shardBackend)
+	if exec != nil {
+		exec.shards = k
+		switch backend.(type) {
+		case *shardrpc.Backend:
+			exec.backend = "shardrpc"
+		default:
+			exec.backend = "sharded"
+		}
+	}
 	if got := backend.Shards(); got != k {
 		// The engine fans out over Boundaries(N, k); a backend with a
 		// different shard count (a misconfigured process-per-shard

@@ -260,7 +260,7 @@ func (s *Server) refreshLedger(ctx context.Context, e *ledgerEntry, d *dsEntry, 
 			semantics: e.sem,
 			th:        e.led.Thresholds(),
 			n:         up.Results.N,
-		}, up.Results)
+		}, up.Results, cacheSourceLedger)
 	}
 	e.mu.Lock()
 	var dropped []chan incmine.Diff

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"umine/internal/algo"
@@ -98,7 +99,21 @@ type Pool struct {
 	addrs  []string
 	tuning Tuning
 	client *http.Client
+
+	// Data-movement accounting: request-body bytes sent to shard servers,
+	// split by endpoint. Pushes are the interesting cost (full slices or
+	// deltas); mine bodies are small pinned requests. Exposed on the
+	// coordinator's /metrics and in per-attempt span attributes.
+	pushBytes atomic.Int64
+	mineBytes atomic.Int64
 }
+
+// BytesPushed is the cumulative request-body bytes of /push RPCs (slice
+// installs, both full and delta).
+func (p *Pool) BytesPushed() int64 { return p.pushBytes.Load() }
+
+// BytesMineRequests is the cumulative request-body bytes of /mine1 RPCs.
+func (p *Pool) BytesMineRequests() int64 { return p.mineBytes.Load() }
 
 // NewPool validates the address list and builds a Pool.
 func NewPool(cfg PoolConfig) (*Pool, error) {
@@ -233,6 +248,9 @@ type attemptResult struct {
 	stale StaleResponse
 	kind  outcomeKind
 	err   error
+	// sent is the request body size in bytes — the attempt's wire cost,
+	// surfaced as the "bytes" span attribute.
+	sent int
 }
 
 // maxRepushes bounds the stale→re-push→retry loop of one MineShard call:
@@ -341,6 +359,7 @@ func (b *Backend) attempt(ctx context.Context, shard int, req MineShardRequest, 
 		go func() {
 			res := b.doMine(actx, shard, req)
 			rsp.SetAttr("outcome", res.kind.String())
+			rsp.SetAttr("bytes", fmt.Sprint(res.sent))
 			if res.err != nil {
 				rsp.SetAttr("error", res.err.Error())
 			}
@@ -384,27 +403,28 @@ func (b *Backend) attempt(ctx context.Context, shard int, req MineShardRequest, 
 // doMine performs one /mine1 POST and classifies the outcome.
 func (b *Backend) doMine(ctx context.Context, shard int, req MineShardRequest) attemptResult {
 	addr := b.pool.addrs[shard]
-	status, body, err := b.post(ctx, addr+pathMine1, req.TraceID, req)
+	status, body, sent, err := b.post(ctx, addr+pathMine1, req.TraceID, req)
+	b.pool.mineBytes.Add(int64(sent))
 	if err != nil {
-		return attemptResult{kind: outcomeRetryable, err: err}
+		return attemptResult{kind: outcomeRetryable, err: err, sent: sent}
 	}
 	switch {
 	case status == http.StatusOK:
 		var resp MineShardResponse
 		if err := json.Unmarshal(body, &resp); err != nil {
-			return attemptResult{kind: outcomeRetryable, err: fmt.Errorf("decoding mine response: %w", err)}
+			return attemptResult{kind: outcomeRetryable, err: fmt.Errorf("decoding mine response: %w", err), sent: sent}
 		}
-		return attemptResult{resp: resp, kind: outcomeOK}
+		return attemptResult{resp: resp, kind: outcomeOK, sent: sent}
 	case status == http.StatusConflict:
 		var stale StaleResponse
 		if err := json.Unmarshal(body, &stale); err != nil {
-			return attemptResult{kind: outcomeRetryable, err: fmt.Errorf("decoding stale response: %w", err)}
+			return attemptResult{kind: outcomeRetryable, err: fmt.Errorf("decoding stale response: %w", err), sent: sent}
 		}
-		return attemptResult{stale: stale, kind: outcomeStale, err: fmt.Errorf("%s", stale.Error)}
+		return attemptResult{stale: stale, kind: outcomeStale, err: fmt.Errorf("%s", stale.Error), sent: sent}
 	case status >= 500:
-		return attemptResult{kind: outcomeRetryable, err: httpError(status, body)}
+		return attemptResult{kind: outcomeRetryable, err: httpError(status, body), sent: sent}
 	default:
-		return attemptResult{kind: outcomePermanent, err: httpError(status, body)}
+		return attemptResult{kind: outcomePermanent, err: httpError(status, body), sent: sent}
 	}
 }
 
@@ -435,30 +455,35 @@ func (b *Backend) repush(ctx context.Context, shard int, stale StaleResponse, tr
 	}
 	span.SetAttr("delta", fmt.Sprint(req.Append))
 
-	err := b.doPush(ctx, shard, req)
+	sent, err := b.doPush(ctx, shard, req)
 	if err != nil && req.Append && ctx.Err() == nil {
 		// The delta base moved under us; one full push settles it.
 		req.Append = false
 		req.BaseN, req.BaseHash = 0, 0
 		req.Transactions = encodeTransactions(b.db, r.Lo, r.Hi)
 		span.SetAttr("delta", "false (base moved)")
-		err = b.doPush(ctx, shard, req)
+		var sent2 int
+		sent2, err = b.doPush(ctx, shard, req)
+		sent += sent2
 	}
+	span.SetAttr("bytes", fmt.Sprint(sent))
 	return err
 }
 
-// doPush performs one /push POST under the per-attempt timeout.
-func (b *Backend) doPush(ctx context.Context, shard int, req PushRequest) error {
+// doPush performs one /push POST under the per-attempt timeout, returning
+// the request body size (the slice's wire cost).
+func (b *Backend) doPush(ctx context.Context, shard int, req PushRequest) (int, error) {
 	pctx, cancel := context.WithTimeout(ctx, b.pool.tuning.RequestTimeout)
 	defer cancel()
-	status, body, err := b.post(pctx, b.pool.addrs[shard]+pathPush, req.TraceID, req)
+	status, body, sent, err := b.post(pctx, b.pool.addrs[shard]+pathPush, req.TraceID, req)
+	b.pool.pushBytes.Add(int64(sent))
 	if err != nil {
-		return err
+		return sent, err
 	}
 	if status != http.StatusOK {
-		return httpError(status, body)
+		return sent, httpError(status, body)
 	}
-	return nil
+	return sent, nil
 }
 
 // failover degrades the shard's phase-1 mine to the coordinator's own slice
@@ -486,16 +511,18 @@ func (b *Backend) failover(ctx context.Context, shard int, algorithm string, th 
 	return rs.Itemsets(), rs.Stats, nil
 }
 
-// post sends one JSON POST and returns the status and body. traceID, when
-// non-empty, rides the X-Umine-Trace-Id header alongside the proto field.
-func (b *Backend) post(ctx context.Context, url, traceID string, payload any) (int, []byte, error) {
+// post sends one JSON POST and returns the status, body and request-body
+// size. traceID, when non-empty, rides the X-Umine-Trace-Id header alongside
+// the proto field.
+func (b *Backend) post(ctx context.Context, url, traceID string, payload any) (int, []byte, int, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
+	sent := len(raw)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, sent, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if traceID != "" {
@@ -503,14 +530,14 @@ func (b *Backend) post(ctx context.Context, url, traceID string, payload any) (i
 	}
 	resp, err := b.pool.client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, sent, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, sent, err
 	}
-	return resp.StatusCode, body, nil
+	return resp.StatusCode, body, sent, nil
 }
 
 // httpError renders a non-OK shard response as an error, preferring the

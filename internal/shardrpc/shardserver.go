@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -28,6 +29,9 @@ const maxShardCacheEntries = 64
 type ShardConfig struct {
 	// Log receives one line per push and failed request (nil discards).
 	Log io.Writer
+	// Logger, when non-nil, takes precedence over Log: push and failure
+	// lines become structured records with the platform's shared keys.
+	Logger *slog.Logger
 	// Telemetry, when non-nil, collects this shard's traces and metrics:
 	// /mine1 and /push run under traces (adopting the coordinator's wire
 	// trace ID when present, so the shard's /debug/traces ring shares IDs
@@ -65,7 +69,8 @@ func cacheKey(alg string, th core.Thresholds, workers int) string {
 // the in-process core of the cmd/ushard binary. All methods and the
 // handler are safe for concurrent use.
 type ShardServer struct {
-	cfg ShardConfig
+	cfg   ShardConfig
+	start time.Time
 
 	mu   sync.RWMutex
 	held map[string]*heldSlice
@@ -87,7 +92,7 @@ func NewShardServer(cfg ShardConfig) *ShardServer {
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
-	s := &ShardServer{cfg: cfg, held: make(map[string]*heldSlice)}
+	s := &ShardServer{cfg: cfg, start: time.Now(), held: make(map[string]*heldSlice)}
 	if hub := cfg.Telemetry; hub != nil {
 		s.registerMetrics(hub.Metrics)
 	}
@@ -118,6 +123,10 @@ func (s *ShardServer) registerMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("ushard_goroutines", "Goroutines in the shard process.", nil, func() float64 {
 		return float64(runtime.NumGoroutine())
 	})
+	reg.GaugeFunc("ushard_process_uptime_seconds", "Seconds since the shard process started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("umine_build_info", "Build metadata; always 1.", telemetry.BuildInfoLabels(),
+		func() float64 { return 1 })
 	s.histMine1 = reg.Histogram("ushard_mine1_duration_seconds",
 		"Latency of /mine1 phase-1 mines (cache hits included).", nil, nil)
 	s.histPush = reg.Histogram("ushard_push_duration_seconds",
@@ -268,8 +277,14 @@ func (s *ShardServer) handlePush(w http.ResponseWriter, r *http.Request) {
 	if req.Append {
 		s.deltaPushes.Add(1)
 	}
-	fmt.Fprintf(s.cfg.Log, "ushard: pushed %s v%d [%d,%d) (%d transactions, append=%v)\n",
-		req.Dataset, req.Version, req.Lo, req.Hi, len(req.Transactions), req.Append)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("pushed slice",
+			"dataset", req.Dataset, "version", req.Version, "lo", req.Lo, "hi", req.Hi,
+			"transactions", len(req.Transactions), "append", req.Append)
+	} else {
+		fmt.Fprintf(s.cfg.Log, "ushard: pushed %s v%d [%d,%d) (%d transactions, append=%v)\n",
+			req.Dataset, req.Version, req.Lo, req.Hi, len(req.Transactions), req.Append)
+	}
 	shardWriteJSON(w, http.StatusOK, PushResponse{Dataset: req.Dataset, Version: req.Version, N: db.N(), Appended: req.Append})
 }
 
@@ -372,7 +387,11 @@ func (s *ShardServer) handleMine1(w http.ResponseWriter, r *http.Request) {
 // fail writes an error response and counts it.
 func (s *ShardServer) fail(w http.ResponseWriter, status int, err error) {
 	s.errs.Add(1)
-	fmt.Fprintf(s.cfg.Log, "ushard: HTTP %d: %v\n", status, err)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("request failed", "status", status, "error", err.Error())
+	} else {
+		fmt.Fprintf(s.cfg.Log, "ushard: HTTP %d: %v\n", status, err)
+	}
 	shardWriteJSON(w, status, errorResponse{Error: err.Error()})
 }
 

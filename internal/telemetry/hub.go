@@ -4,8 +4,10 @@ package telemetry
 // ring of the last N completed traces and an optional slow-request log.
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -22,6 +24,10 @@ type HubConfig struct {
 	SlowLogThreshold time.Duration
 	// SlowLog receives slow-trace lines (default: discarded).
 	SlowLog io.Writer
+	// SlowLogger, when non-nil, takes precedence over SlowLog: slow traces
+	// are emitted through it as structured records with the platform's
+	// shared keys (trace_id, dataset, algo, threshold) plus the span tree.
+	SlowLogger *slog.Logger
 }
 
 // DefaultTraceCapacity is the trace-ring size when HubConfig leaves it 0.
@@ -34,9 +40,10 @@ type Hub struct {
 	// Metrics is the process's metric registry, served by MetricsHandler.
 	Metrics *Registry
 
-	capacity int
-	slowThr  time.Duration
-	slowLog  io.Writer
+	capacity   int
+	slowThr    time.Duration
+	slowLog    io.Writer
+	slowLogger *slog.Logger
 
 	mu     sync.Mutex
 	ring   []TraceData // circular, oldest at next
@@ -54,10 +61,11 @@ func NewHub(cfg HubConfig) *Hub {
 		capacity = 0
 	}
 	h := &Hub{
-		Metrics:  NewRegistry(),
-		capacity: capacity,
-		slowThr:  cfg.SlowLogThreshold,
-		slowLog:  cfg.SlowLog,
+		Metrics:    NewRegistry(),
+		capacity:   capacity,
+		slowThr:    cfg.SlowLogThreshold,
+		slowLog:    cfg.SlowLog,
+		slowLogger: cfg.SlowLogger,
 	}
 	if capacity > 0 {
 		h.ring = make([]TraceData, capacity)
@@ -79,11 +87,32 @@ func (h *Hub) record(td TraceData) {
 	if h == nil {
 		return
 	}
-	if h.slowThr > 0 && h.slowLog != nil && td.DurationMS >= durationMS(h.slowThr) {
-		line := append(td.MarshalSlowLine(), '\n')
-		h.mu.Lock()
-		h.slowLog.Write(line)
-		h.mu.Unlock()
+	if h.slowThr > 0 && td.DurationMS >= durationMS(h.slowThr) {
+		switch {
+		case h.slowLogger != nil:
+			attrs := []slog.Attr{
+				slog.String("trace_id", td.TraceID),
+				slog.String("name", td.Name),
+				slog.Float64("duration_ms", td.DurationMS),
+				slog.Int("spans", td.Root.SpanCount()),
+			}
+			// The platform's shared keys, when the root span carries them
+			// (mine traces do; shard /push traces carry only the dataset).
+			for _, kv := range [...][2]string{
+				{"dataset", "dataset"}, {"algo", "algorithm"}, {"threshold", "threshold"},
+			} {
+				if v := td.Root.Attrs[kv[1]]; v != "" {
+					attrs = append(attrs, slog.String(kv[0], v))
+				}
+			}
+			attrs = append(attrs, slog.Any("root", td.Root))
+			h.slowLogger.LogAttrs(context.Background(), slog.LevelWarn, "slow trace", attrs...)
+		case h.slowLog != nil:
+			line := append(td.MarshalSlowLine(), '\n')
+			h.mu.Lock()
+			h.slowLog.Write(line)
+			h.mu.Unlock()
+		}
 	}
 	if h.capacity == 0 {
 		return

@@ -12,6 +12,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -224,6 +226,14 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
 	count  atomic.Uint64
 	sum    atomicFloat
+
+	// Exemplar state: the largest-valued observation carrying a trace ID
+	// since the last exposition. Links a p99 spike on a scrape graph to its
+	// /debug/traces entry. Guarded by exMu — exemplars ride the slow path
+	// (ObserveExemplar is called once per request, not per bucket update).
+	exMu    sync.Mutex
+	exTrace string
+	exValue float64
 }
 
 // NewHistogram builds a histogram over the given upper bounds (nil =
@@ -253,6 +263,35 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty and the
+// value is the largest since the last exposition, retains it as the series'
+// exemplar. Exposition emits the exemplar as a comment line (ignored by
+// plain text-format scrapers), then resets it so each scrape interval
+// surfaces its own slowest trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if h == nil || traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if h.exTrace == "" || v >= h.exValue {
+		h.exTrace, h.exValue = traceID, v
+	}
+	h.exMu.Unlock()
+}
+
+// takeExemplar returns and clears the pending exemplar.
+func (h *Histogram) takeExemplar() (string, float64, bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.exTrace == "" {
+		return "", 0, false
+	}
+	trace, v := h.exTrace, h.exValue
+	h.exTrace, h.exValue = "", 0
+	return trace, v, true
 }
 
 // Count returns the total observation count.
@@ -340,8 +379,18 @@ func (h *Histogram) write(w io.Writer, name, labels string) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(h.sum.load())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.count.Load())
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.count.Load()); err != nil {
+		return err
+	}
+	if trace, v, ok := h.takeExemplar(); ok {
+		// A comment line, so the default exposition stays byte-identical for
+		// scrapers (and goldens) when no exemplar was recorded.
+		if _, err := fmt.Fprintf(w, "# exemplar %s%s trace_id=%s value=%s\n",
+			name, braced(labels), trace, formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func braced(labels string) string {
@@ -349,6 +398,17 @@ func braced(labels string) string {
 		return ""
 	}
 	return "{" + labels + "}"
+}
+
+// BuildInfoLabels returns the standard build_info label set — the module
+// version stamped by the Go linker plus the Go runtime version — shared by
+// every process's umine_build_info gauge.
+func BuildInfoLabels() Labels {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return Labels{"version": version, "go": runtime.Version()}
 }
 
 // atomicFloat is a CAS-add float64 (Prometheus histogram _sum semantics).

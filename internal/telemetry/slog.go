@@ -1,0 +1,35 @@
+package telemetry
+
+// One logging story for every process: structured JSON lines on stderr via
+// log/slog, at a level set by the shared -loglevel flag. The key vocabulary
+// is fixed across binaries — trace_id, dataset, algo, threshold — so one
+// grep (or one log pipeline) works against coordinator and shard logs alike.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps the shared -loglevel flag value onto a slog.Level.
+// The empty string means Info.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger builds the platform's standard logger: JSON lines on w at the
+// given level, every record tagged with the service name.
+func NewLogger(w io.Writer, service string, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})).With("service", service)
+}

@@ -17,6 +17,12 @@
 // quantiles, which are noisier than medians on short runs. Metrics present
 // in only one document are reported but do not fail the gate — reports may
 // grow fields across commits.
+//
+// Fields named cache_hit_ratio (bare or suffixed, like the loadbench
+// report's hot cache_hit_ratio) are gated with the direction inverted: the
+// ratio is a goodness metric, so fresh < baseline - ratio-slack is the
+// regression — a cache that stops answering the hot pass fails the gate
+// even though every latency column may still squeak under its limit.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 func main() {
 	maxPct := flag.Float64("max-pct", 25, "maximum allowed quantile regression in percent")
 	slackMS := flag.Float64("slack-ms", 25, "absolute slack in ms added to the gate (absorbs runner noise on short runs)")
+	ratioSlack := flag.Float64("ratio-slack", 0.05, "absolute slack for inverted ratio metrics (cache_hit_ratio may drop this far below baseline)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [-max-pct N] [-slack-ms N] baseline.json=fresh.json ...")
@@ -43,7 +50,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: argument %q is not a baseline=fresh pair\n", pair)
 			os.Exit(2)
 		}
-		if !comparePair(basePath, freshPath, *maxPct, *slackMS) {
+		if !comparePair(basePath, freshPath, *maxPct, *slackMS, *ratioSlack) {
 			failed = true
 		}
 	}
@@ -54,7 +61,7 @@ func main() {
 
 // comparePair gates one baseline/fresh report pair, printing every metric
 // compared. It returns false when any shared metric regresses.
-func comparePair(basePath, freshPath string, maxPct, slackMS float64) bool {
+func comparePair(basePath, freshPath string, maxPct, slackMS, ratioSlack float64) bool {
 	base, err := loadQuantiles(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -66,7 +73,7 @@ func comparePair(basePath, freshPath string, maxPct, slackMS float64) bool {
 		return false
 	}
 	if len(base) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s has no p50/p95/p99 _ms metrics — nothing to gate\n", basePath)
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no gated metrics — nothing to gate\n", basePath)
 		return false
 	}
 	paths := make([]string, 0, len(base))
@@ -75,30 +82,43 @@ func comparePair(basePath, freshPath string, maxPct, slackMS float64) bool {
 	}
 	sort.Strings(paths)
 
-	fmt.Printf("benchgate: %s vs %s (gate: +%.0f%% + %.0fms)\n", basePath, freshPath, maxPct, slackMS)
+	fmt.Printf("benchgate: %s vs %s (gate: +%.0f%% + %.0fms; ratios: -%.2f)\n", basePath, freshPath, maxPct, slackMS, ratioSlack)
 	ok := true
 	for _, p := range paths {
 		b := base[p]
 		f, shared := fresh[p]
+		unit := "ms"
+		if gatedRatio(p) {
+			unit = ""
+		}
 		if !shared {
-			fmt.Printf("  %-40s baseline %.3fms, absent from fresh report (skipped)\n", p, b)
+			fmt.Printf("  %-40s baseline %.3f%s, absent from fresh report (skipped)\n", p, b, unit)
 			continue
 		}
-		limit := b*(1+maxPct/100) + slackMS
+		var limit float64
+		var regressed bool
+		if gatedRatio(p) {
+			// Inverted: the ratio dropping below baseline is the regression.
+			limit = b - ratioSlack
+			regressed = f < limit
+		} else {
+			limit = b*(1+maxPct/100) + slackMS
+			regressed = f > limit
+		}
 		delta := 0.0
 		if b > 0 {
 			delta = (f - b) / b * 100
 		}
 		verdict := "ok"
-		if f > limit {
+		if regressed {
 			verdict = "REGRESSED"
 			ok = false
 		}
-		fmt.Printf("  %-40s %.3fms -> %.3fms (%+.1f%%, limit %.3fms) %s\n", p, b, f, delta, limit, verdict)
+		fmt.Printf("  %-40s %.3f%s -> %.3f%s (%+.1f%%, limit %.3f%s) %s\n", p, b, unit, f, unit, delta, limit, unit, verdict)
 	}
 	for p := range fresh {
 		if _, shared := base[p]; !shared {
-			fmt.Printf("  %-40s new metric %.3fms, no baseline (skipped)\n", p, fresh[p])
+			fmt.Printf("  %-40s new metric %.3f, no baseline (skipped)\n", p, fresh[p])
 		}
 	}
 	return ok
@@ -135,7 +155,7 @@ func walk(prefix string, v any, out map[string]float64) {
 			walk(fmt.Sprintf("%s[%d]", prefix, i), c, out)
 		}
 	case float64:
-		if gatedQuantile(prefix) {
+		if gatedQuantile(prefix) || gatedRatio(prefix) {
 			out[prefix] = t
 		}
 	}
@@ -146,9 +166,21 @@ func walk(prefix string, v any, out map[string]float64) {
 // "." separator is the JSON path) or one suffixed like cold_p50_ms.
 func gatedQuantile(path string) bool {
 	for _, q := range []string{"p50_ms", "p95_ms", "p99_ms"} {
-		if path == q || strings.HasSuffix(path, "_"+q) || strings.HasSuffix(path, "."+q) {
+		if isField(path, q) {
 			return true
 		}
 	}
 	return false
+}
+
+// gatedRatio reports whether a flattened field path names a goodness ratio
+// gated with inverted direction (a drop below baseline is the regression).
+func gatedRatio(path string) bool {
+	return isField(path, "cache_hit_ratio")
+}
+
+// isField reports whether a flattened path names the field: exactly, as a
+// "."-separated JSON path tail, or "_"-suffixed like cold_p50_ms.
+func isField(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "_"+name) || strings.HasSuffix(path, "."+name)
 }

@@ -29,6 +29,14 @@
 # the refreshed result-set size matches a direct /mine of the grown dataset.
 # Mirrored by the "Continuous queries" CI job; run locally via
 # `make smoke-subscribe`.
+#
+# `smoke_userve.sh explain` exercises the query-level observability surface
+# against the real 2-shard cluster: POST /explain over the shardrpc backend
+# must report the executed plan (partition steps, shard attempt timeline,
+# pushed bytes), a repeat GET /explain must report the cache-hit path,
+# /debug/workload must profile the query group, and /debug/dashboard must
+# render. Mirrored by the "Query observability" CI job; run locally via
+# `make smoke-explain`.
 set -eu
 
 MODE="${1:-local}"
@@ -291,6 +299,123 @@ if [ "$MODE" = "metrics" ]; then
     echo "smoke: sharded mine left one stitched trace (coordinator + shard spans)"
 
     echo "smoke: PASS (metrics)"
+    exit 0
+fi
+
+if [ "$MODE" = "explain" ]; then
+    echo "smoke: building ushard"
+    go build -o "$TMP/ushard" ./cmd/ushard
+
+    SHARD1="127.0.0.1:18671"
+    SHARD2="127.0.0.1:18672"
+    "$TMP/ushard" -addr "$SHARD1" >"$TMP/ushard1.log" 2>&1 &
+    SHARD1_PID=$!
+    "$TMP/ushard" -addr "$SHARD2" >"$TMP/ushard2.log" 2>&1 &
+    SHARD2_PID=$!
+    wait_healthz "http://$SHARD1" "$TMP/ushard1.log"
+    wait_healthz "http://$SHARD2" "$TMP/ushard2.log"
+    "$TMP/userve" -addr "$ADDR" -shards "$SHARD1,$SHARD2" >"$TMP/userve.log" 2>&1 &
+    SERVER_PID=$!
+    wait_healthz "$BASE" "$TMP/userve.log"
+    echo "smoke: coordinator + 2 shard processes up"
+
+    STATUS=$(curl -s -o "$TMP/exq.json" -w '%{http_code}' -X POST "$BASE/datasets" \
+        -H 'Content-Type: application/json' \
+        -d '{"name":"exq","profile":"gazelle","scale":0.01,"seed":7,"shards":2}')
+    check "register RPC-sharded dataset" 201 "$TMP/exq.json" "$STATUS"
+
+    # A cold POST /explain runs the query exactly as /mine would — over the
+    # 2-shard RPC backend — and must report the executed plan: the backend,
+    # per-shard partition steps, the shard attempt timeline, and the bytes
+    # the scatter pushed over the wire.
+    STATUS=$(curl -s -o "$TMP/explain.json" -w '%{http_code}' -X POST "$BASE/explain" \
+        -H 'Content-Type: application/json' \
+        -d '{"dataset":"exq","algorithm":"UApriori","min_esup":0.005}')
+    check "POST /explain (cold, shardrpc)" 200 "$TMP/explain.json" "$STATUS"
+    for WANT in '"backend": "shardrpc"' '"path": "mined"' '"shards": 2' \
+        '"phase": "partition"' '"kind": "shard"' '"kind": "attempt"'; do
+        if ! grep -q "$WANT" "$TMP/explain.json"; then
+            echo "smoke: FAIL — cold /explain missing $WANT"
+            cat "$TMP/explain.json"
+            exit 1
+        fi
+    done
+    if ! grep -Eq '"bytes_pushed": *[1-9]' "$TMP/explain.json"; then
+        echo "smoke: FAIL — cold /explain accounted no pushed bytes"
+        cat "$TMP/explain.json"
+        exit 1
+    fi
+    if ! grep -Eq '"candidates_generated": *[1-9]' "$TMP/explain.json"; then
+        echo "smoke: FAIL — cold /explain counted no candidates"
+        cat "$TMP/explain.json"
+        exit 1
+    fi
+    echo "smoke: cold /explain reported the shardrpc plan with its cost breakdown"
+
+    # The explain ran the real mine, so its result is cached: the same query
+    # as a GET must explain as a cache hit with no executed plan.
+    STATUS=$(curl -s -o "$TMP/explain2.json" -w '%{http_code}' \
+        "$BASE/explain?dataset=exq&algo=UApriori&min_esup=0.005")
+    check "GET /explain (hot)" 200 "$TMP/explain2.json" "$STATUS"
+    for WANT in '"backend": "cache"' '"path": "cache-hit"'; do
+        if ! grep -q "$WANT" "$TMP/explain2.json"; then
+            echo "smoke: FAIL — hot /explain missing $WANT"
+            cat "$TMP/explain2.json"
+            exit 1
+        fi
+    done
+    echo "smoke: hot /explain reported the cache-hit path"
+
+    # And the explained query must not have perturbed the serving path: a
+    # plain /mine of the same query is a cache hit on the explained result.
+    STATUS=$(curl -s -D "$TMP/mine_hdrs.txt" -o "$TMP/mine.json" -w '%{http_code}' -X POST "$BASE/mine" \
+        -H 'Content-Type: application/json' \
+        -d '{"dataset":"exq","algorithm":"UApriori","min_esup":0.005}')
+    check "/mine after explain" 200 "$TMP/mine.json" "$STATUS"
+    if ! grep -qi '^x-umine-cache: hit' "$TMP/mine_hdrs.txt"; then
+        echo "smoke: FAIL — /mine after explain was not a cache hit"
+        cat "$TMP/mine_hdrs.txt"
+        exit 1
+    fi
+    if ! grep -q '"itemset"' "$TMP/mine.json"; then
+        echo "smoke: FAIL — /mine after explain returned an empty result set"
+        exit 1
+    fi
+    echo "smoke: /mine after explain served the explained result from cache"
+
+    # The workload profile has seen the query group and its hit ratio.
+    STATUS=$(curl -s -o "$TMP/workload.json" -w '%{http_code}' "$BASE/debug/workload")
+    check "/debug/workload" 200 "$TMP/workload.json" "$STATUS"
+    for WANT in '"dataset": "exq"' '"algorithm": "UApriori"' '"threshold_band"' '"cache_hit_ratio"'; do
+        if ! grep -q "$WANT" "$TMP/workload.json"; then
+            echo "smoke: FAIL — /debug/workload missing $WANT"
+            cat "$TMP/workload.json"
+            exit 1
+        fi
+    done
+    echo "smoke: /debug/workload profiles the query group"
+
+    # The dashboard renders as HTML, and /metrics carries the SLO burn-rate
+    # gauges and build info the dashboard reads.
+    STATUS=$(curl -s -o "$TMP/dash.html" -w '%{http_code}' "$BASE/debug/dashboard")
+    check "/debug/dashboard" 200 "$TMP/dash.html" "$STATUS"
+    for WANT in 'live dashboard' 'SLO burn' 'workload'; do
+        if ! grep -q "$WANT" "$TMP/dash.html"; then
+            echo "smoke: FAIL — /debug/dashboard missing section $WANT"
+            exit 1
+        fi
+    done
+    STATUS=$(curl -s -o "$TMP/metrics.txt" -w '%{http_code}' "$BASE/metrics")
+    check "/metrics" 200 "$TMP/metrics.txt" "$STATUS"
+    for FAM in umine_slo_burn_rate umine_build_info umine_process_uptime_seconds; do
+        if ! grep -q "^$FAM" "$TMP/metrics.txt"; then
+            echo "smoke: FAIL — /metrics missing $FAM"
+            exit 1
+        fi
+    done
+    echo "smoke: dashboard renders; SLO burn-rate and build-info gauges exposed"
+
+    echo "smoke: PASS (explain)"
     exit 0
 fi
 
