@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe smoke-explain bench-server bench-gate ci
+.PHONY: all build fmt vet lint test race test-cancel test-partition test-shardrpc test-incmine test-steal bench bench-storage bench-kernels smoke-server smoke-shards smoke-metrics smoke-subscribe smoke-explain bench-server bench-gate ci
 
 all: build
 
@@ -75,6 +75,15 @@ test-incmine:
 	$(GO) test -race -count=1 ./internal/incmine ./internal/stream
 	$(GO) test -race -count=1 -run 'Subscribe|Incremental|Ingest|Delta|Eviction' ./internal/server ./internal/core
 
+## test-steal: the work-stealing scheduler and parallel-determinism suites
+## under the race detector at -cpu 1,4,8 — the scheduler's determinism,
+## steal-under-skew, cancellation and leak checks, plus the miner-level
+## exec-tuning identity matrix (short mode) pinning every registry miner
+## bit-identical across Workers × steal on/off × kernel vs scalar
+test-steal:
+	$(GO) test -race -cpu 1,4,8 -count=1 ./internal/parallel
+	$(GO) test -race -cpu 1,4,8 -count=1 -short -run TestExecTuningDeterminism ./internal/algo
+
 ## bench: benchmark smoke run — one iteration each, so perf code keeps compiling and running
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
@@ -85,6 +94,16 @@ bench:
 ## reduction and no-cold-mine-regression acceptance margins
 bench-storage:
 	BENCH_STORAGE_OUT=$$(pwd)/BENCH_storage.json $(GO) test ./internal/algo/apriori -run TestWriteStorageBench -count=1 -v
+
+## bench-kernels: the hot-loop kernel benchmarks — intersection kernels vs
+## their scalar references per postings-density band (the dense band's margin
+## is enforced), the DP verification kernel on the borderline and wide
+## candidate shapes, steal-on vs steal-off cold mines, and the accident@0.01
+## DPNB cold-mine p50, which must beat the committed BENCH_partition.json
+## unpartitioned baseline; writes BENCH_kernels.json
+bench-kernels:
+	BENCH_KERNELS_OUT=$$(pwd)/BENCH_kernels.json BENCH_PARTITION_BASELINE=$$(pwd)/BENCH_partition.json \
+		$(GO) test ./internal/algo -run TestWriteKernelsBench -count=1 -v
 
 ## smoke-server: boot userve, register a profile over HTTP, mine, ingest, assert 200s
 smoke-server:
@@ -128,9 +147,9 @@ bench-server:
 	$(GO) run ./cmd/userve -loadbench -bench_out BENCH_server.json -bench_partition_out BENCH_partition.json \
 		-bench_incremental_out BENCH_incremental.json
 
-## bench-gate: re-run the storage, partition, server load, and incremental
-## maintenance benchmarks into *.fresh.json and fail on >25% p50/p95/p99
-## regression against the
+## bench-gate: re-run the storage, hot-loop kernel, partition, server load,
+## and incremental maintenance benchmarks into *.fresh.json and fail on >25%
+## p50/p95/p99 regression against the
 ## committed baselines. The server load bench is shrunk to one client
 ## level, so only the shared (1-client) level of BENCH_server.json is
 ## compared — the tail quantiles come from the same telemetry histograms
@@ -138,12 +157,15 @@ bench-server:
 ## the baselines re-baselines after an intended change.
 bench-gate:
 	BENCH_STORAGE_OUT=$$(pwd)/BENCH_storage.fresh.json $(GO) test ./internal/algo/apriori -run TestWriteStorageBench -count=1
+	BENCH_KERNELS_OUT=$$(pwd)/BENCH_kernels.fresh.json BENCH_KERNELS_COLD_RUNS=3 \
+		$(GO) test ./internal/algo -run TestWriteKernelsBench -count=1
 	$(GO) run ./cmd/userve -loadbench -bench_clients 1 -bench_requests 8 \
 		-bench_out BENCH_server.fresh.json -bench_partition_out BENCH_partition.fresh.json \
 		-bench_incremental_out BENCH_incremental.fresh.json -bench_ingest_rounds 5
 	$(GO) run ./scripts/benchgate BENCH_storage.json=BENCH_storage.fresh.json \
+		BENCH_kernels.json=BENCH_kernels.fresh.json \
 		BENCH_partition.json=BENCH_partition.fresh.json BENCH_server.json=BENCH_server.fresh.json \
 		BENCH_incremental.json=BENCH_incremental.fresh.json
 
 ## ci: everything the pipeline runs
-ci: build fmt vet lint race test-cancel test-partition test-shardrpc test-incmine bench bench-storage smoke-server smoke-shards smoke-metrics smoke-subscribe smoke-explain bench-server bench-gate
+ci: build fmt vet lint race test-cancel test-partition test-shardrpc test-incmine test-steal bench bench-storage bench-kernels smoke-server smoke-shards smoke-metrics smoke-subscribe smoke-explain bench-server bench-gate

@@ -47,13 +47,13 @@ func TestMineContextCancel(t *testing.T) {
 }
 
 // TestSupportsWorkersMetadata pins the registry-metadata answer on the
-// public surface: every algorithm except the serial UFP-growth has a
-// parallel phase, and unknown names report false.
+// public surface: every algorithm has a parallel phase (UFP-growth, the
+// last serial holdout, gained work-stealing conditional-tree builds), and
+// unknown names report false.
 func TestSupportsWorkersMetadata(t *testing.T) {
 	for _, name := range umine.Algorithms() {
-		want := name != "UFP-growth"
-		if got := umine.SupportsWorkers(name); got != want {
-			t.Errorf("SupportsWorkers(%q) = %v, want %v", name, got, want)
+		if !umine.SupportsWorkers(name) {
+			t.Errorf("SupportsWorkers(%q) = false, want true", name)
 		}
 	}
 	if umine.SupportsWorkers("nope") {

@@ -154,6 +154,9 @@ func printExplain(db *umine.Database, meas *umine.Measurement, col *obsq.Collect
 		Steps:     steps,
 	}
 	ex.ShardEvents = events
+	if sched, ok := col.Exec(); ok {
+		ex.Sched = &sched
+	}
 	if parts > 1 && umine.SupportsPartitions(rs.Algorithm) {
 		ex.Backend = "sharded"
 		ex.Shards = parts

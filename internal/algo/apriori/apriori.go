@@ -56,7 +56,10 @@ type Config struct {
 	// bit-identical result. This is the counting-pass reuse hook behind the
 	// SON partition engine's phase-2 verification (umine/internal/
 	// partition). Restrict may receive transient itemsets it must not
-	// retain, and is called from the generation loop (never concurrently).
+	// retain. It is called from the generation loop — concurrently from
+	// worker goroutines when Workers allows parallel generation — so it
+	// must be safe for concurrent use (the platform's restrictions are
+	// read-only set lookups, which are).
 	Restrict func(core.Itemset) bool
 	// ESupPrune, when positive, drops generated candidates whose expected
 	// support upper bound — the minimum ESup over their k−1 subsets — is
@@ -82,6 +85,11 @@ type Config struct {
 	// collected into per-candidate slots and appended in candidate order,
 	// so results and the next level's seeds are identical to a serial run.
 	ParallelDecide bool
+	// Exec selects between equivalent execution strategies (postings
+	// kernels vs their scalar references; see core.ExecTuning). Every
+	// value yields bit-identical results; the zero value enables the fast
+	// paths.
+	Exec core.ExecTuning
 	// Name labels ProgressEvents with the concrete miner's registry name
 	// (the framework is shared by five algorithms).
 	Name string
@@ -101,6 +109,7 @@ type Config struct {
 // completes is bit-identical to one under a never-canceled context.
 func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, core.MiningStats, error) {
 	var stats core.MiningStats
+	var exec core.ExecStats
 	var results []core.Result
 
 	// Level 1: every item is a candidate (every allowed item, under a
@@ -114,7 +123,7 @@ func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, cor
 		cands = append(cands, Candidate{Items: items})
 	}
 	stats.CandidatesGenerated += len(cands)
-	if err := count(ctx, db, cands, 1, cfg, &stats); err != nil {
+	if err := count(ctx, db, cands, 1, cfg, &stats, &exec); err != nil {
 		return nil, stats, err
 	}
 
@@ -127,12 +136,12 @@ func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, cor
 	cfg.Progress.Emit(cfg.Name, core.PhaseLevel, level, stats)
 
 	for len(frequent) >= 2 {
-		next := generate(frequent, esups, cfg.Restrict, cfg.ESupPrune, &stats)
+		next := generate(frequent, esups, cfg, &stats)
 		if len(next) == 0 {
 			break
 		}
 		k := len(next[0].Items)
-		if err := count(ctx, db, next, k, cfg, &stats); err != nil {
+		if err := count(ctx, db, next, k, cfg, &stats, &exec); err != nil {
 			return nil, stats, err
 		}
 		frequent, err = decide(ctx, next, cfg, &results)
@@ -145,6 +154,7 @@ func Run(ctx context.Context, db *core.Database, cfg Config) ([]core.Result, cor
 	}
 
 	core.SortResults(results)
+	cfg.Progress.EmitExec(cfg.Name, exec)
 	cfg.Progress.Emit(cfg.Name, core.PhaseDone, level, stats)
 	return results, stats, nil
 }
@@ -214,47 +224,107 @@ func rememberESups(m map[string]float64, cands []Candidate) map[string]float64 {
 	return m
 }
 
+// genShardSize fixes the shard layout of the parallel candidate join: the
+// sorted frequent list splits into ⌈n/genShards⌉-sized blocks of join
+// anchors (never below genMinShard, bounding per-shard overhead). Like every
+// decomposition in the platform the layout is a pure function of n — never
+// of Workers — so shard boundaries, and hence the shard-ordered merge, are
+// identical at every worker count.
+const (
+	genShards   = 64
+	genMinShard = 128
+)
+
+func genShardSize(n int) int {
+	size := (n + genShards - 1) / genShards
+	if size < genMinShard {
+		size = genMinShard
+	}
+	return size
+}
+
 // generate joins frequent k-itemsets into k+1 candidates (classic
 // F_k ⋈ F_k prefix join) and applies Apriori subset pruning: every k-subset
 // of a candidate must be frequent. Joins outside a non-nil restriction are
 // dropped as if never generated (they are outside the run's search space).
-// With esupPrune > 0, candidates whose subset-minimum expected support
+// With ESupPrune > 0, candidates whose subset-minimum expected support
 // falls below the threshold are dropped too (esup is anti-monotone, so min
 // over subsets upper-bounds the candidate).
-func generate(frequent []core.Itemset, esups map[string]float64, restrict func(core.Itemset) bool, esupPrune float64, stats *core.MiningStats) []Candidate {
+//
+// The join parallelizes over fixed shards of anchor indices: each shard
+// joins its anchors i against the whole sorted tail (reads cross shard
+// boundaries; writes never do), produces its own candidate slice and
+// counter deltas, and shards merge in shard (= anchor) order — so the
+// candidate order, the counters, and therefore everything downstream are
+// bit-identical to the serial join at every worker count. freqSet, esups
+// and cfg.Restrict are only ever read during the join.
+func generate(frequent []core.Itemset, esups map[string]float64, cfg Config, stats *core.MiningStats) []Candidate {
 	sort.Slice(frequent, func(i, j int) bool { return frequent[i].Compare(frequent[j]) < 0 })
 	freqSet := make(map[string]bool, len(frequent))
 	for _, f := range frequent {
 		freqSet[f.Key()] = true
 	}
-	var out []Candidate
 	k := len(frequent[0])
-	buf := make(core.Itemset, k+1)
-	for i := 0; i < len(frequent); i++ {
-		a := frequent[i]
-		for j := i + 1; j < len(frequent); j++ {
-			b := frequent[j]
-			if !samePrefix(a, b, k-1) {
-				break // sorted order: no later b shares the prefix either
-			}
-			copy(buf, a)
-			buf[k] = b[k-1]
-			if restrict != nil && !restrict(buf) {
-				continue
-			}
-			stats.CandidatesGenerated++
-			if !allSubsetsFrequent(buf, freqSet) {
-				stats.CandidatesPruned++
-				continue
-			}
-			if esupPrune > 0 {
-				if ub := minSubsetESup(buf, esups); ub < esupPrune-core.Eps {
-					stats.CandidatesPruned++
+
+	// joinRange joins anchors [lo, hi) into dst, returning the updated
+	// slice and the generated/pruned counts — the shared body of the serial
+	// and sharded paths.
+	joinRange := func(lo, hi int, dst []Candidate) (out []Candidate, generated, pruned int) {
+		out = dst
+		buf := make(core.Itemset, k+1)
+		for i := lo; i < hi; i++ {
+			a := frequent[i]
+			for j := i + 1; j < len(frequent); j++ {
+				b := frequent[j]
+				if !samePrefix(a, b, k-1) {
+					break // sorted order: no later b shares the prefix either
+				}
+				copy(buf, a)
+				buf[k] = b[k-1]
+				if cfg.Restrict != nil && !cfg.Restrict(buf) {
 					continue
 				}
+				generated++
+				if !allSubsetsFrequent(buf, freqSet) {
+					pruned++
+					continue
+				}
+				if cfg.ESupPrune > 0 {
+					if ub := minSubsetESup(buf, esups); ub < cfg.ESupPrune-core.Eps {
+						pruned++
+						continue
+					}
+				}
+				out = append(out, Candidate{Items: buf.Clone()})
 			}
-			out = append(out, Candidate{Items: buf.Clone()})
 		}
+		return out, generated, pruned
+	}
+
+	n := len(frequent)
+	size := genShardSize(n)
+	nc := parallel.NumChunks(n, size)
+	if nc <= 1 || parallel.Resolve(cfg.Workers) == 1 {
+		out, generated, pruned := joinRange(0, n, nil)
+		stats.CandidatesGenerated += generated
+		stats.CandidatesPruned += pruned
+		return out
+	}
+	type genShard struct {
+		out               []Candidate
+		generated, pruned int
+	}
+	shards := make([]genShard, nc)
+	parallel.DoChunks(cfg.Workers, n, size, func(c, lo, hi int) {
+		s := &shards[c]
+		s.out, s.generated, s.pruned = joinRange(lo, hi, nil)
+	})
+	var out []Candidate
+	for c := range shards {
+		out = append(out, shards[c].out...)
+		stats.CandidatesGenerated += shards[c].generated
+		stats.CandidatesPruned += shards[c].pruned
+		shards[c] = genShard{}
 	}
 	return out
 }

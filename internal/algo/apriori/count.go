@@ -29,8 +29,19 @@ import (
 // Both plans produce bit-identical aggregates by construction: they multiply
 // unit probabilities in the same (canonical item) order, accumulate
 // per-transaction contributions in TID order, and fold partial sums with the
-// same fixed chunk grouping (parallel.ChunkSizeFor), so the crossover
-// heuristic — like the worker count — can never change a result bit.
+// same chunk grouping (chunkSizeFor), so the crossover heuristic — like the
+// worker count — can never change a result bit.
+
+// chunkSizeFor is the one chunk-sizing decision every counting plan in this
+// package derives from a database view: the adaptive ChunkSizeForSpan layout
+// over (transactions, arena units). Both physical plans — and the legacy
+// benchmark emulation — must call this helper rather than sizing chunks
+// themselves: the chunk grouping pins how floating-point partial sums fold,
+// so two plans sizing differently would stop being bit-comparable. The size
+// is a pure function of the view's shape, never of Workers.
+func chunkSizeFor(db *core.Database) int {
+	return parallel.ChunkSizeForSpan(db.N(), db.NumUnits())
+}
 
 type trieNode struct {
 	item     core.Item
@@ -123,15 +134,15 @@ func candidateBytes(cands []Candidate, collectProbs bool) int64 {
 // count runs one counting pass on the shared parallel layer, picking the
 // vertical postings-intersection plan when the crossover heuristic says it
 // is cheaper and the chunk-sharded horizontal scan otherwise. The chunk
-// layout is a function of the database size alone (parallel.ChunkSizeFor),
-// per-chunk aggregates merge in chunk order, and the vertical plan folds the
-// same chunk grouping, so the pass returns bit-identical aggregates for
-// every cfg.Workers value ≥ 1 and for either plan: the worker count only
-// decides how many goroutines claim work, never how the floating-point sums
+// layout is a function of the database shape alone (chunkSizeFor), per-chunk
+// aggregates merge in chunk order, and the vertical plan folds the same
+// chunk grouping, so the pass returns bit-identical aggregates for every
+// cfg.Workers value ≥ 1 and for either plan: the worker count only decides
+// how many goroutines claim work, never how the floating-point sums
 // associate. Cancellation lands between chunks (horizontal) or between
 // candidates (vertical); on a non-nil error the candidates' aggregates are
 // partial and must be discarded.
-func count(ctx context.Context, db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats) error {
+func count(ctx context.Context, db *core.Database, cands []Candidate, k int, cfg Config, stats *core.MiningStats, exec *core.ExecStats) error {
 	if len(cands) == 0 {
 		return ctx.Err()
 	}
@@ -141,7 +152,7 @@ func count(ctx context.Context, db *core.Database, cands []Candidate, k int, cfg
 	// so these counters are too.
 	if useVertical(db, cands, k) {
 		stats.VerticalPlans++
-		return countVertical(ctx, db, cands, cfg.CollectProbs, cfg.Workers, stats)
+		return countVertical(ctx, db, cands, cfg.CollectProbs, cfg.Workers, stats, cfg.Exec, exec)
 	}
 	stats.HorizontalPlans++
 	return countChunked(ctx, db, cands, k, cfg.CollectProbs, cfg.Workers, stats)
@@ -169,7 +180,7 @@ func countChunked(ctx context.Context, db *core.Database, cands []Candidate, k i
 		return ctx.Err()
 	}
 	n := db.N()
-	size := parallel.ChunkSizeFor(n)
+	size := chunkSizeFor(db)
 	nc := parallel.NumChunks(n, size)
 	if nc <= 1 {
 		// Single-chunk layouts (≤ one chunk of transactions) are already

@@ -113,7 +113,8 @@ func TestParallelTinyDatabaseFallsBack(t *testing.T) {
 	db := core.MustNewDatabase("tiny", raw)
 	cands := []Candidate{{Items: core.NewItemset(0)}, {Items: core.NewItemset(1)}}
 	var stats core.MiningStats
-	count(context.Background(), db, cands, 1, Config{Workers: 8}, &stats)
+	var ex core.ExecStats
+	count(context.Background(), db, cands, 1, Config{Workers: 8}, &stats, &ex)
 	if math.Abs(cands[0].ESup-0.75) > 1e-12 || math.Abs(cands[1].ESup-0.5) > 1e-12 {
 		t.Fatalf("tiny parallel counts wrong: %+v", cands)
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"umine/internal/benchenv"
 	"umine/internal/core"
 	"umine/internal/dataset"
 	"umine/internal/parallel"
@@ -74,7 +75,14 @@ func countLegacy(rows [][]core.Unit, cands []Candidate, k int) {
 	}
 	trie := buildTrie(cands)
 	n := len(rows)
-	size := parallel.ChunkSizeFor(n)
+	// Mirror the arena pass's chunk grouping exactly (chunkSizeFor): the
+	// legacy-vs-arena comparisons below are bitwise, so both sides must fold
+	// partial sums over the same layout. Σ row lengths == db.NumUnits().
+	units := 0
+	for _, row := range rows {
+		units += len(row)
+	}
+	size := parallel.ChunkSizeForSpan(n, units)
 	nc := parallel.NumChunks(n, size)
 	esup := make([]float64, len(cands))
 	varsup := make([]float64, len(cands))
@@ -181,7 +189,8 @@ func BenchmarkStorageCountArenaAuto(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := count(context.Background(), db, freshBenchCandidates(base), 2, cfg, &stats); err != nil {
+		var ex core.ExecStats
+		if err := count(context.Background(), db, freshBenchCandidates(base), 2, cfg, &stats, &ex); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -214,7 +223,7 @@ func legacyColdMine(rows [][]core.Unit, numItems int, minCount float64) int {
 		}
 	}
 	for len(frequent) >= 2 {
-		next := generate(frequent, nil, nil, 0, &stats)
+		next := generate(frequent, nil, Config{}, &stats)
 		if len(next) == 0 {
 			break
 		}
@@ -261,15 +270,16 @@ type storageBenchReport struct {
 
 	// Cold mines: the full level-wise expected-support mine on each layout
 	// (identical generation and decisions; only storage differs).
-	MinESup         float64 `json:"min_esup"`
-	ColdMineRuns    int     `json:"cold_mine_runs"`
-	LegacyColdP50MS float64 `json:"legacy_cold_mine_p50_ms"`
-	ArenaColdP50MS  float64 `json:"arena_cold_mine_p50_ms"`
-	ColdMineSpeedup float64 `json:"cold_mine_speedup_p50"`
-	ResidentBytes   int64   `json:"bytes_resident"`
-	VerticalBytes   int64   `json:"vertical_index_bytes"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	Timestamp       string  `json:"timestamp"`
+	MinESup         float64      `json:"min_esup"`
+	ColdMineRuns    int          `json:"cold_mine_runs"`
+	LegacyColdP50MS float64      `json:"legacy_cold_mine_p50_ms"`
+	ArenaColdP50MS  float64      `json:"arena_cold_mine_p50_ms"`
+	ColdMineSpeedup float64      `json:"cold_mine_speedup_p50"`
+	ResidentBytes   int64        `json:"bytes_resident"`
+	VerticalBytes   int64        `json:"vertical_index_bytes"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Env             benchenv.Env `json:"env"`
+	Timestamp       string       `json:"timestamp"`
 }
 
 // TestWriteStorageBench runs the storage benchmarks and writes
@@ -293,6 +303,7 @@ func TestWriteStorageBench(t *testing.T) {
 		K:          2,
 		MinESup:    0.004,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        benchenv.Capture(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 
@@ -378,12 +389,13 @@ func arenaColdMine(t *testing.T, db *core.Database, minCount float64) int {
 	t.Helper()
 	decide := expectedSupportDecide(minCount)
 	var stats core.MiningStats
+	var ex core.ExecStats
 	cfg := Config{Workers: 1}
 	cands := make([]Candidate, 0, db.NumItems)
 	for i := 0; i < db.NumItems; i++ {
 		cands = append(cands, Candidate{Items: core.Itemset{core.Item(i)}})
 	}
-	if err := count(context.Background(), db, cands, 1, cfg, &stats); err != nil {
+	if err := count(context.Background(), db, cands, 1, cfg, &stats, &ex); err != nil {
 		t.Fatal(err)
 	}
 	total := 0
@@ -395,11 +407,11 @@ func arenaColdMine(t *testing.T, db *core.Database, minCount float64) int {
 		}
 	}
 	for len(frequent) >= 2 {
-		next := generate(frequent, nil, nil, 0, &stats)
+		next := generate(frequent, nil, Config{}, &stats)
 		if len(next) == 0 {
 			break
 		}
-		if err := count(context.Background(), db, next, len(next[0].Items), cfg, &stats); err != nil {
+		if err := count(context.Background(), db, next, len(next[0].Items), cfg, &stats, &ex); err != nil {
 			t.Fatal(err)
 		}
 		frequent = frequent[:0]

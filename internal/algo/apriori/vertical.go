@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"umine/internal/core"
+	"umine/internal/kernel"
 	"umine/internal/parallel"
 )
 
@@ -22,10 +23,11 @@ import (
 //     probabilities in canonical item order, exactly the trie walk's
 //     root-to-leaf order;
 //   - contributions accumulate in ascending TID order, the scan order;
-//   - partial sums fold with the fixed chunk grouping of
-//     parallel.ChunkSizeFor — the grouping the chunk-sharded horizontal
-//     merge uses — and a chunk whose partial is zero is a no-op in both
-//     plans (x + 0 ≡ x for the non-negative sums involved).
+//   - partial sums fold with the chunk grouping of chunkSizeFor (the
+//     adaptive parallel.ChunkSizeForSpan layout, a function of the database
+//     shape alone) — the grouping the chunk-sharded horizontal merge uses —
+//     and a chunk whose partial is zero is a no-op in both plans (x + 0 ≡ x
+//     for the non-negative sums involved).
 //
 // Hence count may switch plans per level (and the partition engine's
 // restricted runs may see a different choice than a single-shot mine)
@@ -67,23 +69,18 @@ func useVertical(db *core.Database, cands []Candidate, k int) bool {
 	return true
 }
 
-// vertAgg is one candidate's aggregates from the vertical plan.
-type vertAgg struct {
-	esup, varsup float64
-	probs        []float64
-	// probes counts posting-list entries this candidate's intersection
-	// touched (cursor advances across all lists). Deterministic per
-	// candidate, summed in candidate order, so the aggregate is
-	// worker-independent.
-	probes int
-}
-
 // countVertical counts every candidate by postings intersection. Candidates
 // are independent — each one's floating-point work is self-contained — so
 // they fan out over the worker pool and merge in candidate order; results
 // are bit-identical for every worker count and to the horizontal plan.
 // Cancellation lands between candidates (parallel.DoCtx's per-task check).
-func countVertical(ctx context.Context, db *core.Database, cands []Candidate, collectProbs bool, workers int, stats *core.MiningStats) error {
+//
+// The intersections themselves live in internal/kernel: the optimized
+// kernels by default, the scalar references (this plan's original loops)
+// under ExecTuning.DisableKernel. Both are asserted bit-identical, so the
+// toggle moves instructions, never bits; exec counts which side served the
+// level's candidates.
+func countVertical(ctx context.Context, db *core.Database, cands []Candidate, collectProbs bool, workers int, stats *core.MiningStats, tuning core.ExecTuning, exec *core.ExecStats) error {
 	if len(cands) == 0 {
 		return ctx.Err()
 	}
@@ -91,20 +88,26 @@ func countVertical(ctx context.Context, db *core.Database, cands []Candidate, co
 	// One logical counting pass over the data, same as a horizontal scan —
 	// keeping DBScans comparable across plans and levels.
 	stats.DBScans++
-	size := parallel.ChunkSizeFor(db.N())
-	outs, err := parallel.MapCtx(ctx, workers, cands, func(ci int, _ Candidate) vertAgg {
-		return intersectCount(v, cands[ci].Items, size, collectProbs)
+	size := chunkSizeFor(db)
+	useKernel := !tuning.DisableKernel
+	outs, err := parallel.MapCtx(ctx, workers, cands, func(ci int, _ Candidate) kernel.Agg {
+		return intersect(v, cands[ci].Items, size, collectProbs, useKernel)
 	})
 	if err != nil {
 		return err
 	}
 	for ci := range cands {
-		cands[ci].ESup += outs[ci].esup
-		cands[ci].Var += outs[ci].varsup
-		if collectProbs && len(outs[ci].probs) > 0 {
-			cands[ci].Probs = append(cands[ci].Probs, outs[ci].probs...)
+		cands[ci].ESup += outs[ci].ESup
+		cands[ci].Var += outs[ci].Var
+		if collectProbs && len(outs[ci].Probs) > 0 {
+			cands[ci].Probs = append(cands[ci].Probs, outs[ci].Probs...)
 		}
-		stats.PostingsProbed += outs[ci].probes
+		stats.PostingsProbed += outs[ci].Probes
+	}
+	if useKernel {
+		exec.KernelIntersects += int64(len(cands))
+	} else {
+		exec.ScalarIntersects += int64(len(cands))
 	}
 	// The index is this plan's dominant live structure — tracked like the
 	// horizontal plan's trie so the paper-style memory reports compare like
@@ -113,130 +116,27 @@ func countVertical(ctx context.Context, db *core.Database, cands []Candidate, co
 	return nil
 }
 
-// intersectCount intersects the itemset's postings lists, driven by its
-// smallest list, folding per-chunk partial sums in ascending chunk order
-// (the horizontal merge's grouping). Cursors advance monotonically, so the
-// total work is O(Σ posting lengths) in the worst case and O(smallest list)
-// when it runs dry early.
-func intersectCount(v *core.VerticalIndex, items core.Itemset, chunkSize int, collectProbs bool) vertAgg {
+// intersect runs one candidate's postings intersection through the selected
+// kernel implementation. The k = 2 fast path and the generic k-way driver
+// are dispatched here (not inside the kernels) so the generic path stays
+// independently testable; probe accounting follows the dispatched path, the
+// aggregates are bit-identical either way.
+func intersect(v *core.VerticalIndex, items core.Itemset, chunkSize int, collectProbs, useKernel bool) kernel.Agg {
 	if len(items) == 2 {
-		return intersectCountPair(v, items, chunkSize, collectProbs)
-	}
-	var a vertAgg
-	k := len(items)
-	drive := 0
-	for i := 1; i < k; i++ {
-		if v.PostingsLen(items[i]) < v.PostingsLen(items[drive]) {
-			drive = i
+		var a, b kernel.List
+		a.TIDs, a.Probs = v.Postings(items[0])
+		b.TIDs, b.Probs = v.Postings(items[1])
+		if useKernel {
+			return kernel.Pair(a, b, chunkSize, collectProbs)
 		}
+		return kernel.PairScalar(a, b, chunkSize, collectProbs)
 	}
-	if v.PostingsLen(items[drive]) == 0 {
-		return a
-	}
-	tidss := make([][]uint32, k)
-	probss := make([][]float64, k)
+	lists := make([]kernel.List, len(items))
 	for i, it := range items {
-		tidss[i], probss[i] = v.Postings(it)
+		lists[i].TIDs, lists[i].Probs = v.Postings(it)
 	}
-	cur := make([]int, k)
-	pos := make([]int, k)
-
-	chunkEsup, chunkVar := 0.0, 0.0
-	chunk := -1
-	flush := func() {
-		a.esup += chunkEsup
-		a.varsup += chunkVar
-		chunkEsup, chunkVar = 0, 0
+	if useKernel {
+		return kernel.KWay(lists, chunkSize, collectProbs)
 	}
-	for di, tid := range tidss[drive] {
-		a.probes++    // the driving list's entry
-		match := true // whether every list contains tid
-		for i := 0; i < k; i++ {
-			if i == drive {
-				pos[i] = di
-				continue
-			}
-			j := cur[i]
-			lst := tidss[i]
-			for j < len(lst) && lst[j] < tid {
-				j++
-				a.probes++
-			}
-			if j < len(lst) {
-				a.probes++ // the entry compared against tid
-			}
-			cur[i] = j
-			if j == len(lst) {
-				// This list is exhausted: no further TID can match either.
-				flush()
-				return a
-			}
-			if lst[j] != tid {
-				match = false
-				break
-			}
-			pos[i] = j
-		}
-		if !match {
-			continue
-		}
-		// Multiply in canonical item order — the trie walk's order — so the
-		// product carries the same bits as the horizontal plan.
-		p := 1.0
-		for i := 0; i < k; i++ {
-			p *= probss[i][pos[i]]
-		}
-		if c := int(tid) / chunkSize; c != chunk {
-			flush()
-			chunk = c
-		}
-		chunkEsup += p
-		chunkVar += p * (1 - p)
-		if collectProbs {
-			a.probs = append(a.probs, p)
-		}
-	}
-	flush()
-	return a
-}
-
-// intersectCountPair is intersectCount's allocation-free fast path for pair
-// candidates — the bulk of any real level-2 (or phase-2 restricted)
-// candidate load. Two-pointer merge over the two postings lists; identical
-// accumulation structure, so identical bits.
-func intersectCountPair(v *core.VerticalIndex, items core.Itemset, chunkSize int, collectProbs bool) vertAgg {
-	var a vertAgg
-	atids, aprobs := v.Postings(items[0])
-	btids, bprobs := v.Postings(items[1])
-	chunkEsup, chunkVar := 0.0, 0.0
-	chunk := -1
-	i, j := 0, 0
-	for i < len(atids) && j < len(btids) {
-		at, bt := atids[i], btids[j]
-		a.probes++
-		switch {
-		case at < bt:
-			i++
-		case bt < at:
-			j++
-		default:
-			p := aprobs[i] * bprobs[j]
-			if c := int(at) / chunkSize; c != chunk {
-				a.esup += chunkEsup
-				a.varsup += chunkVar
-				chunkEsup, chunkVar = 0, 0
-				chunk = c
-			}
-			chunkEsup += p
-			chunkVar += p * (1 - p)
-			if collectProbs {
-				a.probs = append(a.probs, p)
-			}
-			i++
-			j++
-		}
-	}
-	a.esup += chunkEsup
-	a.varsup += chunkVar
-	return a
+	return kernel.KWayScalar(lists, chunkSize, collectProbs)
 }

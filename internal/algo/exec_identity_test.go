@@ -1,0 +1,61 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"umine/internal/core"
+	"umine/internal/dataset"
+)
+
+// The execution-tuning acceptance gate: every registered configuration must
+// return a bit-identical ResultSet — itemsets, measure bits AND MiningStats —
+// across Workers ∈ {1, 4, 8} × steal {on, off} × kernel {optimized, scalar
+// reference}. core.ExecTuning only moves work between implementations that
+// are asserted equal (the work-stealing scheduler vs inline recursion, the
+// internal/kernel intersection loops vs their scalar references), so no
+// combination may move a bit. Run under -race with -cpu 1,4,8 in CI, this is
+// also the shake-out for scheduler and accumulator races.
+func TestExecTuningDeterminism(t *testing.T) {
+	// Large enough that counting splits into several chunks, the UH-Mine
+	// fan-out has many first-level prefixes, and occurrence lists cross the
+	// fork cutoff so subtrees actually land on the stealing pool.
+	db := dataset.Accident.GenerateUncertain(0.004, 11)
+	workerCounts := []int{1, 4, 8}
+	tunings := []core.ExecTuning{
+		{},
+		{DisableSteal: true},
+		{DisableKernel: true},
+		{DisableSteal: true, DisableKernel: true},
+	}
+	if testing.Short() {
+		// Keep the extremes: everything on vs everything off already crosses
+		// both implementation boundaries.
+		workerCounts = []int{1, 8}
+		tunings = []core.ExecTuning{{}, {DisableSteal: true, DisableKernel: true}}
+	}
+	for _, name := range Names() {
+		var th core.Thresholds
+		switch MustNew(name).Semantics() {
+		case core.ExpectedSupport:
+			th = core.Thresholds{MinESup: 0.2}
+		case core.Probabilistic:
+			th = core.Thresholds{MinSup: 0.25, PFT: 0.9}
+		}
+		var ref *core.ResultSet
+		for _, w := range workerCounts {
+			for _, tu := range tunings {
+				rs, err := MustNewWith(name, core.Options{Workers: w, Exec: tu}).
+					Mine(context.Background(), db, th)
+				if err != nil {
+					t.Fatalf("%s on %s (workers=%d, tuning=%+v): %v", name, db.Name, w, tu, err)
+				}
+				if ref == nil {
+					ref = rs
+					continue
+				}
+				requireIdenticalResults(t, name, db.Name, workerCounts[0], w, ref, rs)
+			}
+		}
+	}
+}

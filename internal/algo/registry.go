@@ -72,8 +72,7 @@ type Entry struct {
 
 var registry = []Entry{
 	{"UApriori", ExpectedSupportFamily, true, true, func() core.Miner { return &uapriori.Miner{} }},
-	// UFP-growth's conditional-tree walk is the one fully serial family.
-	{"UFP-growth", ExpectedSupportFamily, false, true, func() core.Miner { return &ufpgrowth.Miner{} }},
+	{"UFP-growth", ExpectedSupportFamily, true, true, func() core.Miner { return &ufpgrowth.Miner{} }},
 	{"UH-Mine", ExpectedSupportFamily, true, true, func() core.Miner { return &uhmine.Miner{} }},
 	{"DPNB", ExactFamily, true, true, func() core.Miner { return &exact.Miner{Method: exact.DP} }},
 	{"DPB", ExactFamily, true, true, func() core.Miner { return &exact.Miner{Method: exact.DP, Chernoff: true} }},

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"unsafe"
 
 	"umine/internal/core"
+	"umine/internal/parallel"
 )
 
 // Miner is the UFP-growth algorithm. The zero value is ready to use.
@@ -40,6 +42,15 @@ type Miner struct {
 	// to before insertion; 0 (the default) keeps exact probabilities — the
 	// plain UFP-tree.
 	Rounding int
+	// Workers bounds the goroutines of the conditional-tree walk: every
+	// non-empty top-level header item roots an independent walk scheduled
+	// as one work-stealing task, and large conditional subtrees fork back
+	// onto the pool mid-recursion (0 or 1 = serial, the paper's platform;
+	// negative = GOMAXPROCS). Results are identical for every worker
+	// count: the global tree is read-only during the walk, every
+	// conditional tree is built and owned by exactly one task, and the
+	// fork cutoff reads only the conditional tree's size.
+	Workers int
 	// Progress observes the run per top-level conditional subtree (may be
 	// nil).
 	Progress core.ProgressFunc
@@ -54,7 +65,16 @@ type Miner struct {
 	// umine/internal/partition). May receive transient itemsets it must
 	// not retain.
 	Restrict func(core.Itemset) bool
+	// Exec selects between equivalent execution strategies (results are
+	// bit-identical either way); see core.ExecTuning.
+	Exec core.ExecTuning
 }
+
+// SetWorkers implements core.ParallelMiner.
+func (m *Miner) SetWorkers(workers int) { m.Workers = workers }
+
+// SetExecTuning implements core.ExecTunableMiner.
+func (m *Miner) SetExecTuning(t core.ExecTuning) { m.Exec = t }
 
 // SetProgress implements core.ObservableMiner.
 func (m *Miner) SetProgress(fn core.ProgressFunc) { m.Progress = fn }
@@ -203,22 +223,132 @@ func (m *Miner) Mine(ctx context.Context, db *core.Database, th core.Thresholds)
 	liveBytes := t.bytes()
 	stats.TrackPeak(liveBytes)
 
-	st := &mineState{
-		items:    order,
-		minCount: minCount,
-		stats:    &stats,
-		done:     ctx.Done(),
-		name:     m.Name(),
-		progress: m.Progress,
-		restrict: m.Restrict,
+	// Top-level fan-out: every non-empty header item roots an independent
+	// conditional-tree walk (the global tree is read-only from here on),
+	// scheduled in the serial walk's bottom-up order as one work-stealing
+	// task each; inside a walk, large conditional subtrees fork back onto
+	// the pool. Each task mines into its own accumulator node; nodes merge
+	// in fork order and roots in walk order below, so the result list —
+	// and, after the canonical sort, the ResultSet — is identical for
+	// every worker count and steal setting.
+	statsBase := stats
+	done := ctx.Done()
+	forkOK := !m.Exec.DisableSteal
+	name := m.Name()
+	var rootRanks []int32
+	for r := len(t.headers) - 1; r >= 0; r-- {
+		if t.headers[r] != nil {
+			rootRanks = append(rootRanks, int32(r))
+		}
 	}
-	st.mine(t, nil, liveBytes)
-	if st.canceled {
-		return nil, ctx.Err()
+	aggs := make([]*rootAgg, len(rootRanks))
+	tasks := make([]parallel.Task, len(rootRanks))
+	for i, r := range rootRanks {
+		r := r
+		ra := &rootAgg{name: name, progress: m.Progress, base: statsBase}
+		ra.pending.Store(1)
+		aggs[i] = ra
+		tasks[i] = func(f *parallel.Forker) {
+			st := &mineState{
+				items:    order,
+				minCount: minCount,
+				stats:    &ra.node.stats,
+				done:     done,
+				name:     name,
+				progress: m.Progress,
+				restrict: m.Restrict,
+				forker:   f,
+				forkOK:   forkOK,
+				node:     &ra.node,
+				root:     ra,
+			}
+			st.mineOne(t, nil, r, liveBytes)
+			ra.node.results = st.results
+			ra.finish(st.canceled)
+		}
 	}
-	core.SortResults(st.results)
-	m.Progress.Emit(m.Name(), core.PhaseDone, core.MaxItemsetLen(st.results), stats)
-	return m.resultSet(th, db.N(), st.results, stats), nil
+	ss, err := parallel.RunStealing(ctx, m.Workers, tasks)
+	if err != nil {
+		return nil, err
+	}
+	var results []core.Result
+	for _, ra := range aggs {
+		results = append(results, ra.results...)
+		stats.Add(ra.stats)
+	}
+	core.SortResults(results)
+	m.Progress.EmitExec(name, core.ExecStats{
+		TasksSpawned: ss.Spawned,
+		TasksStolen:  ss.Stolen,
+		ForksInline:  ss.Inline,
+	})
+	m.Progress.Emit(name, core.PhaseDone, core.MaxItemsetLen(results), stats)
+	return m.resultSet(th, db.N(), results, stats), nil
+}
+
+// stealForkMinNodes is the fork cutoff of the conditional-tree walk: an
+// extension whose conditional tree reaches this many nodes is handed to the
+// work-stealing pool instead of recursed inline. A pure function of the
+// input-determined tree, never of worker availability (determinism contract
+// of parallel.RunStealing).
+const stealForkMinNodes = 256
+
+// mineNode is one task's private accumulator: the results and counters of
+// the walk it ran inline, plus the nodes of the subtrees it forked away, in
+// fork (DFS) order. No locks — exactly one task writes a node, and the
+// scheduler's completion edges order those writes before the flatten.
+type mineNode struct {
+	results  []core.Result
+	stats    core.MiningStats
+	children []*mineNode
+}
+
+// flatten folds the node tree depth-first in fork order, reproducing the
+// serial walk's aggregate (result order is canonicalized by
+// core.SortResults afterwards; counters are sums and peaks maxima, so the
+// fold order cannot move a bit).
+func (n *mineNode) flatten(results []core.Result, stats *core.MiningStats) []core.Result {
+	results = append(results, n.results...)
+	stats.Add(n.stats)
+	for _, c := range n.children {
+		results = c.flatten(results, stats)
+	}
+	return results
+}
+
+// rootAgg aggregates one top-level header item's walk across the tasks it
+// was split into. pending counts the root task plus its live forked
+// descendants; the task that brings it to zero owns the completed node tree
+// (the decrement publishes every task's writes), flattens it, and emits the
+// walk's PhaseSubtree event.
+type rootAgg struct {
+	name     string
+	progress core.ProgressFunc
+	base     core.MiningStats // pre-fan-out totals for progress snapshots
+	node     mineNode
+	pending  atomic.Int64
+	canceled atomic.Bool
+	results  []core.Result
+	stats    core.MiningStats
+}
+
+// finish retires one task of this root's walk.
+func (ra *rootAgg) finish(canceled bool) {
+	if canceled {
+		ra.canceled.Store(true)
+	}
+	if ra.pending.Add(-1) != 0 {
+		return
+	}
+	ra.results = ra.node.flatten(nil, &ra.stats)
+	if ra.canceled.Load() {
+		// A canceled walk's partials are discarded by the caller; emitting a
+		// snapshot for it would report work that never merges.
+		return
+	}
+	snap := ra.base
+	snap.Add(ra.stats)
+	ra.progress.Emit(ra.name, core.PhaseSubtree, 1, snap)
 }
 
 func (m *Miner) resultSet(th core.Thresholds, n int, results []core.Result, stats core.MiningStats) *core.ResultSet {
@@ -240,6 +370,13 @@ type mineState struct {
 	name     string
 	progress core.ProgressFunc
 	restrict func(core.Itemset) bool
+	// forker schedules forked conditional subtrees; forkOK gates forking
+	// (false under Exec.DisableSteal). node is this task's accumulator,
+	// root the top-level walk it belongs to.
+	forker *parallel.Forker
+	forkOK bool
+	node   *mineNode
+	root   *rootAgg
 	// done is the run context's cancellation channel (nil when the context
 	// cannot be canceled); canceled invalidates the partial results.
 	done     <-chan struct{}
@@ -251,85 +388,130 @@ type mineState struct {
 // UFP-tree.
 func (st *mineState) mine(tr *tree, prefix []core.Item, liveBytes int64) {
 	for r := len(tr.headers) - 1; r >= 0; r-- {
-		// Per-header-item context check: bounds cancellation latency to one
-		// chain aggregation + conditional-tree construction at any depth.
-		if st.done != nil {
-			select {
-			case <-st.done:
-				st.canceled = true
-				return
-			default:
-			}
-		}
-		head := tr.headers[r]
-		if head == nil {
-			continue
-		}
-		// Disallowed extensions skip before the header-chain walk: under a
-		// restriction that aggregation is the cost being saved, and (like
-		// the other families) a disallowed extension counts as never
-		// generated. The unrestricted path builds the itemset only for
-		// frequent extensions, as the serial platform always did.
-		var ext []core.Item
-		var itemset core.Itemset
-		if st.restrict != nil {
-			ext = append(prefix, st.items[r])
-			itemset = core.NewItemset(ext...)
-			if !st.restrict(itemset) {
-				continue
-			}
-		}
-		// Aggregate the extension's expected support and Σp² over the
-		// header chain: each chain node contributes weight·prob and
-		// weightSq·prob².
-		var esum, esq float64
-		for n := head; n != nil; n = n.next {
-			esum += n.weight * n.prob
-			esq += n.weightSq * n.prob * n.prob
-		}
-		st.stats.CandidatesGenerated++
-		if esum < st.minCount-core.Eps {
-			continue
-		}
-		if itemset == nil {
-			ext = append(prefix, st.items[r])
-			itemset = core.NewItemset(ext...)
-		}
-		st.results = append(st.results, core.Result{
-			Itemset: itemset,
-			ESup:    esum,
-			Var:     esum - esq, // Σp(1−p) = Σp − Σp²
-		})
-
-		// Conditional UFP-tree: for every node in the chain, the path above
-		// it becomes a weighted transaction with weight multiplied by this
-		// node's probability.
-		cond := newTree(r)
-		var path []wunit
-		for n := head; n != nil; n = n.next {
-			path = path[:0]
-			for p := n.parent; p.rank >= 0; p = p.parent {
-				path = append(path, wunit{rank: p.rank, prob: p.prob})
-			}
-			if len(path) == 0 {
-				continue
-			}
-			// Path was collected bottom-up; reverse into rank order.
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			cond.insert(path, n.weight*n.prob, n.weightSq*n.prob*n.prob)
-		}
-		condBytes := cond.bytes()
-		st.stats.TrackPeak(liveBytes + condBytes)
-		if cond.nodes > 0 {
-			st.mine(cond, ext, liveBytes+condBytes)
-			if st.canceled {
-				return
-			}
-		}
-		if len(prefix) == 0 {
-			st.progress.Emit(st.name, core.PhaseSubtree, 1, *st.stats)
+		st.mineOne(tr, prefix, int32(r), liveBytes)
+		if st.canceled {
+			return
 		}
 	}
+}
+
+// mineOne processes one header item of tr: chain aggregation, the
+// frequentness test, and — when frequent — the conditional tree, recursed
+// inline or forked onto the work-stealing pool.
+func (st *mineState) mineOne(tr *tree, prefix []core.Item, r int32, liveBytes int64) {
+	// Per-header-item context check: bounds cancellation latency to one
+	// chain aggregation + conditional-tree construction at any depth.
+	if st.done != nil {
+		select {
+		case <-st.done:
+			st.canceled = true
+			return
+		default:
+		}
+	}
+	head := tr.headers[r]
+	if head == nil {
+		return
+	}
+	// Disallowed extensions skip before the header-chain walk: under a
+	// restriction that aggregation is the cost being saved, and (like
+	// the other families) a disallowed extension counts as never
+	// generated. The unrestricted path builds the itemset only for
+	// frequent extensions, as the serial platform always did.
+	var ext []core.Item
+	var itemset core.Itemset
+	if st.restrict != nil {
+		ext = append(prefix, st.items[r])
+		itemset = core.NewItemset(ext...)
+		if !st.restrict(itemset) {
+			return
+		}
+	}
+	// Aggregate the extension's expected support and Σp² over the
+	// header chain: each chain node contributes weight·prob and
+	// weightSq·prob².
+	var esum, esq float64
+	for n := head; n != nil; n = n.next {
+		esum += n.weight * n.prob
+		esq += n.weightSq * n.prob * n.prob
+	}
+	st.stats.CandidatesGenerated++
+	if esum < st.minCount-core.Eps {
+		return
+	}
+	if itemset == nil {
+		ext = append(prefix, st.items[r])
+		itemset = core.NewItemset(ext...)
+	}
+	st.results = append(st.results, core.Result{
+		Itemset: itemset,
+		ESup:    esum,
+		Var:     esum - esq, // Σp(1−p) = Σp − Σp²
+	})
+
+	// Conditional UFP-tree: for every node in the chain, the path above
+	// it becomes a weighted transaction with weight multiplied by this
+	// node's probability.
+	cond := newTree(int(r))
+	var path []wunit
+	for n := head; n != nil; n = n.next {
+		path = path[:0]
+		for p := n.parent; p.rank >= 0; p = p.parent {
+			path = append(path, wunit{rank: p.rank, prob: p.prob})
+		}
+		if len(path) == 0 {
+			continue
+		}
+		// Path was collected bottom-up; reverse into rank order.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		cond.insert(path, n.weight*n.prob, n.weightSq*n.prob*n.prob)
+	}
+	condBytes := cond.bytes()
+	if st.forkOK && cond.nodes >= stealForkMinNodes {
+		st.forkSubtree(ext, cond, condBytes, liveBytes)
+		return
+	}
+	st.stats.TrackPeak(liveBytes + condBytes)
+	if cond.nodes > 0 {
+		st.mine(cond, ext, liveBytes+condBytes)
+	}
+}
+
+// forkSubtree hands an extension's conditional-tree walk to the scheduler
+// with its own accumulator node. The child starts from the live-byte level
+// the inline recursion would have (parent's path plus the conditional tree)
+// and the parent tracks the fork-point peak itself, so the DFS-path memory
+// model — and with it MiningStats after the max-merge — is bit-identical to
+// inline recursion. ext's backing array is reused by the caller's walk, so
+// the prefix is copied before the task escapes; cond is freshly built and
+// owned by the forked task.
+func (st *mineState) forkSubtree(ext []core.Item, cond *tree, condBytes, liveBytes int64) {
+	prefix := make([]core.Item, len(ext))
+	copy(prefix, ext)
+	child := &mineNode{}
+	st.node.children = append(st.node.children, child)
+	st.root.pending.Add(1)
+	st.stats.TrackPeak(liveBytes + condBytes)
+	items, minCount, name, progress, restrict := st.items, st.minCount, st.name, st.progress, st.restrict
+	root, done := st.root, st.done
+	st.forker.Fork(func(f *parallel.Forker) {
+		cm := &mineState{
+			items:    items,
+			minCount: minCount,
+			stats:    &child.stats,
+			name:     name,
+			progress: progress,
+			restrict: restrict,
+			forker:   f,
+			forkOK:   true,
+			node:     child,
+			root:     root,
+			done:     done,
+		}
+		cm.mine(cond, prefix, liveBytes+condBytes)
+		child.results = cm.results
+		root.finish(cm.canceled)
+	})
 }

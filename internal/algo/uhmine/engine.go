@@ -19,6 +19,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"umine/internal/core"
@@ -79,6 +80,12 @@ type Engine struct {
 	// Called concurrently from the fan-out when Workers > 1; it may receive
 	// transient itemsets it must not retain.
 	Restrict func(core.Itemset) bool
+	// Exec selects between equivalent execution strategies (results are
+	// bit-identical either way); see core.ExecTuning. DisableSteal confines
+	// parallelism to the first-level fan-out — the pre-steal execution
+	// shape — instead of forking large extension subtrees onto the
+	// work-stealing pool.
+	Exec core.ExecTuning
 	// Name labels ProgressEvents with the mounting miner's registry name
 	// (UH-Mine and NDUH-Mine share the engine).
 	Name string
@@ -171,66 +178,148 @@ func (e *Engine) Mine(ctx context.Context, db *core.Database) ([]core.Result, co
 
 	// Singletons were already decided and reported above; descend directly
 	// into each frequent item's head table. Every frequent singleton roots
-	// an independent depth-first subtree, so the first level fans out over
-	// the shared worker pool with fully per-prefix state (scratch buffers,
-	// result list, counters, live-occurrence accounting). Subtree outputs
-	// merge in frequency-rank order below, so the result list — and, after
-	// the canonical sort, the ResultSet — is identical for every worker
-	// count. Peak memory stays accounted per subtree, the serial platform's
-	// model, keeping the Figure 4-style memory reports comparable across
-	// worker counts.
-	type subtree struct {
-		results []core.Result
-		stats   core.MiningStats
-	}
-	// Scratch buffers are pooled per worker, not allocated per subtree:
-	// mine zeroes every touched entry before returning (the touchedRanks
-	// contract), so a reused pair is indistinguishable from a fresh one and
-	// the steady-state allocation count stays O(workers).
-	type scratch struct{ esup, varsup []float64 }
-	scratchPool := sync.Pool{New: func() any {
+	// an independent depth-first subtree scheduled as one work-stealing
+	// task, and inside a subtree the recursion forks large extension
+	// subtrees back onto the pool (the fork cutoff is a pure function of
+	// the occurrence-list size, never of worker availability), so a single
+	// skewed prefix no longer pins one worker for the tail of the run.
+	// Every task mines into its own accumulator node; nodes merge in fork
+	// order and roots in frequency-rank order below, so the result list —
+	// and, after the canonical sort, the ResultSet — is identical for every
+	// worker count and steal setting. Peak memory stays accounted on the
+	// serial platform's DFS-path model (a forked child inherits the live
+	// bytes the inline recursion would have at that point), keeping the
+	// Figure 4-style memory reports comparable across worker counts.
+	scratchPool := &sync.Pool{New: func() any {
 		return &scratch{esup: make([]float64, len(items)), varsup: make([]float64, len(items))}
 	}}
 	// statsBase freezes the pre-fan-out totals so concurrent subtree
 	// completions can emit consistent snapshots without sharing counters.
 	statsBase := stats
 	done := ctx.Done()
-	subtrees, err := parallel.MapCtx(ctx, e.Workers, items, func(r int, _ core.Item) subtree {
-		sc := scratchPool.Get().(*scratch)
-		defer scratchPool.Put(sc)
-		var st core.MiningStats
-		m := &mineState{
-			engine:  e,
-			rows:    rows,
-			items:   items,
-			esupBuf: sc.esup,
-			varBuf:  sc.varsup,
-			stats:   &st,
-			liveOcc: topBytes,
-			done:    done,
+	forkOK := !e.Exec.DisableSteal
+
+	aggs := make([]*rootAgg, len(items))
+	tasks := make([]parallel.Task, len(items))
+	for r := range items {
+		r := r
+		ra := &rootAgg{engine: e, base: statsBase}
+		ra.pending.Store(1)
+		aggs[r] = ra
+		tasks[r] = func(f *parallel.Forker) {
+			sc := scratchPool.Get().(*scratch)
+			defer scratchPool.Put(sc)
+			m := &mineState{
+				engine:  e,
+				rows:    rows,
+				items:   items,
+				esupBuf: sc.esup,
+				varBuf:  sc.varsup,
+				stats:   &ra.node.stats,
+				liveOcc: topBytes,
+				done:    done,
+				forker:  f,
+				forkOK:  forkOK,
+				node:    &ra.node,
+				root:    ra,
+				pool:    scratchPool,
+			}
+			sub := collectOcc(rows, top, int32(r))
+			m.liveOcc += int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
+			m.stats.TrackPeak(structBytes + m.liveOcc)
+			m.mine([]core.Item{items[r]}, sub, structBytes)
+			ra.node.results = m.results
+			ra.finish(m.canceled)
 		}
-		sub := collectOcc(rows, top, int32(r))
-		m.liveOcc += int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
-		st.TrackPeak(structBytes + m.liveOcc)
-		m.mine([]core.Item{items[r]}, sub, structBytes)
-		if m.canceled {
-			return subtree{}
-		}
-		snap := statsBase
-		snap.Add(st)
-		e.Progress.Emit(e.Name, core.PhaseSubtree, 1, snap)
-		return subtree{results: m.results, stats: st}
-	})
+	}
+	ss, err := parallel.RunStealing(ctx, e.Workers, tasks)
 	if err != nil {
 		return nil, stats, err
 	}
-	for _, t := range subtrees {
-		results = append(results, t.results...)
-		stats.Add(t.stats)
+	for _, ra := range aggs {
+		results = append(results, ra.results...)
+		stats.Add(ra.stats)
 	}
 	core.SortResults(results)
+	e.Progress.EmitExec(e.Name, core.ExecStats{
+		TasksSpawned: ss.Spawned,
+		TasksStolen:  ss.Stolen,
+		ForksInline:  ss.Inline,
+	})
 	e.Progress.Emit(e.Name, core.PhaseDone, core.MaxItemsetLen(results), stats)
 	return results, stats, nil
+}
+
+// stealForkMinOcc is the fork cutoff of the prefix recursion: an extension
+// whose occurrence list reaches this many entries is handed to the
+// work-stealing pool instead of recursed inline. The cutoff reads only the
+// input-determined occurrence list — never queue depth or worker count — so
+// the fork tree, and with it every accumulator merge, is the same in every
+// run (determinism contract of parallel.RunStealing).
+const stealForkMinOcc = 256
+
+// scratch is one worker's reusable head-table buffer pair. Buffers are
+// pooled, not allocated per subtree: mine zeroes every touched entry before
+// returning (the touchedRanks contract), so a reused pair is
+// indistinguishable from a fresh one and the steady-state allocation count
+// stays O(concurrent tasks).
+type scratch struct{ esup, varsup []float64 }
+
+// mineNode is one task's private accumulator: the results and counters of
+// the subtree it mined inline, plus the nodes of the subtrees it forked
+// away, in fork (DFS) order. No locks — exactly one task writes a node, and
+// the scheduler's completion edges order those writes before the flatten.
+type mineNode struct {
+	results  []core.Result
+	stats    core.MiningStats
+	children []*mineNode
+}
+
+// flatten folds the node tree depth-first in fork order, reproducing the
+// serial recursion's aggregate (result order is canonicalized by
+// core.SortResults afterwards; counters are sums and peaks maxima, so the
+// fold order cannot move a bit).
+func (n *mineNode) flatten(results []core.Result, stats *core.MiningStats) []core.Result {
+	results = append(results, n.results...)
+	stats.Add(n.stats)
+	for _, c := range n.children {
+		results = c.flatten(results, stats)
+	}
+	return results
+}
+
+// rootAgg aggregates one first-level prefix subtree across the tasks it was
+// split into. pending counts the root task plus its live forked
+// descendants; the task that brings it to zero owns the completed node tree
+// (the decrement publishes every task's writes), flattens it, and emits the
+// subtree's PhaseSubtree event.
+type rootAgg struct {
+	engine   *Engine
+	base     core.MiningStats // pre-fan-out totals for progress snapshots
+	node     mineNode
+	pending  atomic.Int64
+	canceled atomic.Bool
+	results  []core.Result
+	stats    core.MiningStats
+}
+
+// finish retires one task of this root's subtree.
+func (ra *rootAgg) finish(canceled bool) {
+	if canceled {
+		ra.canceled.Store(true)
+	}
+	if ra.pending.Add(-1) != 0 {
+		return
+	}
+	ra.results = ra.node.flatten(nil, &ra.stats)
+	if ra.canceled.Load() {
+		// A canceled subtree's partials are discarded by the caller; emitting
+		// a snapshot for it would report work that never merges.
+		return
+	}
+	snap := ra.base
+	snap.Add(ra.stats)
+	ra.engine.Progress.Emit(ra.engine.Name, core.PhaseSubtree, 1, snap)
 }
 
 type mineState struct {
@@ -242,6 +331,15 @@ type mineState struct {
 	results []core.Result
 	stats   *core.MiningStats
 	liveOcc int64
+	// forker schedules forked extension subtrees; forkOK gates forking
+	// (false under Exec.DisableSteal). node is this task's accumulator,
+	// root the first-level subtree it belongs to, pool the scratch-buffer
+	// source for forked children.
+	forker *parallel.Forker
+	forkOK bool
+	node   *mineNode
+	root   *rootAgg
+	pool   *sync.Pool
 	// done is the run context's cancellation channel (nil when the context
 	// cannot be canceled); canceled records that the recursion
 	// short-circuited, invalidating this subtree's partial results.
@@ -302,14 +400,60 @@ func (m *mineState) mine(prefix []core.Item, occs []occ, baseBytes int64) {
 		m.results = append(m.results, res)
 
 		// Build the extension's occurrence list (second scan restricted to
-		// this rank), recurse, release.
+		// this rank), then recurse and release — or, for subtrees big enough
+		// to be worth scheduling, fork onto the work-stealing pool.
 		sub := collectOcc(m.rows, occs, r)
 		subBytes := int64(len(sub)) * int64(unsafe.Sizeof(occ{}))
+		if m.forkOK && len(sub) >= stealForkMinOcc {
+			m.forkSubtree(ext, sub, subBytes, baseBytes)
+			continue
+		}
 		m.liveOcc += subBytes
 		m.stats.TrackPeak(baseBytes + m.liveOcc)
 		m.mine(ext, sub, baseBytes)
 		m.liveOcc -= subBytes
 	}
+}
+
+// forkSubtree hands an extension's subtree to the scheduler with its own
+// accumulator node and scratch pair. The child starts from the live-byte
+// level the inline recursion would have at this point (parent's path plus
+// the new occurrence list) and the parent tracks the fork-point peak itself,
+// so the DFS-path memory model — and with it MiningStats after the
+// max-merge — is bit-identical to inline recursion. ext's backing array is
+// reused by the caller's extension loop, so the prefix is copied before the
+// task escapes.
+func (m *mineState) forkSubtree(ext []core.Item, sub []occ, subBytes, baseBytes int64) {
+	prefix := make([]core.Item, len(ext))
+	copy(prefix, ext)
+	child := &mineNode{}
+	m.node.children = append(m.node.children, child)
+	m.root.pending.Add(1)
+	liveAtFork := m.liveOcc + subBytes
+	m.stats.TrackPeak(baseBytes + liveAtFork)
+	engine, rows, items, root, pool, done := m.engine, m.rows, m.items, m.root, m.pool, m.done
+	m.forker.Fork(func(f *parallel.Forker) {
+		sc := pool.Get().(*scratch)
+		defer pool.Put(sc)
+		cm := &mineState{
+			engine:  engine,
+			rows:    rows,
+			items:   items,
+			esupBuf: sc.esup,
+			varBuf:  sc.varsup,
+			stats:   &child.stats,
+			liveOcc: liveAtFork,
+			done:    done,
+			forker:  f,
+			forkOK:  true,
+			node:    child,
+			root:    root,
+			pool:    pool,
+		}
+		cm.mine(prefix, sub, baseBytes)
+		child.results = cm.results
+		root.finish(cm.canceled)
+	})
 }
 
 // touchedRanks accumulates per-extension aggregates into the buffers and

@@ -1,0 +1,27 @@
+package benchenv
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCapture(t *testing.T) {
+	env := Capture()
+	if env.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", env.GoVersion, runtime.Version())
+	}
+	if env.GOOS != runtime.GOOS || env.GOARCH != runtime.GOARCH {
+		t.Errorf("platform = %s/%s, want %s/%s", env.GOOS, env.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	if env.GOMAXPROCS < 1 || env.NumCPU < 1 {
+		t.Errorf("GOMAXPROCS=%d NumCPU=%d, want both >= 1", env.GOMAXPROCS, env.NumCPU)
+	}
+	if runtime.GOOS == "linux" && env.CPUModel == "" {
+		t.Log("CPUModel empty on linux (restricted /proc?) — allowed, but worth noticing")
+	}
+	// The env must serialize cleanly: it rides inside every BENCH report.
+	if _, err := json.Marshal(env); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

@@ -40,6 +40,12 @@ const (
 	// protocol's invalidation path). Level carries the 1-based shard
 	// ordinal.
 	PhaseShardRepush ProgressPhase = "shard-repush"
+	// PhaseExec is a run's execution-layer report: scheduler and kernel
+	// counters (ExecStats) that depend on timing, worker count, or the
+	// ExecTuning toggles and therefore live outside MiningStats. Emitted at
+	// most once per run, before the done event; Stats is empty and Exec
+	// carries the counters.
+	PhaseExec ProgressPhase = "exec"
 	// PhaseDone is the final event of a completed (uncanceled) run, with
 	// the run's total counters.
 	PhaseDone ProgressPhase = "done"
@@ -61,6 +67,10 @@ type ProgressEvent struct {
 	// observed by this worker; the done event always carries the exact
 	// run totals.
 	Stats MiningStats
+	// Exec carries the execution-layer counters on PhaseExec events and is
+	// zero on every other phase. Unlike Stats, these counters may differ
+	// between worker counts and tuning configurations.
+	Exec ExecStats
 }
 
 // ProgressFunc observes ProgressEvents. Contract:

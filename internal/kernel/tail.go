@@ -1,0 +1,122 @@
+package kernel
+
+// The exact probabilistic miners' verification kernel: the §3.2.1 dynamic
+// program for Pr{K ≥ minCount} over a candidate's per-transaction
+// containment probabilities. Profiles of the DP miner family are >95% this
+// one rolling-row loop, so it gets the same treatment as the intersection
+// kernels: an optimized entry point (FreqTailDP) pinned bitwise against the
+// verbatim reference (FreqTailDPScalar), selectable at runtime through
+// core.ExecTuning.DisableKernel.
+//
+// The contract: ps are probabilities in [0, 1]. The optimizations lean on
+// that domain — the skipped regions below are exactly zero only because no
+// input is NaN or infinite.
+//
+// Three observations let FreqTailDP skip work without moving a bit:
+//
+//   - Zero triangle (top): after s probability-bearing transactions, mass
+//     can sit at index ≤ s only. The reference's updates above that index
+//     compute 0·p + 0·(1−p) = 0 — skipping them changes nothing.
+//
+//   - Dead window (bottom): a value written at step j climbs at most one
+//     index per later step, so with r steps remaining, entries below
+//     minCount − r can no longer reach row[minCount]. They are left stale;
+//     every entry the loop still reads (index ≥ minCount − r − 1) was live
+//     at every earlier step, so it carries the reference's exact bits.
+//
+//   - Register carry: iterating downward, this step's row[i−1] load is the
+//     next iteration's row[i] operand — carrying it in a register (and
+//     unrolling 2×) halves the loads without touching the arithmetic:
+//     each element still computes row[i−1]·p + row[i]·(1−p), same
+//     multiplications, same additions, same order.
+//
+// Together the triangles cut the O(N·minCount) reference to
+// O(minCount·(N−minCount)) — for candidates whose support barely clears the
+// threshold (the ones count pruning lets through), that approaches O(N).
+
+// FreqTailDP computes Pr{K ≥ minCount} for the Poisson-Binomial with trial
+// probabilities ps. Bit-identical to FreqTailDPScalar on every input in the
+// [0, 1] domain.
+func FreqTailDP(ps []float64, minCount int) float64 {
+	if minCount <= 0 {
+		return 1
+	}
+	n := len(ps)
+	if minCount > n {
+		return 0
+	}
+	// row[i] = Pr{≥ i among transactions seen so far}; row[0] ≡ 1.
+	row := make([]float64, minCount+1)
+	row[0] = 1
+	top := 0 // highest index that can hold mass
+	for j, p := range ps {
+		if p == 0 {
+			continue
+		}
+		if top < minCount {
+			top++
+		}
+		rem := n - j - 1 // steps after this one (p == 0 steps counted: conservative)
+		if top+rem < minCount {
+			// Even promoting mass every remaining step cannot reach
+			// row[minCount]: the reference would return an untouched 0.
+			return 0
+		}
+		lo := minCount - rem
+		if lo < 1 {
+			lo = 1
+		}
+		q := 1 - p
+		hi := row[top]
+		i := top
+		for i-1 >= lo {
+			a := row[i-1]
+			b := row[i-2]
+			row[i] = a*p + hi*q
+			row[i-1] = b*p + a*q
+			hi = b
+			i -= 2
+		}
+		if i == lo {
+			row[i] = row[i-1]*p + hi*q
+		}
+	}
+	v := row[minCount]
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// FreqTailDPScalar is the reference dynamic program — the prob package's
+// original rolling-row loop, moved here verbatim. It defines the bits
+// FreqTailDP must reproduce.
+func FreqTailDPScalar(ps []float64, minCount int) float64 {
+	if minCount <= 0 {
+		return 1
+	}
+	if minCount > len(ps) {
+		return 0
+	}
+	row := make([]float64, minCount+1)
+	row[0] = 1
+	for _, p := range ps {
+		if p == 0 {
+			continue
+		}
+		for i := minCount; i >= 1; i-- {
+			row[i] = row[i-1]*p + row[i]*(1-p)
+		}
+	}
+	v := row[minCount]
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

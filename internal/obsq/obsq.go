@@ -88,6 +88,8 @@ type Collector struct {
 	steps  []Step
 	events []ShardEvent
 	total  core.MiningStats
+	exec   core.ExecStats
+	hasEx  bool
 	done   bool
 	level  int
 	algo   string
@@ -118,6 +120,13 @@ func (c *Collector) observe(ev core.ProgressEvent) {
 	switch ev.Phase {
 	case core.PhaseShardRetry, core.PhaseShardHedge, core.PhaseShardFailover, core.PhaseShardRepush:
 		c.events = append(c.events, ShardEvent{Kind: string(ev.Phase), Shard: ev.Level, At: now})
+		return
+	case core.PhaseExec:
+		// Execution-layer counters (steal traffic, kernel dispatch) arrive
+		// once per mining run; partitioned and sharded queries run several
+		// mines, so the deltas sum.
+		c.exec.Add(ev.Exec)
+		c.hasEx = true
 		return
 	case core.PhaseDone:
 		c.total = ev.Stats
@@ -256,6 +265,17 @@ func (c *Collector) Snapshot() (steps []Step, totals core.MiningStats, events []
 		totals = c.total
 	}
 	return steps, totals, events, c.done
+}
+
+// Exec returns the summed execution-layer counters and whether any PhaseExec
+// event was observed (miners without tunable execution emit none).
+func (c *Collector) Exec() (core.ExecStats, bool) {
+	if c == nil {
+		return core.ExecStats{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exec, c.hasEx
 }
 
 // MaxLevel is the deepest level the run reported ("done" event), 0 if none.

@@ -108,6 +108,35 @@ func TestCollectorShardEvents(t *testing.T) {
 	}
 }
 
+// TestCollectorExecFold: PhaseExec events sum into the scheduler breakdown
+// (partitioned queries run several mines, each reporting once) without
+// producing plan steps.
+func TestCollectorExecFold(t *testing.T) {
+	col := NewCollector()
+	fn := col.Progress()
+	if _, ok := col.Exec(); ok {
+		t.Error("fresh collector reports exec counters")
+	}
+	fn(core.ProgressEvent{Phase: core.PhaseExec, Exec: core.ExecStats{
+		TasksSpawned: 10, TasksStolen: 3, KernelIntersects: 100,
+	}})
+	fn(core.ProgressEvent{Phase: core.PhaseExec, Exec: core.ExecStats{
+		TasksSpawned: 4, ForksInline: 2, ScalarIntersects: 5,
+	}})
+	steps, _, _, _ := col.Snapshot()
+	if len(steps) != 0 {
+		t.Errorf("exec events produced %d plan steps", len(steps))
+	}
+	ex, ok := col.Exec()
+	if !ok {
+		t.Fatal("exec counters not recorded")
+	}
+	want := core.ExecStats{TasksSpawned: 14, TasksStolen: 3, ForksInline: 2, KernelIntersects: 100, ScalarIntersects: 5}
+	if ex != want {
+		t.Errorf("exec = %+v, want %+v", ex, want)
+	}
+}
+
 // TestNilCollector: a nil collector chains away to nothing.
 func TestNilCollector(t *testing.T) {
 	var col *Collector
@@ -119,6 +148,9 @@ func TestNilCollector(t *testing.T) {
 	}
 	if steps, _, _, done := col.Snapshot(); steps != nil || done {
 		t.Error("nil collector Snapshot not empty")
+	}
+	if _, ok := col.Exec(); ok {
+		t.Error("nil collector Exec reported counters")
 	}
 }
 

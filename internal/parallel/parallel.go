@@ -156,6 +156,58 @@ func ChunkSizeFor(n int) int {
 	return size
 }
 
+// Adaptive chunk sizing (ChunkSizeForSpan): bounds on the cache-footprint
+// model. A scanned transaction touches its items and probs columns —
+// spanBytesPerUnit bytes per unit — and the chunk should stay resident in a
+// mid-level cache while its partial aggregates are live, so chunks grow on
+// narrow (sparse) rows, where per-chunk flush overhead dominates, and stay
+// small on wide (dense) rows, where the scan working set is the constraint.
+const (
+	// spanBytesPerUnit is one arena unit's scan footprint: a 4-byte item
+	// plus an 8-byte probability.
+	spanBytesPerUnit = 12
+	// chunkTargetBytes is the per-chunk working-set budget, ≈ half of a
+	// typical 512 KiB L2 slice — the rest is left to the candidate trie or
+	// postings cursors sharing the cache.
+	chunkTargetBytes = 256 << 10
+	// minShardsWide keeps at least this many chunks on large inputs even
+	// when rows are very narrow, so the fixed-chunk pool retains work to
+	// balance. Worker-count-independent, like every sizing constant here.
+	minShardsWide = 16
+)
+
+// ChunkSizeForSpan returns the chunk size for scanning n transactions
+// holding units total arena units: the largest chunk whose estimated scan
+// footprint (mean row width × spanBytesPerUnit) fits chunkTargetBytes,
+// clamped to [ChunkSizeFor(n), ⌈n/minShardsWide⌉]. The result is a pure
+// function of the view's shape (n, units) — never the worker count — so the
+// chunk layout and the partial-sum grouping it pins are identical for every
+// Workers value, and both counting plans (horizontal chunks, vertical
+// per-chunk flushes) derive the same grouping from the same view.
+//
+// The lower clamp keeps ChunkSizeForSpan a refinement of ChunkSizeFor: it
+// can only merge the fixed layout's chunks (fewer, larger), never split
+// them, so per-chunk accumulator memory stays bounded by maxShards buffers.
+func ChunkSizeForSpan(n, units int) int {
+	lo := ChunkSizeFor(n)
+	if n <= 0 || units <= 0 {
+		return lo
+	}
+	// Ceiling mean row width: err toward narrower chunks on mixed rows.
+	width := (units + n - 1) / n
+	size := chunkTargetBytes / (width * spanBytesPerUnit)
+	if size < lo {
+		return lo
+	}
+	if hi := (n + minShardsWide - 1) / minShardsWide; size > hi {
+		size = hi
+		if size < lo {
+			size = lo
+		}
+	}
+	return size
+}
+
 // NumChunks returns how many fixed-size chunks cover [0, n): ⌈n/size⌉
 // (zero when n is zero). The layout depends only on n and size — never on
 // the worker count — so per-chunk shard results can be merged in chunk

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"umine/internal/algo"
+	"umine/internal/benchenv"
 	"umine/internal/core"
 	"umine/internal/dataset"
 )
@@ -119,10 +120,11 @@ type IncrementalBenchReport struct {
 	IncrementalSpeedupP50 float64 `json:"incremental_speedup_p50"`
 	// Fallbacks counts rounds that rebuilt instead of taking the delta path
 	// (expected 0: the feed stays under the border budget).
-	Fallbacks  int    `json:"fallbacks"`
-	Workers    int    `json:"workers"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Timestamp  string `json:"timestamp"`
+	Fallbacks  int          `json:"fallbacks"`
+	Workers    int          `json:"workers"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Env        benchenv.Env `json:"env"`
+	Timestamp  string       `json:"timestamp"`
 }
 
 // WriteJSON writes the report as an indented JSON document.
@@ -185,6 +187,7 @@ func RunIncrementalBench(cfg IncrementalBenchConfig) (*IncrementalBenchReport, e
 		Batch:      cfg.Batch,
 		Workers:    cfg.Workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        benchenv.Capture(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"umine/internal/algo"
+	"umine/internal/benchenv"
 	"umine/internal/core"
 	"umine/internal/dataset"
 	"umine/internal/eval"
@@ -134,9 +135,10 @@ type LoadBenchReport struct {
 	CacheSpeedupP50 float64 `json:"cache_speedup_p50"`
 	// CacheHitRatio is the served-from-cache fraction across every hot
 	// pass (the per-level ratios weighted by request count).
-	CacheHitRatio float64 `json:"cache_hit_ratio"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	Timestamp     string  `json:"timestamp"`
+	CacheHitRatio float64      `json:"cache_hit_ratio"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Env           benchenv.Env `json:"env"`
+	Timestamp     string       `json:"timestamp"`
 }
 
 // WriteJSON writes the report as an indented JSON document.
@@ -208,6 +210,7 @@ func RunLoadBench(cfg LoadBenchConfig) (*LoadBenchReport, error) {
 		DirectMineMS:         float64(meas.Elapsed.Microseconds()) / 1000,
 		DatasetBytesResident: info.BytesResident,
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Env:                  benchenv.Capture(),
 		Timestamp:            time.Now().UTC().Format(time.RFC3339),
 	}
 
@@ -365,9 +368,10 @@ type PartitionBenchReport struct {
 	Levels      []PartitionBenchLevel `json:"levels"`
 	// Phase1SpeedupP50 is (K=1 cold p50) / (largest-K phase-1 p50): how
 	// much of the single-shot mine the scatter amortizes.
-	Phase1SpeedupP50 float64 `json:"phase1_speedup_p50"`
-	GOMAXPROCS       int     `json:"gomaxprocs"`
-	Timestamp        string  `json:"timestamp"`
+	Phase1SpeedupP50 float64      `json:"phase1_speedup_p50"`
+	GOMAXPROCS       int          `json:"gomaxprocs"`
+	Env              benchenv.Env `json:"env"`
+	Timestamp        string       `json:"timestamp"`
 }
 
 // WriteJSON writes the report as an indented JSON document.
@@ -414,6 +418,7 @@ func RunPartitionBench(cfg PartitionBenchConfig) (*PartitionBenchReport, error) 
 		NumItems:   db.NumItems,
 		Workers:    cfg.Workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        benchenv.Capture(),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -73,6 +73,9 @@ func (s *Server) Explain(ctx context.Context, req MineRequest) (*obsq.Explanatio
 		TraceID:   span.TraceID(),
 	}
 	ex.ShardEvents = events
+	if sched, ok := col.Exec(); ok {
+		ex.Sched = &sched
+	}
 	if ex.Backend == "" {
 		// Nothing executed: the cache (or a coalesced neighbour) answered.
 		ex.Backend = "cache"

@@ -33,7 +33,9 @@ func SpanProgress(parent *Span) core.ProgressFunc {
 	last := time.Now()
 	return func(ev core.ProgressEvent) {
 		switch ev.Phase {
-		case core.PhaseShardRetry, core.PhaseShardHedge, core.PhaseShardFailover, core.PhaseShardRepush, core.PhaseDone:
+		case core.PhaseShardRetry, core.PhaseShardHedge, core.PhaseShardFailover, core.PhaseShardRepush, core.PhaseDone, core.PhaseExec:
+			// Administrative events, not execution checkpoints: recording them
+			// as spans would attribute the preceding interval twice.
 			return
 		}
 		now := time.Now()
